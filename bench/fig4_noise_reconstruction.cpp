@@ -1,0 +1,102 @@
+// Fig. 4 — Noise robustness of hyperdimensional encodings.
+//
+// The paper encodes an MNIST image, adds Gaussian noise *in HD space*, then
+// reconstructs, showing the result is far cleaner than adding the same
+// noise in sample space. This harness regenerates the quantitative version:
+// for a sweep of noise levels it reports the reconstruction MSE/PSNR of
+//   (a) noise added in sample space (no HD),
+//   (b) noise added in HD space, then holographic readout (paper Eq. 5),
+// for a synthetic-MNIST image. Expected shape: (b) beats (a) by a wide and
+// growing margin, since HD noise averages out over d dimensions.
+#include <array>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/encoder.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhdnn;
+  bench::init();
+  CliFlags flags;
+  flags.define_int("hd-dim", 10000, "hyperdimensional dimensionality d");
+  flags.define_int("trials", 20, "noise draws averaged per setting");
+  flags.define_int("seed", 42, "experiment seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const auto d = flags.get_int("hd-dim");
+  const int trials = static_cast<int>(flags.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  print_banner(std::cout, "Fig. 4: noise robustness of HD encodings");
+  bench::print_config_line("d=" + std::to_string(d) +
+                           " trials=" + std::to_string(trials) +
+                           " seed=" + std::to_string(seed));
+
+  Rng rng(seed);
+  const auto ds = data::synthetic_mnist(10, rng);
+  const std::int64_t n = ds.example_numel();  // 784
+  Tensor x(Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) x(i) = ds.x.at(i);  // first image
+
+  Rng enc_rng = rng.fork("encoder");
+  hdc::RandomProjectionEncoder enc(n, d, enc_rng);
+  const Tensor h = enc.encode_linear(x);
+  const double h_rms = h.l2_norm() / std::sqrt(static_cast<double>(d));
+  const double x_rms = x.l2_norm() / std::sqrt(static_cast<double>(n));
+
+  // Noise-free reconstruction floor of the random projection itself
+  // (~||x||^2/d per coordinate); the robustness claim is about the *excess*
+  // error noise adds on top of this floor.
+  const Tensor x_floor = enc.reconstruct(h);
+  const double floor_mse = stats::mse(x.data(), x_floor.data());
+  std::cout << "noise-free reconstruction floor MSE: " << floor_mse << "\n";
+
+  TextTable table({"noise_factor", "mse_sample_space", "mse_hd_space",
+                   "mse_hd_excess", "psnr_sample_dB", "psnr_hd_dB",
+                   "hd_excess_gain_x"});
+  std::vector<std::array<double, 3>> rows;
+  Rng noise_rng = rng.fork("noise");
+  for (const double factor : {0.1, 0.25, 0.5, 1.0, 2.0}) {
+    stats::Accumulator mse_sample, mse_hd;
+    for (int t = 0; t < trials; ++t) {
+      // Sample-space corruption at noise stddev = factor * signal RMS.
+      Tensor xs = x;
+      for (auto& v : xs.data()) {
+        v += static_cast<float>(noise_rng.normal(0.0, factor * x_rms));
+      }
+      mse_sample.add(stats::mse(x.data(), xs.data()));
+      // HD-space corruption at the same *relative* level, then readout.
+      Tensor hn = h;
+      for (auto& v : hn.data()) {
+        v += static_cast<float>(noise_rng.normal(0.0, factor * h_rms));
+      }
+      const Tensor xr = enc.reconstruct(hn);
+      mse_hd.add(stats::mse(x.data(), xr.data()));
+    }
+    const double psnr_s = 10.0 * std::log10(1.0 / mse_sample.mean());
+    const double psnr_h = 10.0 * std::log10(1.0 / mse_hd.mean());
+    const double excess = std::max(0.0, mse_hd.mean() - floor_mse);
+    table.add_row({TextTable::cell(factor), TextTable::cell(mse_sample.mean()),
+                   TextTable::cell(mse_hd.mean()), TextTable::cell(excess),
+                   TextTable::cell(psnr_s), TextTable::cell(psnr_h),
+                   TextTable::cell(mse_sample.mean() /
+                                   std::max(excess, 1e-12))});
+    rows.push_back({factor, mse_sample.mean(), mse_hd.mean()});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout, {"noise_factor", "mse_sample", "mse_hd"});
+  for (const auto& r : rows) csv.add(r[0]).add(r[1]).add(r[2]).end_row();
+
+  std::cout << "\nPaper shape check: sample-space MSE grows quadratically "
+               "with the noise level while HD-space MSE stays near the "
+               "projection floor — the excess noise is suppressed by ~d/n "
+               "through the holographic readout (Eq. 5).\n";
+  return 0;
+}

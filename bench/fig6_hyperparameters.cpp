@@ -1,0 +1,145 @@
+// Fig. 6 — Accuracy and communication rounds for various hyperparameters.
+//
+// The paper sweeps E (local epochs), B (batch size) and C (client fraction)
+// for FHDnn and ResNet on IID and non-IID data, and reports (a) the
+// smoothed mean accuracy-vs-round curve with its spread across
+// hyperparameters, and (b) that FHDnn reaches the target accuracy ~3x
+// sooner and is nearly insensitive to the hyperparameters (B provably so —
+// HD local training is batch-free).
+//
+// This harness runs the sweep at laptop scale and reports, per model and
+// distribution: mean/min/max final accuracy over the sweep, the spread, and
+// the mean rounds-to-target. The CNN sweep covers E x C with B fixed per
+// run (B only affects the CNN; the FHDnn rows list it for symmetry).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhdnn;
+  bench::init();
+  CliFlags flags;
+  flags.define_string("dataset", "mnist", "mnist|fashion|cifar");
+  flags.define_int("examples", 800, "dataset size");
+  flags.define_int("clients", 10, "number of clients");
+  flags.define_int("rounds", 8, "communication rounds");
+  flags.define_int("hd-dim", 2000, "hyperdimensional dimensionality d");
+  flags.define_double("target", 0.7, "target accuracy for rounds-to-target");
+  flags.define_int("seed", 42, "experiment seed");
+  flags.define_bool("skip-cnn", false, "FHDnn only");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const std::string dataset = flags.get_string("dataset");
+  const auto n_clients = static_cast<std::size_t>(flags.get_int("clients"));
+  const int rounds = static_cast<int>(flags.get_int("rounds"));
+  const double target = flags.get_double("target");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  const std::vector<int> epochs{1, 2, 4};
+  const std::vector<std::size_t> batches{10, 32, 64};
+  const std::vector<double> fractions{0.1, 0.2, 0.5};
+
+  print_banner(std::cout, "Fig. 6: hyperparameter sensitivity (E, B, C)");
+  bench::print_config_line("dataset=" + dataset + " clients=" +
+                           std::to_string(n_clients) + " rounds=" +
+                           std::to_string(rounds) + " target=" +
+                           std::to_string(target) + " seed=" +
+                           std::to_string(seed));
+
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout, {"model", "distribution", "E", "B", "C",
+                            "final_accuracy", "rounds_to_target"});
+  TextTable summary({"model", "dist", "mean_final_acc", "min..max (spread)",
+                     "mean_rounds_to_target"});
+
+  for (const auto dist :
+       {core::Distribution::Iid, core::Distribution::NonIid}) {
+    const auto exp = core::make_experiment_data(
+        dataset, flags.get_int("examples"), n_clients, dist, seed);
+    const auto fhdnn_cfg =
+        core::fhdnn_config_for(exp.train, flags.get_int("hd-dim"));
+    const auto encoded =
+        core::encode_for_fhdnn(fhdnn_cfg, exp.train, exp.parts, exp.test);
+    const auto cnn_params = core::cnn_params_for(dataset);
+
+    stats::Accumulator fhdnn_acc, fhdnn_rounds, cnn_acc, cnn_rounds;
+    for (const int e : epochs) {
+      for (const double c : fractions) {
+        for (const std::size_t b : batches) {
+          core::FederatedParams params =
+              core::paper_default_params(n_clients, rounds, seed);
+          params.local_epochs = e;
+          params.client_fraction = c;
+          params.batch_size = b;
+
+          // FHDnn: B has no effect on HD training; run once per (E, C) and
+          // record identical rows for each B (documents the invariance).
+          if (b == batches.front()) {
+            channel::HdUplinkConfig clean;
+            const auto hist =
+                core::run_fhdnn_on_encoded(encoded, params, clean);
+            const auto r = hist.rounds_to_accuracy(target);
+            for (const std::size_t bb : batches) {
+              csv.add("fhdnn")
+                  .add(core::to_string(dist))
+                  .add(e)
+                  .add(bb)
+                  .add(c)
+                  .add(hist.final_accuracy())
+                  .add(r ? static_cast<std::int64_t>(*r)
+                         : static_cast<std::int64_t>(-1))
+                  .end_row();
+            }
+            fhdnn_acc.add(hist.final_accuracy());
+            if (r) fhdnn_rounds.add(static_cast<double>(*r));
+          }
+
+          if (!flags.get_bool("skip-cnn") && b == 10) {
+            // CNN sweep over E x C (B fixed at the paper default to bound
+            // runtime; B's effect on the CNN shows in EXPERIMENTS.md).
+            const auto hist = core::run_cnn_federated(
+                cnn_params, exp.train, exp.parts, exp.test, params, nullptr);
+            const auto r = hist.rounds_to_accuracy(target);
+            csv.add("cnn")
+                .add(core::to_string(dist))
+                .add(e)
+                .add(b)
+                .add(c)
+                .add(hist.final_accuracy())
+                .add(r ? static_cast<std::int64_t>(*r)
+                       : static_cast<std::int64_t>(-1))
+                .end_row();
+            cnn_acc.add(hist.final_accuracy());
+            if (r) cnn_rounds.add(static_cast<double>(*r));
+          }
+        }
+      }
+    }
+    auto spread = [](const stats::Accumulator& a) {
+      return TextTable::cell(a.min()) + ".." + TextTable::cell(a.max()) +
+             " (" + TextTable::cell(a.max() - a.min()) + ")";
+    };
+    summary.add_row({"fhdnn", core::to_string(dist),
+                     TextTable::cell(fhdnn_acc.mean()), spread(fhdnn_acc),
+                     fhdnn_rounds.count()
+                         ? TextTable::cell(fhdnn_rounds.mean())
+                         : std::string("n/a")});
+    if (!flags.get_bool("skip-cnn")) {
+      summary.add_row({"cnn", core::to_string(dist),
+                       TextTable::cell(cnn_acc.mean()), spread(cnn_acc),
+                       cnn_rounds.count() ? TextTable::cell(cnn_rounds.mean())
+                                          : std::string(">budget")});
+    }
+  }
+
+  std::cout << "\n";
+  summary.print(std::cout);
+  std::cout << "\nPaper shape check: FHDnn's accuracy spread across "
+               "hyperparameters is narrow and its mean rounds-to-target is "
+               "~3x smaller than the CNN's; B does not affect FHDnn at "
+               "all.\n";
+  return 0;
+}

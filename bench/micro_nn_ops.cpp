@@ -1,0 +1,106 @@
+// Google-benchmark micro benches for the NN substrate: forward/backward of
+// the CNN baselines and FedAvg-style state aggregation. The fwd+bwd /
+// fwd-only ratio observed here is the mechanism behind Table 1's FHDnn
+// speedup (FHDnn clients never run backward).
+#include <benchmark/benchmark.h>
+
+#include "nn/loss.hpp"
+#include "nn/resnet.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fhdnn;
+
+void BM_Cnn2Forward(benchmark::State& state) {
+  Rng rng(1);
+  auto net = nn::make_cnn2(1, 28, 10, rng);
+  net->set_training(false);
+  const Tensor x = Tensor::rand(Shape{8, 1, 28, 28}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Cnn2Forward);
+
+void BM_Cnn2ForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  auto net = nn::make_cnn2(1, 28, 10, rng);
+  const Tensor x = Tensor::rand(Shape{8, 1, 28, 28}, rng);
+  const std::vector<std::int64_t> labels{0, 1, 2, 3, 4, 5, 6, 7};
+  nn::CrossEntropyLoss loss;
+  for (auto _ : state) {
+    net->zero_grad();
+    const Tensor logits = net->forward(x);
+    benchmark::DoNotOptimize(loss.forward(logits, labels));
+    benchmark::DoNotOptimize(net->backward(loss.backward()));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Cnn2ForwardBackward);
+
+void BM_MiniResNetForward(benchmark::State& state) {
+  const auto width = state.range(0);
+  Rng rng(3);
+  auto net = nn::make_mini_resnet(3, 10, width, rng);
+  net->set_training(false);
+  const Tensor x = Tensor::rand(Shape{4, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_MiniResNetForward)->Arg(8)->Arg(16);
+
+void BM_MiniResNetForwardBackward(benchmark::State& state) {
+  const auto width = state.range(0);
+  Rng rng(4);
+  auto net = nn::make_mini_resnet(3, 10, width, rng);
+  const Tensor x = Tensor::rand(Shape{4, 3, 32, 32}, rng);
+  const std::vector<std::int64_t> labels{0, 1, 2, 3};
+  nn::CrossEntropyLoss loss;
+  for (auto _ : state) {
+    net->zero_grad();
+    const Tensor logits = net->forward(x);
+    benchmark::DoNotOptimize(loss.forward(logits, labels));
+    benchmark::DoNotOptimize(net->backward(loss.backward()));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_MiniResNetForwardBackward)->Arg(8)->Arg(16);
+
+void BM_StateSerializeRoundTrip(benchmark::State& state) {
+  Rng rng(5);
+  auto net = nn::make_mini_resnet(3, 10, 8, rng);
+  for (auto _ : state) {
+    auto s = nn::get_state(*net);
+    benchmark::DoNotOptimize(s);
+    nn::set_state(*net, s);
+  }
+  state.SetItemsProcessed(state.iterations() * nn::state_size(*net));
+}
+BENCHMARK(BM_StateSerializeRoundTrip);
+
+void BM_FedAvgAggregation(benchmark::State& state) {
+  // Elementwise weighted average of 10 client states, MiniResNet size.
+  Rng rng(6);
+  auto net = nn::make_mini_resnet(3, 10, 8, rng);
+  const auto n = static_cast<std::size_t>(nn::state_size(*net));
+  std::vector<std::vector<float>> states(10, std::vector<float>(n));
+  for (auto& s : states) rng.fill_normal(s, 0.0F, 1.0F);
+  for (auto _ : state) {
+    std::vector<float> agg(n, 0.0F);
+    for (const auto& s : states) {
+      for (std::size_t i = 0; i < n; ++i) agg[i] += 0.1F * s[i];
+    }
+    benchmark::DoNotOptimize(agg);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 10);
+}
+BENCHMARK(BM_FedAvgAggregation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Example: how data heterogeneity (non-IID clients) affects FHDnn.
+//
+// Sweeps the Dirichlet concentration alpha from near-pathological label
+// skew (alpha=0.05: most clients see 1-2 classes) to effectively IID
+// (alpha=100), and also runs the shard-based pathological split of McMahan
+// et al. Prints per-setting label skew and final accuracy for FHDnn.
+//
+//   ./noniid_study [--dataset mnist] [--clients 12] ...
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fhdnn;
+  CliFlags flags;
+  flags.define_string("dataset", "mnist", "mnist|fashion|cifar");
+  flags.define_int("examples", 1200, "total dataset size");
+  flags.define_int("clients", 12, "number of federated clients");
+  flags.define_int("rounds", 8, "communication rounds");
+  flags.define_int("hd-dim", 2000, "hyperdimensional dimensionality d");
+  flags.define_int("seed", 21, "experiment seed");
+  if (!flags.parse(argc, argv)) return 0;
+
+  set_log_level(LogLevel::Warn);
+  const std::string dataset = flags.get_string("dataset");
+  const auto n_clients = static_cast<std::size_t>(flags.get_int("clients"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  std::cout << "Non-IID study — dataset=" << dataset
+            << " clients=" << n_clients << "\n\n";
+
+  // One shared dataset + test split; vary only the partition.
+  Rng rng(seed);
+  Rng data_rng = rng.fork("data");
+  data::Dataset full;
+  if (dataset == "mnist") full = data::synthetic_mnist(flags.get_int("examples"), data_rng);
+  else if (dataset == "fashion") full = data::synthetic_fashion(flags.get_int("examples"), data_rng);
+  else full = data::synthetic_cifar(flags.get_int("examples"), data_rng);
+  Rng split_rng = rng.fork("split");
+  auto split = data::train_test_split(full, 0.1, split_rng);
+
+  const auto params = core::paper_default_params(
+      n_clients, static_cast<int>(flags.get_int("rounds")), seed);
+  const auto cfg =
+      core::fhdnn_config_for(split.train, flags.get_int("hd-dim"));
+
+  TextTable table({"partition", "label_skew", "round1_acc", "final_acc"});
+  auto run = [&](const std::string& name, const data::ClientIndices& parts) {
+    const auto encoded =
+        core::encode_for_fhdnn(cfg, split.train, parts, split.test);
+    channel::HdUplinkConfig clean;
+    const auto hist = core::run_fhdnn_on_encoded(encoded, params, clean);
+    table.add_row({name, TextTable::cell(data::label_skew(split.train, parts)),
+                   TextTable::cell(hist.rounds().front().test_accuracy),
+                   TextTable::cell(hist.final_accuracy())});
+  };
+
+  {
+    Rng p = rng.fork("iid");
+    run("iid", data::partition_iid(split.train, n_clients, p));
+  }
+  for (const double alpha : {100.0, 1.0, 0.3, 0.05}) {
+    Rng p = rng.fork("dir-" + format_double(alpha));
+    run("dirichlet a=" + format_double(alpha),
+        data::partition_dirichlet(split.train, n_clients, alpha, p));
+  }
+  {
+    Rng p = rng.fork("shards");
+    run("2-shards/client", data::partition_shards(split.train, n_clients, 2, p));
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected: accuracy degrades gracefully as skew rises — "
+               "class prototypes are additive, so partial views from "
+               "different clients merge losslessly at the server (one reason "
+               "FHDnn handles non-IID data well in the paper's Fig. 6/8).\n";
+  return 0;
+}

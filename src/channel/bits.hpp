@@ -1,0 +1,26 @@
+// Bit-level utilities shared by the channel models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdc/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace fhdnn::channel {
+
+/// Draw the gap to the next flipped bit for a BSC with flip probability p.
+/// Thin wrapper over Rng::geometric kept for the channel-local vocabulary.
+std::uint64_t geometric_gap(double p, Rng& rng);
+
+/// Flip each of the 32 bits of every float in `payload` independently with
+/// probability `ber`. Returns the number of flips performed.
+std::size_t flip_float_bits(std::vector<float>& payload, double ber, Rng& rng);
+
+/// Flip bits within the B-bit two's-complement representation of each
+/// quantized value with probability `ber` per bit; values are re-clamped to
+/// the signed B-bit range (the receiver's integer parser cannot produce
+/// out-of-range values). Returns the number of flips.
+std::size_t flip_quantized_bits(hdc::QuantizedVector& q, double ber, Rng& rng);
+
+}  // namespace fhdnn::channel

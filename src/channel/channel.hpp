@@ -1,0 +1,107 @@
+// Unreliable uplink channel models (paper §3.5).
+//
+// The FL simulator pushes every client's serialized model update through a
+// Channel before aggregation. Three error models from the paper:
+//   * AWGN "noisy aggregation" (§3.5.1) — uncoded analog transmission; zero-
+//     mean Gaussian noise added directly to parameter values at a target
+//     SNR;
+//   * bit errors (§3.5.2) — a binary symmetric channel flipping bits of the
+//     digital representation (IEEE-754 float32 words for CNNs, B-bit
+//     integers for quantized HD models) with probability p_e each;
+//   * packet loss (§3.5.3) — UDP-style transport; payload is split into
+//     N_p-bit packets, each dropped i.i.d. with probability p_p; dropped
+//     packets are zero-filled (no retransmission).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fhdnn::channel {
+
+/// Statistics of one transmission, for logging/asserting in experiments.
+struct TransmitStats {
+  std::size_t payload_scalars = 0;
+  std::size_t bits_on_air = 0;
+  std::size_t bit_flips = 0;       ///< BSC only
+  std::size_t packets_total = 0;   ///< packet channel only
+  std::size_t packets_lost = 0;    ///< packet channel only
+  double noise_power = 0.0;        ///< AWGN only (empirical per-element)
+};
+
+/// A channel corrupts a float payload (one client's serialized model) in
+/// place. Implementations must be deterministic given the Rng.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual TransmitStats apply(std::vector<float>& payload, Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Error-free link (the broadcast/downlink assumption, and the baseline).
+class PerfectChannel final : public Channel {
+ public:
+  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  std::string name() const override { return "perfect"; }
+};
+
+/// Additive white Gaussian noise at a fixed SNR (dB). The noise variance is
+/// set from the *empirical* signal power of the payload:
+///   sigma^2 = P / SNR_linear, P = ||payload||^2 / n   (paper Eq. 3).
+class AwgnChannel final : public Channel {
+ public:
+  explicit AwgnChannel(double snr_db);
+  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  std::string name() const override;
+  double snr_db() const { return snr_db_; }
+
+ private:
+  double snr_db_;
+  double snr_linear_;
+};
+
+/// Binary symmetric channel over the IEEE-754 float32 bit representation of
+/// each payload element (paper Eq. 6-7). NaN/Inf results are kept as-is —
+/// exactly the catastrophic behaviour the paper describes for CNN weights.
+class BitErrorChannel final : public Channel {
+ public:
+  explicit BitErrorChannel(double bit_error_rate);
+  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  std::string name() const override;
+  double ber() const { return ber_; }
+
+ private:
+  double ber_;
+};
+
+/// UDP-style packet erasure: the float payload is serialized at 32 bits per
+/// element and split into packets of `packet_bits`; each packet is dropped
+/// independently with probability `loss_rate` and its scalars zero-filled.
+class PacketLossChannel final : public Channel {
+ public:
+  PacketLossChannel(double loss_rate, std::size_t packet_bits = 8192);
+  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  std::string name() const override;
+  double loss_rate() const { return loss_rate_; }
+  std::size_t packet_bits() const { return packet_bits_; }
+
+ private:
+  double loss_rate_;
+  std::size_t packet_bits_;
+};
+
+/// Packet error probability from bit error probability (paper Eq. 8):
+///   p_p = 1 - (1 - p_e)^{N_p}.
+double packet_error_rate(double bit_error_rate, std::size_t packet_bits);
+
+/// Factory helpers.
+std::unique_ptr<Channel> make_perfect();
+std::unique_ptr<Channel> make_awgn(double snr_db);
+std::unique_ptr<Channel> make_bit_error(double ber);
+std::unique_ptr<Channel> make_packet_loss(double loss_rate,
+                                          std::size_t packet_bits = 8192);
+
+}  // namespace fhdnn::channel

@@ -1,0 +1,104 @@
+#include "channel/fading.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fhdnn::channel {
+
+GilbertElliottChannel::GilbertElliottChannel(Params params)
+    : params_(params) {
+  FHDNN_CHECK(params_.p_good_to_bad > 0.0 && params_.p_good_to_bad <= 1.0 &&
+                  params_.p_bad_to_good > 0.0 && params_.p_bad_to_good <= 1.0,
+              "GE transition probabilities");
+  FHDNN_CHECK(params_.loss_good >= 0.0 && params_.loss_good <= 1.0 &&
+                  params_.loss_bad >= 0.0 && params_.loss_bad <= 1.0,
+              "GE loss probabilities");
+  FHDNN_CHECK(params_.packet_bits >= 32, "GE packet size");
+}
+
+double GilbertElliottChannel::average_loss_rate() const {
+  // Stationary distribution: pi_bad = p_gb / (p_gb + p_bg).
+  const double pi_bad = params_.p_good_to_bad /
+                        (params_.p_good_to_bad + params_.p_bad_to_good);
+  return (1.0 - pi_bad) * params_.loss_good + pi_bad * params_.loss_bad;
+}
+
+TransmitStats GilbertElliottChannel::apply(std::vector<float>& payload,
+                                           Rng& rng) const {
+  TransmitStats stats;
+  stats.payload_scalars = payload.size();
+  stats.bits_on_air = payload.size() * 32;
+  if (payload.empty()) return stats;
+  const std::size_t floats_per_packet = params_.packet_bits / 32;
+  const std::size_t n_packets =
+      (payload.size() + floats_per_packet - 1) / floats_per_packet;
+  stats.packets_total = n_packets;
+  // Start in the stationary state.
+  const double pi_bad = params_.p_good_to_bad /
+                        (params_.p_good_to_bad + params_.p_bad_to_good);
+  bool bad = rng.bernoulli(pi_bad);
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    const double loss = bad ? params_.loss_bad : params_.loss_good;
+    if (rng.bernoulli(loss)) {
+      ++stats.packets_lost;
+      const std::size_t begin = p * floats_per_packet;
+      const std::size_t end =
+          std::min(payload.size(), begin + floats_per_packet);
+      for (std::size_t i = begin; i < end; ++i) payload[i] = 0.0F;
+    }
+    bad = bad ? !rng.bernoulli(params_.p_bad_to_good)
+              : rng.bernoulli(params_.p_good_to_bad);
+  }
+  return stats;
+}
+
+std::string GilbertElliottChannel::name() const {
+  return "gilbert-elliott(avg=" + std::to_string(average_loss_rate()) + ")";
+}
+
+RayleighFadingChannel::RayleighFadingChannel(double avg_snr_db,
+                                             std::size_t block_len)
+    : avg_snr_db_(avg_snr_db),
+      snr_linear_(std::pow(10.0, avg_snr_db / 10.0)),
+      block_len_(block_len) {
+  FHDNN_CHECK(std::isfinite(avg_snr_db), "Rayleigh snr_db");
+  FHDNN_CHECK(block_len_ >= 1, "Rayleigh block length");
+}
+
+TransmitStats RayleighFadingChannel::apply(std::vector<float>& payload,
+                                           Rng& rng) const {
+  TransmitStats stats;
+  stats.payload_scalars = payload.size();
+  stats.bits_on_air = payload.size() * 32;
+  if (payload.empty()) return stats;
+  double power = 0.0;
+  for (const float v : payload) power += static_cast<double>(v) * v;
+  power /= static_cast<double>(payload.size());
+  if (power <= 0.0) return stats;
+  const double sigma = std::sqrt(power / snr_linear_);
+  double noise_power = 0.0;
+  for (std::size_t begin = 0; begin < payload.size(); begin += block_len_) {
+    // |h|^2 ~ Exp(1): -log(U). Clamp away from zero to model the receiver
+    // discarding unusably deep fades rather than dividing by ~0.
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    const double gain_sq = std::max(1e-3, -std::log(u));
+    const double eff_sigma = sigma / std::sqrt(gain_sq);
+    const std::size_t end = std::min(payload.size(), begin + block_len_);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double n = rng.normal(0.0, eff_sigma);
+      payload[i] += static_cast<float>(n);
+      noise_power += n * n;
+    }
+  }
+  stats.noise_power = noise_power / static_cast<double>(payload.size());
+  return stats;
+}
+
+std::string RayleighFadingChannel::name() const {
+  return "rayleigh(" + std::to_string(avg_snr_db_) + "dB)";
+}
+
+}  // namespace fhdnn::channel

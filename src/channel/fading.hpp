@@ -1,0 +1,64 @@
+// Extended channel models beyond the paper's three basic ones.
+//
+//   * GilbertElliottChannel — bursty packet loss. LPWAN packet drops are
+//     correlated (interference, duty-cycle collisions; the paper's refs
+//     [19][20]); a two-state Markov chain (Good/Bad) with per-state loss
+//     probabilities is the standard model. With the same *average* loss
+//     rate as an i.i.d. channel, bursts wipe out contiguous stretches of a
+//     model update — a strictly harsher test of HD's holographic claim.
+//   * RayleighFadingChannel — block-fading analog channel. The AWGN model
+//     of §3.5.1 assumes a static link; in mobile IoT the gain fades. Each
+//     coherence block of `block_len` scalars gets an independent Rayleigh
+//     amplitude; the receiver equalizes perfectly, so deep fades amplify
+//     the effective noise of whole blocks.
+#pragma once
+
+#include <cstddef>
+
+#include "channel/channel.hpp"
+
+namespace fhdnn::channel {
+
+/// Two-state Markov (Gilbert-Elliott) packet-loss channel.
+class GilbertElliottChannel final : public Channel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.05;  ///< per-packet transition G->B
+    double p_bad_to_good = 0.2;   ///< per-packet transition B->G
+    double loss_good = 0.001;     ///< loss probability in Good
+    double loss_bad = 0.7;        ///< loss probability in Bad
+    std::size_t packet_bits = 8192;
+  };
+
+  explicit GilbertElliottChannel(Params params);
+
+  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  std::string name() const override;
+
+  /// Long-run average loss rate implied by the chain (stationary mix of the
+  /// two per-state loss rates).
+  double average_loss_rate() const;
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// Block-Rayleigh fading with perfect channel-state equalization.
+/// Average SNR is `avg_snr_db`; within each block the effective per-element
+/// noise variance is sigma^2 / |h|^2 with |h|^2 ~ Exp(1).
+class RayleighFadingChannel final : public Channel {
+ public:
+  RayleighFadingChannel(double avg_snr_db, std::size_t block_len = 256);
+
+  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  std::string name() const override;
+  double avg_snr_db() const { return avg_snr_db_; }
+
+ private:
+  double avg_snr_db_;
+  double snr_linear_;
+  std::size_t block_len_;
+};
+
+}  // namespace fhdnn::channel

@@ -1,0 +1,134 @@
+#include "channel/hd_uplink.hpp"
+
+#include <sstream>
+
+#include "channel/bits.hpp"
+#include "channel/fading.hpp"
+#include "hdc/binary_model.hpp"
+#include "util/error.hpp"
+
+namespace fhdnn::channel {
+
+namespace {
+
+/// Route the float-valued matrix through a float channel.
+HdUplinkStats apply_float_channel(Tensor& prototypes, const Channel& ch,
+                                  Rng& rng) {
+  std::vector<float> payload(prototypes.data().begin(),
+                             prototypes.data().end());
+  const TransmitStats s = ch.apply(payload, rng);
+  auto dst = prototypes.data();
+  for (std::size_t i = 0; i < payload.size(); ++i) dst[i] = payload[i];
+  HdUplinkStats out;
+  out.bits_on_air = s.bits_on_air;
+  out.bit_flips = s.bit_flips;
+  out.packets_lost = s.packets_lost;
+  out.packets_total = s.packets_total;
+  return out;
+}
+
+}  // namespace
+
+HdUplinkStats transmit_hd_model(Tensor& prototypes,
+                                const HdUplinkConfig& config, Rng& rng) {
+  FHDNN_CHECK(prototypes.ndim() == 2,
+              "transmit_hd_model expects (K, d), got "
+                  << shape_to_string(prototypes.shape()));
+  switch (config.mode) {
+    case HdUplinkMode::Perfect: {
+      HdUplinkStats s;
+      if (config.binary_transport) {
+        prototypes = hdc::expand(hdc::binarize(prototypes));
+        s.bits_on_air = static_cast<std::size_t>(prototypes.numel());
+      } else {
+        s.bits_on_air = static_cast<std::size_t>(prototypes.numel()) *
+                        (config.use_quantizer
+                             ? static_cast<std::size_t>(config.quantizer_bits)
+                             : 32U);
+      }
+      return s;
+    }
+    case HdUplinkMode::Awgn: {
+      const AwgnChannel ch(config.snr_db);
+      return apply_float_channel(prototypes, ch, rng);
+    }
+    case HdUplinkMode::PacketLoss: {
+      const PacketLossChannel ch(config.loss_rate, config.packet_bits);
+      return apply_float_channel(prototypes, ch, rng);
+    }
+    case HdUplinkMode::BurstLoss: {
+      GilbertElliottChannel::Params p;
+      p.p_good_to_bad = config.burst_p_good_to_bad;
+      p.p_bad_to_good = config.burst_p_bad_to_good;
+      p.loss_bad = config.burst_loss_bad;
+      p.packet_bits = config.packet_bits;
+      const GilbertElliottChannel ch(p);
+      return apply_float_channel(prototypes, ch, rng);
+    }
+    case HdUplinkMode::Rayleigh: {
+      const RayleighFadingChannel ch(config.snr_db, config.fading_block_len);
+      return apply_float_channel(prototypes, ch, rng);
+    }
+    case HdUplinkMode::BitErrors: {
+      if (config.binary_transport) {
+        auto binary = hdc::binarize(prototypes);
+        HdUplinkStats s;
+        s.bits_on_air = binary.payload_bits();
+        s.bit_flips = hdc::flip_binary_model_bits(binary, config.ber, rng);
+        prototypes = hdc::expand(binary);
+        return s;
+      }
+      if (!config.use_quantizer) {
+        // Ablation: raw IEEE-754 transmission, same as the CNN path.
+        const BitErrorChannel ch(config.ber);
+        return apply_float_channel(prototypes, ch, rng);
+      }
+      const hdc::Quantizer quant(config.quantizer_bits);
+      auto rows = quant.quantize_rows(prototypes);
+      HdUplinkStats s;
+      for (auto& row : rows) {
+        s.bits_on_air += row.values.size() *
+                         static_cast<std::size_t>(config.quantizer_bits);
+        s.bit_flips += flip_quantized_bits(row, config.ber, rng);
+      }
+      prototypes = quant.dequantize_rows(rows, prototypes.dim(1));
+      return s;
+    }
+  }
+  throw Error("unreachable HdUplinkMode");
+}
+
+std::string describe(const HdUplinkConfig& config) {
+  std::ostringstream os;
+  switch (config.mode) {
+    case HdUplinkMode::Perfect:
+      os << "perfect";
+      break;
+    case HdUplinkMode::Awgn:
+      os << "awgn snr=" << config.snr_db << "dB";
+      break;
+    case HdUplinkMode::BitErrors:
+      os << "bit-errors pe=" << config.ber;
+      if (config.binary_transport) {
+        os << " (binary sign)";
+      } else {
+        os << " B=" << config.quantizer_bits
+           << (config.use_quantizer ? " (AGC)" : " (raw float)");
+      }
+      break;
+    case HdUplinkMode::PacketLoss:
+      os << "packet-loss p=" << config.loss_rate << " Np=" << config.packet_bits;
+      break;
+    case HdUplinkMode::BurstLoss:
+      os << "burst-loss bad=" << config.burst_loss_bad << " gb="
+         << config.burst_p_good_to_bad << " bg=" << config.burst_p_bad_to_good;
+      break;
+    case HdUplinkMode::Rayleigh:
+      os << "rayleigh avg-snr=" << config.snr_db << "dB block="
+         << config.fading_block_len;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace fhdnn::channel

@@ -1,0 +1,67 @@
+// The HD model's uplink transmission pipeline (paper §3.5.2).
+//
+// CNN updates go through a Channel as raw float32. HD prototype matrices
+// instead take the AGC path for digital channels: each class hypervector is
+// quantized to B-bit integers with its own gain (hdc::Quantizer), bit errors
+// hit the integer representation, and the receiver scales back down. For
+// analog (AWGN) and erasure (packet-loss) channels the corruption applies to
+// the real-valued representation as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "channel/channel.hpp"
+#include "hdc/quantizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fhdnn::channel {
+
+/// How an HD prototype matrix is corrupted on the uplink.
+enum class HdUplinkMode {
+  Perfect,     ///< error-free
+  Awgn,        ///< analog uncoded, Gaussian noise at `snr_db`
+  BitErrors,   ///< BSC at `ber` over B-bit AGC-quantized integers
+  PacketLoss,  ///< packet erasures at `loss_rate`, zero-filled
+  BurstLoss,   ///< Gilbert-Elliott bursty packet erasures (channel/fading.hpp)
+  Rayleigh,    ///< block-Rayleigh fading at average `snr_db`
+};
+
+struct HdUplinkConfig {
+  HdUplinkMode mode = HdUplinkMode::Perfect;
+  double snr_db = 25.0;
+  double ber = 0.0;
+  double loss_rate = 0.0;
+  int quantizer_bits = 16;       ///< B for the AGC path
+  bool use_quantizer = true;     ///< ablation switch: false = raw float bits
+  /// Ship only the sign pattern of the prototypes (1 bit/dimension — 32x
+  /// smaller than float32). Applies to the digital modes (Perfect,
+  /// BitErrors); takes precedence over the AGC quantizer. The receiver sees
+  /// a bipolar model. See hdc/binary_model.hpp.
+  bool binary_transport = false;
+  std::size_t packet_bits = 8192;
+  /// BurstLoss parameters; `loss_bad`/transition rates tune burstiness.
+  double burst_p_good_to_bad = 0.05;
+  double burst_p_bad_to_good = 0.2;
+  double burst_loss_bad = 0.7;
+  /// Rayleigh coherence-block length in scalars.
+  std::size_t fading_block_len = 256;
+};
+
+struct HdUplinkStats {
+  std::size_t bits_on_air = 0;
+  std::size_t bit_flips = 0;
+  std::size_t packets_lost = 0;
+  std::size_t packets_total = 0;
+};
+
+/// Corrupt `prototypes` (K x d) in place according to `config`.
+/// Returns transmission statistics (bits_on_air reflects the B-bit integer
+/// encoding for digital modes with quantization, 32-bit floats otherwise).
+HdUplinkStats transmit_hd_model(Tensor& prototypes, const HdUplinkConfig& config,
+                                Rng& rng);
+
+/// Human-readable description, for experiment logs.
+std::string describe(const HdUplinkConfig& config);
+
+}  // namespace fhdnn::channel

@@ -1,0 +1,34 @@
+#include "channel/lte.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fhdnn::channel {
+
+double LteLinkModel::upload_seconds(std::uint64_t update_bits,
+                                    bool admit_errors) const {
+  const double rate = admit_errors ? uncoded_rate_bps : coded_rate_bps;
+  FHDNN_CHECK(rate > 0.0, "link rate must be positive");
+  FHDNN_CHECK(shared_clients >= 1, "shared_clients must be >= 1");
+  return static_cast<double>(update_bits) * static_cast<double>(shared_clients) /
+         rate;
+}
+
+double LteLinkModel::training_seconds(std::uint64_t update_bits,
+                                      std::uint64_t rounds,
+                                      bool admit_errors) const {
+  return static_cast<double>(rounds) * upload_seconds(update_bits, admit_errors);
+}
+
+double LteLinkModel::shannon_capacity_bps() const {
+  const double snr_linear = std::pow(10.0, snr_db / 10.0);
+  return bandwidth_hz * std::log2(1.0 + snr_linear);
+}
+
+std::uint64_t total_upload_bytes(std::uint64_t update_bytes,
+                                 std::uint64_t rounds) {
+  return update_bytes * rounds;
+}
+
+}  // namespace fhdnn::channel

@@ -1,0 +1,45 @@
+// LTE link-budget model for federated-learning clock time (paper §4.4).
+//
+// The paper assumes FL over LTE: each client occupies one 5 MHz, 10 ms LTE
+// frame in TDD. An error-free (coded) system sustains 1.6 Mbit/s per client;
+// admitting errors (uncoded, as FHDnn can) raises the usable rate to
+// 5.0 Mbit/s. Wall-clock training time is then
+//   time = rounds x (update_bits / rate + server_latency)
+// with the downlink assumed free (server broadcast at arbitrary rate).
+#pragma once
+
+#include <cstdint>
+
+namespace fhdnn::channel {
+
+struct LteLinkModel {
+  double bandwidth_hz = 5e6;       ///< one LTE frame's bandwidth
+  double frame_seconds = 0.01;     ///< LTE frame duration (10 ms)
+  double coded_rate_bps = 1.6e6;   ///< reliable (error-free) link rate
+  double uncoded_rate_bps = 5.0e6; ///< rate when channel errors are admitted
+  double snr_db = 5.0;             ///< assumed uplink SNR
+  /// Clients sharing the medium in TDD; per-client throughput scales 1/N
+  /// (paper §3.5: "the volume of data that can be conveyed reliably ...
+  /// scales by 1/N"). 1 = dedicated link.
+  std::uint64_t shared_clients = 1;
+
+  /// Seconds to push one update of `update_bits` at the given rate,
+  /// including the 1/shared_clients medium share.
+  double upload_seconds(std::uint64_t update_bits, bool admit_errors) const;
+
+  /// Wall-clock seconds for `rounds` rounds of `update_bits` uploads,
+  /// ignoring local compute (communication-bound regime, as in the paper).
+  double training_seconds(std::uint64_t update_bits, std::uint64_t rounds,
+                          bool admit_errors) const;
+
+  /// Shannon capacity (bits/s) of this link at the configured SNR — a
+  /// sanity upper bound the configured rates must respect.
+  double shannon_capacity_bps() const;
+};
+
+/// Bytes transmitted by one client over a whole training run:
+///   rounds x update_bytes   (paper §4.4 data_transmitted formula).
+std::uint64_t total_upload_bytes(std::uint64_t update_bytes,
+                                 std::uint64_t rounds);
+
+}  // namespace fhdnn::channel

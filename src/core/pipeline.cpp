@@ -1,0 +1,128 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "nn/resnet.hpp"
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace fhdnn::core {
+
+namespace {
+
+constexpr std::int64_t kCalibrationImages = 256;
+
+/// First min(n, kCalibrationImages) training images as the standardization
+/// calibration batch (any sample works; this is deterministic).
+Tensor calibration_batch(const data::Dataset& train) {
+  const std::int64_t n = std::min<std::int64_t>(kCalibrationImages,
+                                                train.size());
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  return train.gather(idx).x;
+}
+
+}  // namespace
+
+EncodedFederatedData encode_for_fhdnn(const FhdnnConfig& model_config,
+                                      const data::Dataset& train,
+                                      const data::ClientIndices& parts,
+                                      const data::Dataset& test) {
+  FHDNN_CHECK(train.is_image() && test.is_image(),
+              "FHDnn pipeline expects image datasets");
+  FhdnnModel model(model_config);
+  model.calibrate(calibration_batch(train));
+  log_info() << "fhdnn: encoding " << parts.size() << " client shards (d="
+             << model_config.hd_dim << ")";
+  EncodedFederatedData enc;
+  enc.num_classes = model_config.num_classes;
+  enc.hd_dim = model_config.hd_dim;
+  enc.clients.reserve(parts.size());
+  for (const auto& part : parts) {
+    enc.clients.push_back(model.encode_dataset(train.subset(part)));
+  }
+  enc.test = model.encode_dataset(test);
+  return enc;
+}
+
+fl::TrainingHistory run_fhdnn_on_encoded(const EncodedFederatedData& enc,
+                                         const FederatedParams& params,
+                                         const channel::HdUplinkConfig& uplink) {
+  fl::FedHdConfig cfg;
+  cfg.n_clients = enc.clients.size();
+  cfg.client_fraction = params.client_fraction;
+  cfg.local_epochs = params.local_epochs;
+  cfg.rounds = params.rounds;
+  cfg.num_classes = enc.num_classes;
+  cfg.hd_dim = enc.hd_dim;
+  cfg.eval_every = params.eval_every;
+  cfg.seed = params.seed;
+  cfg.uplink = uplink;
+  fl::FedHdTrainer trainer(enc.clients, enc.test, cfg);
+  return trainer.run();
+}
+
+fl::TrainingHistory run_fhdnn_federated(const FhdnnConfig& model_config,
+                                        const data::Dataset& train,
+                                        const data::ClientIndices& parts,
+                                        const data::Dataset& test,
+                                        const FederatedParams& params,
+                                        const channel::HdUplinkConfig& uplink) {
+  const EncodedFederatedData enc =
+      encode_for_fhdnn(model_config, train, parts, test);
+  return run_fhdnn_on_encoded(enc, params, uplink);
+}
+
+fl::TrainingHistory run_cnn_federated(const CnnParams& cnn,
+                                      const data::Dataset& train,
+                                      const data::ClientIndices& parts,
+                                      const data::Dataset& test,
+                                      const FederatedParams& params,
+                                      const channel::Channel* uplink) {
+  FHDNN_CHECK(train.is_image() && test.is_image(),
+              "CNN pipeline expects image datasets");
+  const std::int64_t in_channels = train.x.dim(1);
+  const std::int64_t hw = train.x.dim(2);
+  const std::int64_t classes = train.num_classes;
+  fl::ModelFactory factory = [=](Rng& rng) -> std::unique_ptr<nn::Module> {
+    if (cnn.arch == CnnArch::Cnn2) {
+      return nn::make_cnn2(in_channels, hw, classes, rng);
+    }
+    return nn::make_mini_resnet(in_channels, classes, cnn.base_width, rng);
+  };
+
+  fl::FedAvgConfig cfg;
+  cfg.n_clients = parts.size();
+  cfg.client_fraction = params.client_fraction;
+  cfg.local_epochs = params.local_epochs;
+  cfg.batch_size = params.batch_size;
+  cfg.rounds = params.rounds;
+  cfg.lr = cnn.lr;
+  cfg.momentum = cnn.momentum;
+  cfg.weight_decay = cnn.weight_decay;
+  cfg.eval_every = params.eval_every;
+  cfg.seed = params.seed;
+
+  fl::FedAvgTrainer trainer(factory, train, parts, test, cfg, uplink);
+  return trainer.run();
+}
+
+std::uint64_t fhdnn_update_bytes(const FhdnnConfig& config) {
+  return static_cast<std::uint64_t>(config.num_classes) *
+         static_cast<std::uint64_t>(config.hd_dim) * sizeof(float);
+}
+
+std::uint64_t cnn_update_bytes(const CnnParams& cnn, const data::Dataset& ds) {
+  Rng rng(0);
+  std::unique_ptr<nn::Module> model;
+  if (cnn.arch == CnnArch::Cnn2) {
+    model = nn::make_cnn2(ds.x.dim(1), ds.x.dim(2), ds.num_classes, rng);
+  } else {
+    model = nn::make_mini_resnet(ds.x.dim(1), ds.num_classes, cnn.base_width,
+                                 rng);
+  }
+  return static_cast<std::uint64_t>(nn::state_size(*model)) * sizeof(float);
+}
+
+}  // namespace fhdnn::core

@@ -1,0 +1,137 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace fhdnn::data {
+
+namespace {
+
+void check_args(const Dataset& ds, std::size_t n_clients) {
+  FHDNN_CHECK(n_clients > 0, "need at least one client");
+  FHDNN_CHECK(static_cast<std::size_t>(ds.size()) >= n_clients,
+              "dataset of " << ds.size() << " cannot feed " << n_clients
+                            << " clients");
+}
+
+}  // namespace
+
+ClientIndices partition_iid(const Dataset& ds, std::size_t n_clients,
+                            Rng& rng) {
+  check_args(ds, n_clients);
+  const auto n = static_cast<std::size_t>(ds.size());
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  ClientIndices parts(n_clients);
+  const std::size_t base = n / n_clients;
+  const std::size_t extra = n % n_clients;
+  std::size_t cursor = 0;
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    const std::size_t take = base + (c < extra ? 1 : 0);
+    parts[c].assign(order.begin() + static_cast<std::ptrdiff_t>(cursor),
+                    order.begin() + static_cast<std::ptrdiff_t>(cursor + take));
+    cursor += take;
+  }
+  return parts;
+}
+
+ClientIndices partition_dirichlet(const Dataset& ds, std::size_t n_clients,
+                                  double alpha, Rng& rng) {
+  check_args(ds, n_clients);
+  FHDNN_CHECK(alpha > 0.0, "dirichlet alpha " << alpha);
+  // Bucket indices by class, shuffled.
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(ds.num_classes));
+  for (std::size_t i = 0; i < ds.labels.size(); ++i) {
+    by_class[static_cast<std::size_t>(ds.labels[i])].push_back(i);
+  }
+  for (auto& bucket : by_class) rng.shuffle(bucket);
+
+  ClientIndices parts(n_clients);
+  for (auto& bucket : by_class) {
+    if (bucket.empty()) continue;
+    const std::vector<double> props = rng.dirichlet(alpha, n_clients);
+    // Convert proportions to cumulative cut points over the bucket.
+    std::size_t start = 0;
+    double cum = 0.0;
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      cum += props[c];
+      const auto end = (c + 1 == n_clients)
+                           ? bucket.size()
+                           : std::min(bucket.size(),
+                                      static_cast<std::size_t>(
+                                          cum * static_cast<double>(bucket.size())));
+      for (std::size_t i = start; i < end; ++i) parts[c].push_back(bucket[i]);
+      start = end;
+    }
+  }
+  // Top up empty clients so everyone can train.
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    if (!parts[c].empty()) continue;
+    // Steal one example from the largest client.
+    std::size_t donor = 0;
+    for (std::size_t d = 1; d < n_clients; ++d) {
+      if (parts[d].size() > parts[donor].size()) donor = d;
+    }
+    FHDNN_CHECK(parts[donor].size() > 1, "cannot top up empty client");
+    parts[c].push_back(parts[donor].back());
+    parts[donor].pop_back();
+  }
+  return parts;
+}
+
+ClientIndices partition_shards(const Dataset& ds, std::size_t n_clients,
+                               std::size_t shards_per_client, Rng& rng) {
+  check_args(ds, n_clients);
+  FHDNN_CHECK(shards_per_client > 0, "shards_per_client must be positive");
+  const auto n = static_cast<std::size_t>(ds.size());
+  const std::size_t n_shards = n_clients * shards_per_client;
+  FHDNN_CHECK(n >= n_shards, "dataset of " << n << " too small for "
+                                           << n_shards << " shards");
+  // Sort indices by label (stable w.r.t. original order).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ds.labels[a] < ds.labels[b];
+                   });
+  // Deal shards randomly to clients.
+  std::vector<std::size_t> shard_ids(n_shards);
+  std::iota(shard_ids.begin(), shard_ids.end(), 0);
+  rng.shuffle(shard_ids);
+  const std::size_t shard_size = n / n_shards;
+  ClientIndices parts(n_clients);
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    for (std::size_t s = 0; s < shards_per_client; ++s) {
+      const std::size_t shard = shard_ids[c * shards_per_client + s];
+      const std::size_t begin = shard * shard_size;
+      const std::size_t end =
+          (shard + 1 == n_shards) ? n : begin + shard_size;
+      for (std::size_t i = begin; i < end; ++i) parts[c].push_back(order[i]);
+    }
+  }
+  return parts;
+}
+
+double label_skew(const Dataset& ds, const ClientIndices& parts) {
+  FHDNN_CHECK(!parts.empty(), "label_skew with no clients");
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const auto& part : parts) {
+    if (part.empty()) continue;
+    std::vector<std::size_t> hist(static_cast<std::size_t>(ds.num_classes), 0);
+    for (const std::size_t i : part) {
+      ++hist[static_cast<std::size_t>(ds.labels[i])];
+    }
+    const std::size_t mx = *std::max_element(hist.begin(), hist.end());
+    total += static_cast<double>(mx) / static_cast<double>(part.size());
+    ++counted;
+  }
+  FHDNN_CHECK(counted > 0, "label_skew: all clients empty");
+  return total / static_cast<double>(counted);
+}
+
+}  // namespace fhdnn::data

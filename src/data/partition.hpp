@@ -1,0 +1,40 @@
+// Federated data partitioners.
+//
+// Produce per-client index lists over a central dataset. Three schemes:
+//   * IID — global shuffle, equal contiguous chunks;
+//   * Dirichlet non-IID — per-class proportions drawn from Dir(alpha); small
+//     alpha = heavy label skew (alpha -> inf recovers IID);
+//   * Shard non-IID — sort by label, split into shards, deal a fixed number
+//     of shards per client (the McMahan et al. pathological non-IID split).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace fhdnn::data {
+
+using ClientIndices = std::vector<std::vector<std::size_t>>;
+
+/// Equal-size IID partition. Leftover examples (n % clients) go to the first
+/// clients; every client receives at least one example.
+ClientIndices partition_iid(const Dataset& ds, std::size_t n_clients, Rng& rng);
+
+/// Label-skewed partition: for each class, client shares are drawn from
+/// Dirichlet(alpha). Clients left empty are topped up with one random
+/// example so every client can train.
+ClientIndices partition_dirichlet(const Dataset& ds, std::size_t n_clients,
+                                  double alpha, Rng& rng);
+
+/// Shard-based pathological non-IID split: each client sees
+/// `shards_per_client` label-sorted shards (typically 2 labels per client).
+ClientIndices partition_shards(const Dataset& ds, std::size_t n_clients,
+                               std::size_t shards_per_client, Rng& rng);
+
+/// Diagnostics: average over clients of the fraction of the client's data in
+/// its single most frequent class. 1/num_classes for perfectly uniform data,
+/// 1.0 for single-class clients.
+double label_skew(const Dataset& ds, const ClientIndices& parts);
+
+}  // namespace fhdnn::data

@@ -1,0 +1,76 @@
+// Frozen feature extractor — the pre-trained SimCLR stand-in (DESIGN.md §3).
+//
+// The paper uses a SimCLR-pretrained ResNet whose weights are (a) fixed,
+// (b) identical on every client, and (c) never transmitted. What FHDnn
+// needs from it is a deterministic, shared, class-informative map from
+// images to feature vectors. We realize that with a frozen random
+// convolutional network (random-features construction):
+//
+//   conv3x3 s2 -> ReLU -> conv3x3 s2 -> ReLU -> conv3x3 s2 -> ReLU
+//   -> flatten -> frozen random linear projection -> tanh
+//   -> (optional) standardization
+//
+// The flattened final conv map keeps spatial structure (a global pool
+// destroys the class-discriminative layout), mirroring how SimCLR features
+// are taken from the full penultimate representation.
+//
+// All weights derive from a single seed, so any two parties constructing an
+// extractor with the same config hold bit-identical weights — mirroring how
+// FHDnn clients all ship with the same pretrained CNN. `fit_standardization`
+// plays the role of the pretraining statistics: it is fit once (on any
+// calibration sample) and then frozen.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fhdnn::features {
+
+class FrozenFeatureExtractor {
+ public:
+  struct Config {
+    std::int64_t in_channels = 1;
+    std::int64_t image_hw = 28;
+    std::int64_t conv_width = 16;   ///< first conv's channels (doubles twice)
+    std::int64_t output_dim = 512;  ///< feature dimension n fed to the HD encoder
+    std::uint64_t seed = 0x51AC1ULL; ///< shared "pretraining" seed
+  };
+
+  explicit FrozenFeatureExtractor(Config config);
+
+  /// (N, C, H, W) -> (N, output_dim). Runs in inference mode; never updates
+  /// any state. Batches internally to bound peak memory.
+  Tensor extract(const Tensor& images) const;
+
+  /// Fit the output standardization (per-dimension mean/scale) on a
+  /// calibration batch, then freeze it. May be called at most once.
+  void fit_standardization(const Tensor& calibration_images);
+  bool standardized() const { return standardized_; }
+
+  std::int64_t output_dim() const { return config_.output_dim; }
+  const Config& config() const { return config_; }
+
+  /// Multiply-accumulate count for one image through the extractor
+  /// (used by the perf model for Table 1).
+  std::uint64_t macs_per_image() const;
+
+ private:
+  Tensor forward_raw(const Tensor& images) const;
+
+  Config config_;
+  // Mutable because nn::Module::forward caches activations; logically const
+  // for a frozen extractor.
+  mutable std::unique_ptr<nn::Sequential> trunk_;
+  Tensor expansion_;  // (output_dim, trunk_out_dim) frozen random matrix
+  Tensor expansion_bias_;  // (output_dim)
+  Tensor mean_;   // (output_dim) standardization mean
+  Tensor scale_;  // (output_dim) standardization 1/std
+  bool standardized_ = false;
+  std::int64_t trunk_channels_ = 0;
+  std::int64_t trunk_out_dim_ = 0;  // channels * spatial after flatten
+};
+
+}  // namespace fhdnn::features

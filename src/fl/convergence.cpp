@@ -1,0 +1,78 @@
+#include "fl/convergence.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fhdnn::fl {
+
+PowerLawFit fit_power_law(std::span<const double> values) {
+  // Least squares on log(y_t) = log C - p * log t.
+  std::vector<double> xs, ys;
+  for (std::size_t t = 0; t < values.size(); ++t) {
+    if (values[t] <= 0.0) continue;
+    xs.push_back(std::log(static_cast<double>(t + 1)));
+    ys.push_back(std::log(values[t]));
+  }
+  FHDNN_CHECK(xs.size() >= 3, "power-law fit needs >= 3 positive points, got "
+                                  << xs.size());
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  FHDNN_CHECK(denom > 0.0, "power-law fit with degenerate abscissa");
+  const double slope = (n * sxy - sx * sy) / denom;
+  PowerLawFit fit;
+  fit.exponent = -slope;
+  fit.log_c = (sy - slope * sx) / n;
+  fit.points = xs.size();
+  const double sst = syy - sy * sy / n;
+  if (sst > 0.0) {
+    double ssr = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double pred = fit.log_c + slope * xs[i];
+      ssr += (ys[i] - pred) * (ys[i] - pred);
+    }
+    fit.r_squared = 1.0 - ssr / sst;
+  } else {
+    fit.r_squared = 1.0;  // constant series: perfect (degenerate) fit
+  }
+  return fit;
+}
+
+void ModelTrajectory::record(const Tensor& model) {
+  snapshots_.push_back(model);
+}
+
+std::vector<double> ModelTrajectory::distances_to_final() const {
+  FHDNN_CHECK(snapshots_.size() >= 2, "trajectory needs >= 2 snapshots");
+  const Tensor& final_model = snapshots_.back();
+  std::vector<double> out;
+  out.reserve(snapshots_.size() - 1);
+  for (std::size_t t = 0; t + 1 < snapshots_.size(); ++t) {
+    FHDNN_CHECK(snapshots_[t].same_shape(final_model),
+                "trajectory snapshot shape changed");
+    double d2 = 0.0;
+    const auto a = snapshots_[t].data();
+    const auto b = final_model.data();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      d2 += d * d;
+    }
+    out.push_back(std::sqrt(d2));
+  }
+  return out;
+}
+
+PowerLawFit ModelTrajectory::fit() const {
+  const auto d = distances_to_final();
+  return fit_power_law(d);
+}
+
+}  // namespace fhdnn::fl

@@ -1,0 +1,50 @@
+// Convergence diagnostics for the paper's §3.6 claim.
+//
+// The paper argues FHDnn's federated objective is L-smooth and strongly
+// convex, so training converges to the optimum at rate O(1/T), unlike the
+// non-convex CNN. These helpers quantify that empirically: record a decay
+// series (training error rate, or distance of the per-round global model to
+// the final model) and fit a power law  y_t ~ C / t^p  by least squares in
+// log-log space. p >= ~1 is consistent with the O(1/T) claim; the CNN
+// baseline typically fits a smaller, noisier exponent.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fhdnn::fl {
+
+struct PowerLawFit {
+  double exponent = 0.0;   ///< p in y ~ C / t^p (positive = decaying)
+  double log_c = 0.0;      ///< log C
+  double r_squared = 0.0;  ///< goodness of the log-log linear fit
+  std::size_t points = 0;  ///< samples used (zeros are skipped)
+};
+
+/// Fit y_t ~ C / t^p over t = 1..n (values[t-1] = y_t). Non-positive values
+/// are skipped (log undefined); requires at least 3 usable points.
+PowerLawFit fit_power_law(std::span<const double> values);
+
+/// Records model snapshots along a training run and measures each round's
+/// distance to the final model — the standard convergence trajectory.
+class ModelTrajectory {
+ public:
+  /// Append the global model after a round.
+  void record(const Tensor& model);
+
+  std::size_t size() const { return snapshots_.size(); }
+
+  /// ||model_t - model_final||_2 for t = 1..n-1 (excludes the final point,
+  /// whose distance is trivially 0). Requires >= 2 snapshots.
+  std::vector<double> distances_to_final() const;
+
+  /// Power-law fit of the distance decay.
+  PowerLawFit fit() const;
+
+ private:
+  std::vector<Tensor> snapshots_;
+};
+
+}  // namespace fhdnn::fl

@@ -1,0 +1,192 @@
+#include "fl/fedavg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace fhdnn::fl {
+
+namespace {
+
+constexpr std::int64_t kEvalBatch = 128;
+
+}  // namespace
+
+FedAvgTrainer::FedAvgTrainer(ModelFactory factory, const data::Dataset& train,
+                             data::ClientIndices parts,
+                             const data::Dataset& test, FedAvgConfig config,
+                             const channel::Channel* uplink)
+    : factory_(std::move(factory)),
+      train_(train),
+      parts_(std::move(parts)),
+      test_(test),
+      config_(config),
+      uplink_(uplink),
+      root_rng_(config.seed),
+      sampler_(config.n_clients, config.client_fraction),
+      test_batch_(test.all()) {
+  FHDNN_CHECK(parts_.size() == config_.n_clients,
+              "partition has " << parts_.size() << " clients, config says "
+                               << config_.n_clients);
+  FHDNN_CHECK(config_.rounds > 0 && config_.local_epochs > 0,
+              "FedAvg config rounds/epochs");
+  FHDNN_CHECK(config_.update_fraction > 0.0 && config_.update_fraction <= 1.0,
+              "update_fraction " << config_.update_fraction);
+  FHDNN_CHECK(config_.dropout_prob >= 0.0 && config_.dropout_prob < 1.0,
+              "dropout_prob " << config_.dropout_prob);
+  Rng init_rng = root_rng_.fork("init");
+  global_ = factory_(init_rng);
+  Rng worker_rng = root_rng_.fork("worker-init");
+  worker_ = factory_(worker_rng);
+  state_scalars_ = nn::state_size(*global_);
+  FHDNN_CHECK(nn::state_size(*worker_) == state_scalars_,
+              "factory produced mismatched architectures");
+}
+
+double FedAvgTrainer::evaluate() {
+  global_->set_training(false);
+  const std::int64_t n = test_batch_.x.dim(0);
+  const std::int64_t per = test_batch_.x.numel() / n;
+  std::size_t correct = 0;
+  for (std::int64_t begin = 0; begin < n; begin += kEvalBatch) {
+    const std::int64_t len = std::min(kEvalBatch, n - begin);
+    Shape shape = test_batch_.x.shape();
+    shape[0] = len;
+    Tensor xb(shape);
+    std::copy_n(
+        test_batch_.x.data().begin() + static_cast<std::ptrdiff_t>(begin * per),
+        len * per, xb.data().begin());
+    const Tensor logits = global_->forward(xb);
+    std::vector<std::int64_t> labels(
+        test_batch_.labels.begin() + static_cast<std::ptrdiff_t>(begin),
+        test_batch_.labels.begin() + static_cast<std::ptrdiff_t>(begin + len));
+    correct += static_cast<std::size_t>(
+        std::llround(nn::accuracy(logits, labels) * static_cast<double>(len)));
+  }
+  global_->set_training(true);
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+std::pair<std::vector<float>, double> FedAvgTrainer::local_update(
+    std::size_t client, Rng& rng) {
+  nn::copy_state(*global_, *worker_);
+  worker_->set_training(true);
+  nn::Sgd opt(*worker_, {config_.lr, config_.momentum, config_.weight_decay});
+  nn::CrossEntropyLoss loss_fn;
+  const auto& indices = parts_[client];
+  FHDNN_CHECK(!indices.empty(), "client " << client << " has no data");
+  double total_loss = 0.0;
+  std::size_t batches = 0;
+  for (int e = 0; e < config_.local_epochs; ++e) {
+    data::BatchIterator it(indices.size(), config_.batch_size, rng);
+    while (!it.done()) {
+      const auto local_idx = it.next();
+      std::vector<std::size_t> batch_idx;
+      batch_idx.reserve(local_idx.size());
+      for (const std::size_t i : local_idx) batch_idx.push_back(indices[i]);
+      const auto batch = train_.gather(batch_idx);
+      opt.zero_grad();
+      const Tensor logits = worker_->forward(batch.x);
+      total_loss += loss_fn.forward(logits, batch.labels);
+      worker_->backward(loss_fn.backward());
+      opt.step();
+      ++batches;
+    }
+  }
+  return {nn::get_state(*worker_),
+          batches ? total_loss / static_cast<double>(batches) : 0.0};
+}
+
+RoundMetrics FedAvgTrainer::round(int round_index) {
+  Rng round_rng = root_rng_.fork("round-" + std::to_string(round_index));
+  Rng sample_rng = round_rng.fork("sample");
+  const auto participants = sampler_.sample(sample_rng);
+
+  RoundMetrics metrics;
+  metrics.round = round_index;
+  metrics.clients = participants.size();
+
+  // Snapshot of the broadcast model; update-subsampling falls back to it.
+  const std::vector<float> broadcast_state =
+      config_.update_fraction < 1.0 ? nn::get_state(*global_)
+                                    : std::vector<float>{};
+
+  std::vector<float> aggregate(static_cast<std::size_t>(state_scalars_), 0.0F);
+  double weight_total = 0.0;
+  double loss_total = 0.0;
+  std::size_t delivered = 0;
+  Rng dropout_rng = round_rng.fork("dropout");
+  for (const std::size_t client : participants) {
+    if (config_.dropout_prob > 0.0 &&
+        dropout_rng.bernoulli(config_.dropout_prob)) {
+      continue;  // client trained but never delivered; nothing reaches the server
+    }
+    ++delivered;
+    Rng client_rng = round_rng.fork("client-" + std::to_string(client));
+    auto [state, loss] = local_update(client, client_rng);
+    loss_total += loss;
+    // Update-subsampling compression: untransmitted scalars fall back to
+    // the broadcast global value at the server.
+    if (config_.update_fraction < 1.0) {
+      Rng mask_rng = client_rng.fork("mask");
+      for (std::size_t i = 0; i < state.size(); ++i) {
+        if (!mask_rng.bernoulli(config_.update_fraction)) {
+          state[i] = broadcast_state[i];
+        }
+      }
+      metrics.bytes_uplink += static_cast<std::uint64_t>(
+          config_.update_fraction * static_cast<double>(state.size()) *
+          sizeof(float));
+    } else {
+      metrics.bytes_uplink += state.size() * sizeof(float);
+    }
+    if (uplink_ != nullptr) {
+      Rng chan_rng = client_rng.fork("channel");
+      const auto stats = uplink_->apply(state, chan_rng);
+      metrics.bits_on_air += stats.bits_on_air;
+      metrics.bit_flips += stats.bit_flips;
+      metrics.packets_lost += stats.packets_lost;
+    } else {
+      metrics.bits_on_air += state.size() * 32;
+    }
+    const double w = static_cast<double>(parts_[client].size());
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      aggregate[i] += static_cast<float>(w) * state[i];
+    }
+    weight_total += w;
+  }
+  if (delivered > 0) {
+    FHDNN_CHECK(weight_total > 0.0, "no data among participants");
+    const float inv = static_cast<float>(1.0 / weight_total);
+    for (auto& v : aggregate) v *= inv;
+    nn::set_state(*global_, aggregate);
+  }
+  metrics.clients = delivered;
+
+  metrics.train_loss =
+      delivered ? loss_total / static_cast<double>(delivered) : 0.0;
+  if (round_index % std::max(1, config_.eval_every) == 0 ||
+      round_index == config_.rounds) {
+    metrics.test_accuracy = evaluate();
+  } else {
+    metrics.test_accuracy =
+        history_.empty() ? 0.0 : history_.rounds().back().test_accuracy;
+  }
+  return metrics;
+}
+
+TrainingHistory FedAvgTrainer::run() {
+  for (int r = 1; r <= config_.rounds; ++r) {
+    const RoundMetrics m = round(r);
+    history_.add(m);
+    log_debug() << "fedavg round " << r << " acc=" << m.test_accuracy
+                << " loss=" << m.train_loss;
+  }
+  return history_;
+}
+
+}  // namespace fhdnn::fl

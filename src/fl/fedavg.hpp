@@ -1,0 +1,91 @@
+// Federated Averaging over CNN models (McMahan et al.) — the paper's
+// baseline. Supports an unreliable uplink: each participating client's
+// serialized model state is pushed through a channel::Channel before the
+// server averages, exactly the corruption model of paper §3.5.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "channel/channel.hpp"
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "fl/history.hpp"
+#include "fl/sampler.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fhdnn::fl {
+
+/// Builds a fresh instance of the model architecture. All instances must
+/// have identical state layouts; the Rng seeds the initial weights.
+using ModelFactory = std::function<std::unique_ptr<nn::Module>(Rng&)>;
+
+struct FedAvgConfig {
+  std::size_t n_clients = 10;
+  double client_fraction = 0.2;  ///< C
+  int local_epochs = 2;          ///< E
+  std::size_t batch_size = 10;   ///< B
+  int rounds = 20;
+  float lr = 0.05F;
+  float momentum = 0.9F;
+  float weight_decay = 0.0F;
+  int eval_every = 1;            ///< evaluate test accuracy every k rounds
+  /// Probability that a sampled participant fails to deliver its update
+  /// (straggler / power loss / link outage). A round where every
+  /// participant drops leaves the global model unchanged.
+  double dropout_prob = 0.0;
+  /// Update-subsampling compression (the federated-dropout family of
+  /// baselines the paper cites, refs [4][5]): each client transmits only
+  /// this fraction of its state scalars (random mask, fresh per client per
+  /// round); the server keeps the previous global value for the rest.
+  /// 1.0 = full updates. Uplink byte accounting scales accordingly.
+  double update_fraction = 1.0;
+  std::uint64_t seed = 1;
+};
+
+class FedAvgTrainer {
+ public:
+  /// `parts` assigns training examples to clients (see data/partition.hpp);
+  /// `uplink` may be null for a perfect channel. The channel and datasets
+  /// must outlive the trainer.
+  FedAvgTrainer(ModelFactory factory, const data::Dataset& train,
+                data::ClientIndices parts, const data::Dataset& test,
+                FedAvgConfig config, const channel::Channel* uplink = nullptr);
+
+  /// Run all configured rounds; returns the per-round history.
+  TrainingHistory run();
+
+  /// Execute a single round (exposed for tests and custom loops).
+  RoundMetrics round(int round_index);
+
+  /// Accuracy of the current global model on the test set.
+  double evaluate();
+
+  nn::Module& global_model() { return *global_; }
+  const TrainingHistory& history() const { return history_; }
+  std::int64_t update_scalars() const { return state_scalars_; }
+
+ private:
+  /// Train `client` locally from the current global state; returns its
+  /// post-training state and mean loss.
+  std::pair<std::vector<float>, double> local_update(std::size_t client,
+                                                     Rng& rng);
+
+  ModelFactory factory_;
+  const data::Dataset& train_;
+  data::ClientIndices parts_;
+  const data::Dataset& test_;
+  FedAvgConfig config_;
+  const channel::Channel* uplink_;
+
+  Rng root_rng_;
+  std::unique_ptr<nn::Module> global_;
+  std::unique_ptr<nn::Module> worker_;  ///< reused local-training instance
+  std::int64_t state_scalars_ = 0;
+  ClientSampler sampler_;
+  TrainingHistory history_;
+  data::Dataset::Batch test_batch_;
+};
+
+}  // namespace fhdnn::fl

@@ -1,0 +1,148 @@
+#include "fl/fedhd.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace fhdnn::fl {
+
+FedHdTrainer::FedHdTrainer(std::vector<HdClientData> clients, HdClientData test,
+                           FedHdConfig config)
+    : clients_(std::move(clients)),
+      test_(std::move(test)),
+      config_(config),
+      root_rng_(config.seed),
+      sampler_(config.n_clients, config.client_fraction),
+      global_(config.num_classes, config.hd_dim) {
+  FHDNN_CHECK(clients_.size() == config_.n_clients,
+              "have " << clients_.size() << " clients, config says "
+                      << config_.n_clients);
+  FHDNN_CHECK(config_.rounds > 0 && config_.local_epochs > 0,
+              "FedHd config rounds/epochs");
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const auto& c = clients_[i];
+    FHDNN_CHECK(c.h.ndim() == 2 && c.h.dim(1) == config_.hd_dim,
+                "client " << i << " hypervectors "
+                          << shape_to_string(c.h.shape()));
+    FHDNN_CHECK(c.h.dim(0) == static_cast<std::int64_t>(c.labels.size()) &&
+                    !c.labels.empty(),
+                "client " << i << " label count");
+  }
+  FHDNN_CHECK(test_.h.ndim() == 2 && test_.h.dim(1) == config_.hd_dim &&
+                  !test_.labels.empty(),
+              "test set shape");
+}
+
+double FedHdTrainer::evaluate() const {
+  return global_.accuracy(test_.h, test_.labels);
+}
+
+std::uint64_t FedHdTrainer::update_bytes() const {
+  const auto scalars = static_cast<std::uint64_t>(config_.num_classes) *
+                       static_cast<std::uint64_t>(config_.hd_dim);
+  // Binary transport ships 1 bit/scalar, AGC-quantized models B bits,
+  // analog/float paths 32.
+  const bool digital =
+      config_.uplink.mode == channel::HdUplinkMode::BitErrors ||
+      config_.uplink.mode == channel::HdUplinkMode::Perfect;
+  std::uint64_t bits = 32;
+  if (digital && config_.uplink.binary_transport) {
+    bits = 1;
+  } else if (digital && config_.uplink.use_quantizer) {
+    bits = static_cast<std::uint64_t>(config_.uplink.quantizer_bits);
+  }
+  return (scalars * bits + 7) / 8;
+}
+
+RoundMetrics FedHdTrainer::round(int round_index) {
+  Rng round_rng = root_rng_.fork("round-" + std::to_string(round_index));
+  Rng sample_rng = round_rng.fork("sample");
+  const auto participants = sampler_.sample(sample_rng);
+
+  RoundMetrics metrics;
+  metrics.round = round_index;
+  metrics.clients = participants.size();
+
+  const bool global_empty = global_.prototypes().l2_norm() == 0.0;
+
+  // Broadcast: clients start from the (possibly corrupted) downlink copy.
+  Tensor broadcast = global_.prototypes();
+  if (config_.downlink.mode != channel::HdUplinkMode::Perfect &&
+      !global_empty) {
+    Rng down_rng = round_rng.fork("downlink");
+    (void)channel::transmit_hd_model(broadcast, config_.downlink, down_rng);
+  }
+
+  Tensor aggregate(Shape{config_.num_classes, config_.hd_dim});
+  double error_total = 0.0;
+  std::size_t delivered = 0;
+  Rng dropout_rng = round_rng.fork("dropout");
+
+  for (const std::size_t client : participants) {
+    if (config_.dropout_prob > 0.0 &&
+        dropout_rng.bernoulli(config_.dropout_prob)) {
+      continue;  // update never reaches the server
+    }
+    ++delivered;
+    const auto& cdata = clients_[client];
+    hdc::HdClassifier local(config_.num_classes, config_.hd_dim);
+    local.set_prototypes(broadcast);
+    if (global_empty) {
+      local.bundle(cdata.h, cdata.labels);  // one-shot learning (§3.4.1)
+    }
+    std::int64_t updates = 0;
+    for (int e = 0; e < config_.local_epochs; ++e) {
+      updates = config_.adaptive_refine
+                    ? local.refine_epoch_adaptive(cdata.h, cdata.labels,
+                                                  config_.refine_lr)
+                    : local.refine_epoch(cdata.h, cdata.labels,
+                                         config_.refine_lr);
+    }
+    error_total += static_cast<double>(updates) /
+                   static_cast<double>(cdata.labels.size());
+
+    // Uplink: possibly corrupt the local prototypes.
+    Tensor transmitted = local.prototypes();
+    Rng chan_rng = round_rng.fork("channel-" + std::to_string(client));
+    const auto stats =
+        channel::transmit_hd_model(transmitted, config_.uplink, chan_rng);
+    metrics.bits_on_air += stats.bits_on_air;
+    metrics.bit_flips += stats.bit_flips;
+    metrics.packets_lost += stats.packets_lost;
+    metrics.bytes_uplink += update_bytes();
+
+    aggregate.axpy(1.0F, transmitted);
+  }
+
+  metrics.clients = delivered;
+  if (delivered > 0) {
+    if (config_.average_aggregation) {
+      aggregate.scale(1.0F / static_cast<float>(delivered));
+    }
+    global_.set_prototypes(std::move(aggregate));
+  }
+
+  metrics.train_loss =
+      delivered ? error_total / static_cast<double>(delivered) : 0.0;
+  if (round_index % std::max(1, config_.eval_every) == 0 ||
+      round_index == config_.rounds) {
+    metrics.test_accuracy = evaluate();
+  } else {
+    metrics.test_accuracy =
+        history_.empty() ? 0.0 : history_.rounds().back().test_accuracy;
+  }
+  return metrics;
+}
+
+TrainingHistory FedHdTrainer::run() {
+  for (int r = 1; r <= config_.rounds; ++r) {
+    const RoundMetrics m = round(r);
+    history_.add(m);
+    log_debug() << "fedhd round " << r << " acc=" << m.test_accuracy
+                << " local_err=" << m.train_loss;
+  }
+  return history_;
+}
+
+}  // namespace fhdnn::fl

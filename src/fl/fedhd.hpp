@@ -1,0 +1,91 @@
+// Federated bundling of HD models (paper §3.4.2).
+//
+// Each client holds hypervector-encoded local data (the frozen feature
+// extractor + random-projection encoder run once, upstream of this class).
+// One round:
+//   1. broadcast the global prototype matrix C_t (assumed error-free);
+//   2. each participant sets its local model to C_t and trains E epochs of
+//      HD refinement (plus the one-shot bundle on the very first contact,
+//      when the global model is still empty);
+//   3. each participant uploads its prototypes through the configured
+//      unreliable uplink (channel/hd_uplink.hpp);
+//   4. the server aggregates the local models (Eq. 1). The paper writes the
+//      aggregate as a plain sum; we divide by the participant count by
+//      default (average_aggregation = true) because repeated summing grows
+//      the prototype norm geometrically across rounds (overflowing float32
+//      in long runs) while changing nothing else: cosine inference is
+//      scale-invariant and the Eq. 4 SNR bundling gain is a ratio, identical
+//      under sum and mean. Set average_aggregation = false for the literal
+//      Eq. 1 behaviour in short runs.
+#pragma once
+
+#include <vector>
+
+#include "channel/hd_uplink.hpp"
+#include "fl/history.hpp"
+#include "fl/sampler.hpp"
+#include "hdc/classifier.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fhdnn::fl {
+
+/// One client's (or the test set's) encoded data.
+struct HdClientData {
+  Tensor h;                          ///< (N, d) hypervectors
+  std::vector<std::int64_t> labels;  ///< N labels
+};
+
+struct FedHdConfig {
+  std::size_t n_clients = 10;
+  double client_fraction = 0.2;  ///< C
+  int local_epochs = 2;          ///< E
+  int rounds = 20;
+  std::int64_t num_classes = 10;
+  std::int64_t hd_dim = 10'000;
+  bool average_aggregation = true;
+  /// Use margin-scaled adaptive refinement (HdClassifier::
+  /// refine_epoch_adaptive) instead of the paper's fixed-step rule.
+  bool adaptive_refine = false;
+  float refine_lr = 1.0F;
+  int eval_every = 1;
+  /// Probability that a sampled participant fails to deliver its update
+  /// (straggler / power loss / link outage).
+  double dropout_prob = 0.0;
+  std::uint64_t seed = 1;
+  channel::HdUplinkConfig uplink;  ///< defaults to a perfect channel
+  /// Downlink (server -> clients) corruption. The paper assumes the
+  /// broadcast is reliable ("error-free at arbitrary rates", §3.5); this
+  /// knob drops that assumption: each round the broadcast copy every
+  /// participant starts from is pushed through this channel once.
+  channel::HdUplinkConfig downlink;  ///< defaults to a perfect channel
+};
+
+class FedHdTrainer {
+ public:
+  FedHdTrainer(std::vector<HdClientData> clients, HdClientData test,
+               FedHdConfig config);
+
+  TrainingHistory run();
+  RoundMetrics round(int round_index);
+  double evaluate() const;
+
+  const hdc::HdClassifier& global() const { return global_; }
+  hdc::HdClassifier& global() { return global_; }
+  const TrainingHistory& history() const { return history_; }
+
+  /// Uplink payload size per client per round, bytes (quantized size when
+  /// the AGC path is active).
+  std::uint64_t update_bytes() const;
+
+ private:
+  std::vector<HdClientData> clients_;
+  HdClientData test_;
+  FedHdConfig config_;
+  Rng root_rng_;
+  ClientSampler sampler_;
+  hdc::HdClassifier global_;
+  TrainingHistory history_;
+};
+
+}  // namespace fhdnn::fl

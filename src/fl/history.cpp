@@ -1,0 +1,31 @@
+#include "fl/history.hpp"
+
+#include <algorithm>
+
+namespace fhdnn::fl {
+
+double TrainingHistory::final_accuracy() const {
+  return rounds_.empty() ? 0.0 : rounds_.back().test_accuracy;
+}
+
+double TrainingHistory::best_accuracy() const {
+  double best = 0.0;
+  for (const auto& m : rounds_) best = std::max(best, m.test_accuracy);
+  return best;
+}
+
+std::optional<std::int64_t> TrainingHistory::rounds_to_accuracy(
+    double target) const {
+  for (const auto& m : rounds_) {
+    if (m.test_accuracy >= target) return m.round;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t TrainingHistory::total_uplink_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds_) total += m.bytes_uplink;
+  return total;
+}
+
+}  // namespace fhdnn::fl

@@ -1,0 +1,44 @@
+// Per-round metrics of a federated training run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fhdnn::fl {
+
+struct RoundMetrics {
+  std::int64_t round = 0;           ///< 1-based round index
+  double test_accuracy = 0.0;       ///< global model on the held-out set
+  double train_loss = 0.0;          ///< mean local loss (CNN) or error rate (HD)
+  std::size_t clients = 0;          ///< participants this round
+  std::uint64_t bytes_uplink = 0;   ///< total client->server payload bytes
+  std::uint64_t bits_on_air = 0;    ///< channel-level bits transmitted
+  std::uint64_t bit_flips = 0;      ///< corruption events (BSC)
+  std::uint64_t packets_lost = 0;   ///< corruption events (packet channel)
+};
+
+class TrainingHistory {
+ public:
+  void add(RoundMetrics m) { rounds_.push_back(m); }
+  const std::vector<RoundMetrics>& rounds() const { return rounds_; }
+  bool empty() const { return rounds_.empty(); }
+  std::size_t size() const { return rounds_.size(); }
+
+  /// Final-round accuracy (0 if no rounds ran).
+  double final_accuracy() const;
+
+  /// Best accuracy seen over all rounds.
+  double best_accuracy() const;
+
+  /// First (1-based) round whose accuracy reached `target`, if any.
+  std::optional<std::int64_t> rounds_to_accuracy(double target) const;
+
+  /// Total uplink traffic across all rounds, bytes.
+  std::uint64_t total_uplink_bytes() const;
+
+ private:
+  std::vector<RoundMetrics> rounds_;
+};
+
+}  // namespace fhdnn::fl

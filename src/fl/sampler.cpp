@@ -1,0 +1,26 @@
+#include "fl/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fhdnn::fl {
+
+ClientSampler::ClientSampler(std::size_t n_clients, double fraction)
+    : n_clients_(n_clients) {
+  FHDNN_CHECK(n_clients > 0, "sampler needs clients");
+  FHDNN_CHECK(fraction > 0.0 && fraction <= 1.0, "client fraction " << fraction);
+  per_round_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(fraction * static_cast<double>(n_clients))));
+  per_round_ = std::min(per_round_, n_clients_);
+}
+
+std::vector<std::size_t> ClientSampler::sample(Rng& rng) const {
+  auto picks = rng.sample_without_replacement(n_clients_, per_round_);
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
+}  // namespace fhdnn::fl

@@ -1,0 +1,28 @@
+// Client participation sampling (the C hyperparameter).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fhdnn::fl {
+
+/// Samples max(1, round(C * N)) distinct clients uniformly each round.
+class ClientSampler {
+ public:
+  ClientSampler(std::size_t n_clients, double fraction);
+
+  std::size_t clients_per_round() const { return per_round_; }
+  std::size_t n_clients() const { return n_clients_; }
+
+  /// Indices of this round's participants (sorted for determinism of the
+  /// aggregation order).
+  std::vector<std::size_t> sample(Rng& rng) const;
+
+ private:
+  std::size_t n_clients_;
+  std::size_t per_round_;
+};
+
+}  // namespace fhdnn::fl

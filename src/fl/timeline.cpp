@@ -1,0 +1,67 @@
+#include "fl/timeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fhdnn::fl {
+
+FlTimeline::FlTimeline(TimelineConfig config) : config_(config) {
+  FHDNN_CHECK(config_.update_bits > 0, "timeline needs update_bits");
+  FHDNN_CHECK(config_.compute_jitter >= 0.0 && config_.compute_jitter < 1.0,
+              "compute_jitter " << config_.compute_jitter);
+}
+
+std::vector<RoundTime> FlTimeline::simulate(int rounds,
+                                            std::size_t participants,
+                                            Rng& rng) const {
+  FHDNN_CHECK(rounds > 0 && participants > 0, "timeline rounds/participants");
+  const perf::CostEstimate base =
+      config_.fhdnn ? perf::fhdnn_local_training(config_.device,
+                                                 config_.workload)
+                    : perf::cnn_local_training(config_.device,
+                                               config_.workload);
+  const double upload =
+      config_.link.upload_seconds(config_.update_bits, config_.fhdnn);
+  std::vector<RoundTime> out;
+  out.reserve(static_cast<std::size_t>(rounds));
+  for (int r = 0; r < rounds; ++r) {
+    double worst_compute = 0.0;
+    for (std::size_t p = 0; p < participants; ++p) {
+      const double jitter =
+          1.0 + rng.uniform(-config_.compute_jitter, config_.compute_jitter);
+      worst_compute = std::max(worst_compute, base.seconds * jitter);
+    }
+    RoundTime rt;
+    rt.compute_seconds = worst_compute;
+    // Participants share the medium (already folded into the link model via
+    // shared_clients); uploads are serialized within the frame structure,
+    // so the round's upload phase lasts one shared-medium transfer.
+    rt.upload_seconds = upload;
+    rt.total_seconds = rt.compute_seconds + rt.upload_seconds;
+    out.push_back(rt);
+  }
+  return out;
+}
+
+double FlTimeline::campaign_seconds(const std::vector<RoundTime>& rounds) {
+  double s = 0.0;
+  for (const auto& r : rounds) s += r.total_seconds;
+  return s;
+}
+
+double FlTimeline::seconds_to_accuracy(
+    const TrainingHistory& history, double target,
+    const std::vector<RoundTime>& rounds) const {
+  FHDNN_CHECK(rounds.size() >= history.size(),
+              "timeline shorter than history (" << rounds.size() << " < "
+                                                << history.size() << ")");
+  double elapsed = 0.0;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    elapsed += rounds[i].total_seconds;
+    if (history.rounds()[i].test_accuracy >= target) return elapsed;
+  }
+  return -1.0;
+}
+
+}  // namespace fhdnn::fl

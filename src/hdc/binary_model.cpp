@@ -1,0 +1,80 @@
+#include "hdc/binary_model.hpp"
+
+#include "util/error.hpp"
+
+namespace fhdnn::hdc {
+
+BinaryModel binarize(const Tensor& prototypes) {
+  FHDNN_CHECK(prototypes.ndim() == 2, "binarize expects (K, d), got "
+                                          << shape_to_string(prototypes.shape()));
+  BinaryModel m;
+  m.classes = prototypes.dim(0);
+  m.hd_dim = prototypes.dim(1);
+  const std::uint64_t total = m.payload_bits();
+  m.bits.assign(static_cast<std::size_t>((total + 63) / 64), 0);
+  const auto data = prototypes.data();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (data[static_cast<std::size_t>(i)] >= 0.0F) {
+      m.bits[static_cast<std::size_t>(i / 64)] |= (1ULL << (i % 64));
+    }
+  }
+  return m;
+}
+
+Tensor expand(const BinaryModel& model) {
+  FHDNN_CHECK(model.classes > 0 && model.hd_dim > 0, "empty BinaryModel");
+  const std::uint64_t total = model.payload_bits();
+  FHDNN_CHECK(model.bits.size() == (total + 63) / 64,
+              "BinaryModel bit storage inconsistent");
+  Tensor out(Shape{model.classes, model.hd_dim});
+  auto data = out.data();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const bool set = model.bits[static_cast<std::size_t>(i / 64)] &
+                     (1ULL << (i % 64));
+    data[static_cast<std::size_t>(i)] = set ? 1.0F : -1.0F;
+  }
+  return out;
+}
+
+std::size_t flip_binary_model_bits(BinaryModel& model, double ber, Rng& rng) {
+  if (ber <= 0.0) return 0;
+  const std::uint64_t total = model.payload_bits();
+  std::size_t flips = 0;
+  std::uint64_t pos = rng.geometric(ber) - 1;
+  while (pos < total) {
+    model.bits[static_cast<std::size_t>(pos / 64)] ^= (1ULL << (pos % 64));
+    ++flips;
+    pos += rng.geometric(ber);
+  }
+  return flips;
+}
+
+BinaryModel majority_aggregate(const std::vector<BinaryModel>& models) {
+  FHDNN_CHECK(!models.empty(), "majority_aggregate of nothing");
+  const auto& first = models.front();
+  for (const auto& m : models) {
+    FHDNN_CHECK(m.classes == first.classes && m.hd_dim == first.hd_dim,
+                "majority_aggregate shape mismatch");
+  }
+  BinaryModel out;
+  out.classes = first.classes;
+  out.hd_dim = first.hd_dim;
+  const std::uint64_t total = out.payload_bits();
+  out.bits.assign(first.bits.size(), 0);
+  const std::size_t majority_at = models.size() / 2;  // ties (n even) -> +1
+  for (std::uint64_t i = 0; i < total; ++i) {
+    std::size_t votes = 0;
+    for (const auto& m : models) {
+      if (m.bits[static_cast<std::size_t>(i / 64)] & (1ULL << (i % 64))) {
+        ++votes;
+      }
+    }
+    // +1 wins on >= half the votes (sign(0) := +1 convention).
+    if (votes >= models.size() - majority_at) {
+      out.bits[static_cast<std::size_t>(i / 64)] |= (1ULL << (i % 64));
+    }
+  }
+  return out;
+}
+
+}  // namespace fhdnn::hdc

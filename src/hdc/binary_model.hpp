@@ -1,0 +1,50 @@
+// Binarized HD model transmission — an extension in the spirit of the
+// paper's communication-efficiency goal.
+//
+// The full-precision prototype matrix C (K x d float) is the FHDnn update.
+// Because inference only compares *directions*, the sign pattern of C
+// already carries most of the decision information. Shipping sign(C) costs
+// 1 bit per dimension — 32x less than float32 and 16x less than the B=16
+// AGC path — and is naturally immune to the magnitude damage of bit flips
+// (a flipped bit toggles one ±1, never creates a huge value).
+//
+// The trade-off is a small accuracy loss (quantified by
+// bench/ablation_encoders) and the loss of magnitude information at the
+// server, so aggregation becomes majority-vote over client sign patterns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fhdnn::hdc {
+
+/// A sign-compressed prototype matrix: bits packed 64 per word, row-major.
+struct BinaryModel {
+  std::int64_t classes = 0;
+  std::int64_t hd_dim = 0;
+  std::vector<std::uint64_t> bits;  ///< ceil(K*d/64) words; 1 = positive
+
+  std::uint64_t payload_bits() const {
+    return static_cast<std::uint64_t>(classes) *
+           static_cast<std::uint64_t>(hd_dim);
+  }
+};
+
+/// sign-compress a (K, d) prototype matrix (sign(0) := +1).
+BinaryModel binarize(const Tensor& prototypes);
+
+/// Expand back to a bipolar (K, d) float matrix (entries ±1).
+Tensor expand(const BinaryModel& model);
+
+/// Flip each payload bit independently with probability `ber` (BSC).
+/// Returns the number of flips.
+std::size_t flip_binary_model_bits(BinaryModel& model, double ber, Rng& rng);
+
+/// Majority-vote aggregation of client sign patterns: output bit is the
+/// majority across models (ties -> +1). All models must agree on shape.
+BinaryModel majority_aggregate(const std::vector<BinaryModel>& models);
+
+}  // namespace fhdnn::hdc

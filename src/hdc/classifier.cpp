@@ -1,0 +1,222 @@
+#include "hdc/classifier.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fhdnn::hdc {
+
+namespace {
+
+void check_batch(const Tensor& h, std::int64_t d) {
+  FHDNN_CHECK(h.ndim() == 2 && h.dim(1) == d,
+              "expected (N, " << d << ") hypervectors, got "
+                              << shape_to_string(h.shape()));
+}
+
+}  // namespace
+
+HdClassifier::HdClassifier(std::int64_t num_classes, std::int64_t hd_dim)
+    : k_(num_classes), d_(hd_dim), c_(Shape{num_classes, hd_dim}) {
+  FHDNN_CHECK(num_classes > 1 && hd_dim > 0,
+              "HdClassifier(K=" << num_classes << ", d=" << hd_dim << ")");
+}
+
+void HdClassifier::bundle(const Tensor& h,
+                          const std::vector<std::int64_t>& labels) {
+  check_batch(h, d_);
+  FHDNN_CHECK(static_cast<std::int64_t>(labels.size()) == h.dim(0),
+              "bundle labels size mismatch");
+  for (std::int64_t i = 0; i < h.dim(0); ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    FHDNN_CHECK(y >= 0 && y < k_, "label " << y << " out of range " << k_);
+    for (std::int64_t j = 0; j < d_; ++j) c_(y, j) += h(i, j);
+  }
+}
+
+Tensor HdClassifier::similarities(const Tensor& h) const {
+  check_batch(h, d_);
+  const std::int64_t n = h.dim(0);
+  // Precompute prototype norms.
+  std::vector<double> cnorm(static_cast<std::size_t>(k_));
+  for (std::int64_t k = 0; k < k_; ++k) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < d_; ++j) {
+      s += static_cast<double>(c_(k, j)) * c_(k, j);
+    }
+    cnorm[static_cast<std::size_t>(k)] = std::sqrt(s);
+  }
+  Tensor sim(Shape{n, k_});
+  for (std::int64_t i = 0; i < n; ++i) {
+    double hnorm = 0.0;
+    for (std::int64_t j = 0; j < d_; ++j) {
+      hnorm += static_cast<double>(h(i, j)) * h(i, j);
+    }
+    hnorm = std::sqrt(hnorm);
+    for (std::int64_t k = 0; k < k_; ++k) {
+      double dot = 0.0;
+      for (std::int64_t j = 0; j < d_; ++j) {
+        dot += static_cast<double>(h(i, j)) * c_(k, j);
+      }
+      const double denom = hnorm * cnorm[static_cast<std::size_t>(k)];
+      sim(i, k) = denom > 0.0 ? static_cast<float>(dot / denom) : 0.0F;
+    }
+  }
+  return sim;
+}
+
+Tensor HdClassifier::masked_similarities(const Tensor& h,
+                                         const std::vector<bool>& mask) const {
+  check_batch(h, d_);
+  FHDNN_CHECK(static_cast<std::int64_t>(mask.size()) == d_,
+              "mask size " << mask.size() << " != d " << d_);
+  const std::int64_t n = h.dim(0);
+  std::vector<double> cnorm(static_cast<std::size_t>(k_));
+  for (std::int64_t k = 0; k < k_; ++k) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < d_; ++j) {
+      if (!mask[static_cast<std::size_t>(j)]) continue;
+      s += static_cast<double>(c_(k, j)) * c_(k, j);
+    }
+    cnorm[static_cast<std::size_t>(k)] = std::sqrt(s);
+  }
+  Tensor sim(Shape{n, k_});
+  for (std::int64_t i = 0; i < n; ++i) {
+    double hnorm = 0.0;
+    for (std::int64_t j = 0; j < d_; ++j) {
+      if (!mask[static_cast<std::size_t>(j)]) continue;
+      hnorm += static_cast<double>(h(i, j)) * h(i, j);
+    }
+    hnorm = std::sqrt(hnorm);
+    for (std::int64_t k = 0; k < k_; ++k) {
+      double dot = 0.0;
+      for (std::int64_t j = 0; j < d_; ++j) {
+        if (!mask[static_cast<std::size_t>(j)]) continue;
+        dot += static_cast<double>(h(i, j)) * c_(k, j);
+      }
+      const double denom = hnorm * cnorm[static_cast<std::size_t>(k)];
+      sim(i, k) = denom > 0.0 ? static_cast<float>(dot / denom) : 0.0F;
+    }
+  }
+  return sim;
+}
+
+std::vector<std::int64_t> HdClassifier::predict(const Tensor& h) const {
+  const Tensor sim = similarities(h);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(sim.dim(0)));
+  for (std::int64_t i = 0; i < sim.dim(0); ++i) {
+    std::int64_t best = 0;
+    float best_v = sim(i, 0);
+    for (std::int64_t k = 1; k < k_; ++k) {
+      if (sim(i, k) > best_v) {
+        best_v = sim(i, k);
+        best = k;
+      }
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+std::int64_t HdClassifier::refine_epoch(const Tensor& h,
+                                        const std::vector<std::int64_t>& labels,
+                                        float lr) {
+  check_batch(h, d_);
+  FHDNN_CHECK(static_cast<std::int64_t>(labels.size()) == h.dim(0),
+              "refine labels size mismatch");
+  std::int64_t updates = 0;
+  // Sequential (online) refinement: each update immediately affects later
+  // predictions, as in standard HD retraining.
+  for (std::int64_t i = 0; i < h.dim(0); ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    FHDNN_CHECK(y >= 0 && y < k_, "label " << y << " out of range " << k_);
+    // Predict this single row against current prototypes.
+    std::int64_t best = 0;
+    double best_sim = -2.0;
+    for (std::int64_t k = 0; k < k_; ++k) {
+      double dot = 0.0, cn = 0.0;
+      for (std::int64_t j = 0; j < d_; ++j) {
+        dot += static_cast<double>(h(i, j)) * c_(k, j);
+        cn += static_cast<double>(c_(k, j)) * c_(k, j);
+      }
+      const double sim = cn > 0.0 ? dot / std::sqrt(cn) : 0.0;
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = k;
+      }
+    }
+    if (best != y) {
+      for (std::int64_t j = 0; j < d_; ++j) {
+        const float v = lr * h(i, j);
+        c_(y, j) += v;
+        c_(best, j) -= v;
+      }
+      ++updates;
+    }
+  }
+  return updates;
+}
+
+std::int64_t HdClassifier::refine_epoch_adaptive(
+    const Tensor& h, const std::vector<std::int64_t>& labels, float lr) {
+  check_batch(h, d_);
+  FHDNN_CHECK(static_cast<std::int64_t>(labels.size()) == h.dim(0),
+              "refine labels size mismatch");
+  std::int64_t updates = 0;
+  for (std::int64_t i = 0; i < h.dim(0); ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    FHDNN_CHECK(y >= 0 && y < k_, "label " << y << " out of range " << k_);
+    // Cosine similarity of this row against every prototype.
+    double hnorm = 0.0;
+    for (std::int64_t j = 0; j < d_; ++j) {
+      hnorm += static_cast<double>(h(i, j)) * h(i, j);
+    }
+    hnorm = std::sqrt(hnorm);
+    std::int64_t best = 0;
+    double best_sim = -2.0, y_sim = 0.0;
+    for (std::int64_t k = 0; k < k_; ++k) {
+      double dot = 0.0, cn = 0.0;
+      for (std::int64_t j = 0; j < d_; ++j) {
+        dot += static_cast<double>(h(i, j)) * c_(k, j);
+        cn += static_cast<double>(c_(k, j)) * c_(k, j);
+      }
+      const double denom = hnorm * std::sqrt(cn);
+      const double sim = denom > 0.0 ? dot / denom : 0.0;
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = k;
+      }
+      if (k == y) y_sim = sim;
+    }
+    if (best != y) {
+      const float gain_y = lr * static_cast<float>(1.0 - y_sim);
+      const float gain_b = lr * static_cast<float>(1.0 - best_sim);
+      for (std::int64_t j = 0; j < d_; ++j) {
+        c_(y, j) += gain_y * h(i, j);
+        c_(best, j) -= gain_b * h(i, j);
+      }
+      ++updates;
+    }
+  }
+  return updates;
+}
+
+double HdClassifier::accuracy(const Tensor& h,
+                              const std::vector<std::int64_t>& labels) const {
+  const auto preds = predict(h);
+  FHDNN_CHECK(preds.size() == labels.size(), "accuracy size mismatch");
+  if (preds.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+void HdClassifier::set_prototypes(Tensor c) {
+  FHDNN_CHECK(c.ndim() == 2 && c.dim(0) == k_ && c.dim(1) == d_,
+              "set_prototypes shape " << shape_to_string(c.shape()));
+  c_ = std::move(c);
+}
+
+}  // namespace fhdnn::hdc

@@ -1,0 +1,79 @@
+// Hyperdimensional classifier (paper §3.4.1).
+//
+// The model is the matrix C of K class prototype hypervectors (K x d).
+// Training:
+//   * one-shot: bundle (sum) the hypervectors of each class into its
+//     prototype, c_k = sum_i h_i^k;
+//   * refinement: for each training hypervector, if the current prediction
+//     is wrong, subtract it from the mispredicted prototype and add it to
+//     the correct one.
+// Inference: cosine similarity against each prototype, argmax.
+//
+// The prototype matrix is ordinary float storage here; the transmission
+// path quantizes it to B-bit integers (hdc/quantizer.hpp), matching the
+// paper's integer-represented class hypervectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fhdnn::hdc {
+
+class HdClassifier {
+ public:
+  /// K-class classifier over d-dimensional hypervectors, zero-initialized.
+  HdClassifier(std::int64_t num_classes, std::int64_t hd_dim);
+
+  std::int64_t num_classes() const { return k_; }
+  std::int64_t hd_dim() const { return d_; }
+
+  /// One-shot learning: add each hypervector to its class prototype.
+  /// h: (N, d) encoded batch; labels: N entries.
+  void bundle(const Tensor& h, const std::vector<std::int64_t>& labels);
+
+  /// One refinement epoch over the batch; returns the number of updates
+  /// (mispredictions) performed. `lr` scales the subtract/add step (the
+  /// paper uses 1).
+  std::int64_t refine_epoch(const Tensor& h,
+                            const std::vector<std::int64_t>& labels,
+                            float lr = 1.0F);
+
+  /// Margin-scaled ("OnlineHD"-style) refinement: on a mispredict, the
+  /// correct prototype gains (1 - sim_correct) * h and the mispredicted one
+  /// loses (1 - sim_wrong) * h, so confidently-wrong examples move the
+  /// model more and nearly-correct ones barely perturb it. An extension
+  /// beyond the paper's fixed-step rule; compare with refine_epoch.
+  std::int64_t refine_epoch_adaptive(const Tensor& h,
+                                     const std::vector<std::int64_t>& labels,
+                                     float lr = 1.0F);
+
+  /// Cosine similarities of each row of h against each prototype: (N, K).
+  Tensor similarities(const Tensor& h) const;
+
+  /// Similarities computed on a subset of dimensions (mask[i] == true means
+  /// dimension i participates). Models the partial-information / packet-loss
+  /// readout of paper Fig. 5.
+  Tensor masked_similarities(const Tensor& h,
+                             const std::vector<bool>& mask) const;
+
+  /// Argmax class per row of h.
+  std::vector<std::int64_t> predict(const Tensor& h) const;
+
+  /// Fraction of rows predicted correctly.
+  double accuracy(const Tensor& h, const std::vector<std::int64_t>& labels) const;
+
+  /// The model C (K x d). Mutable access is the federated aggregation and
+  /// channel-corruption hook.
+  const Tensor& prototypes() const { return c_; }
+  Tensor& prototypes() { return c_; }
+  void set_prototypes(Tensor c);
+
+ private:
+  std::int64_t k_;
+  std::int64_t d_;
+  Tensor c_;  // (K, d)
+};
+
+}  // namespace fhdnn::hdc

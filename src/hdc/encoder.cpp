@@ -1,0 +1,61 @@
+#include "hdc/encoder.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace fhdnn::hdc {
+
+RandomProjectionEncoder::RandomProjectionEncoder(std::int64_t feature_dim,
+                                                 std::int64_t hd_dim, Rng& rng)
+    : n_(feature_dim), d_(hd_dim), phi_(Shape{hd_dim, feature_dim}) {
+  FHDNN_CHECK(feature_dim > 0 && hd_dim > 0,
+              "encoder dims n=" << feature_dim << " d=" << hd_dim);
+  // Rows uniform on the unit sphere: draw Gaussian, normalize each row.
+  for (std::int64_t i = 0; i < d_; ++i) {
+    double norm_sq = 0.0;
+    for (std::int64_t j = 0; j < n_; ++j) {
+      const double g = rng.normal();
+      phi_(i, j) = static_cast<float>(g);
+      norm_sq += g * g;
+    }
+    // A d-row of exact zeros has probability 0 but guard anyway.
+    const double norm = std::sqrt(norm_sq);
+    FHDNN_CHECK(norm > 0.0, "degenerate projection row");
+    const float inv = static_cast<float>(1.0 / norm);
+    for (std::int64_t j = 0; j < n_; ++j) phi_(i, j) *= inv;
+  }
+}
+
+Tensor RandomProjectionEncoder::encode_linear(const Tensor& z) const {
+  const bool batched = z.ndim() == 2;
+  FHDNN_CHECK(batched || z.ndim() == 1,
+              "encode expects (n) or (N, n), got " << shape_to_string(z.shape()));
+  const Tensor zz = batched ? z : z.reshaped(Shape{1, n_});
+  FHDNN_CHECK(zz.dim(1) == n_, "feature dim " << zz.dim(1) << " != encoder n "
+                                              << n_);
+  Tensor h = ops::matmul_bt(zz, phi_);  // (N, d)
+  return batched ? h : h.reshaped(Shape{d_});
+}
+
+Tensor RandomProjectionEncoder::encode(const Tensor& z) const {
+  Tensor h = encode_linear(z);
+  for (auto& v : h.data()) v = (v >= 0.0F) ? 1.0F : -1.0F;
+  return h;
+}
+
+Tensor RandomProjectionEncoder::reconstruct(const Tensor& h) const {
+  const bool batched = h.ndim() == 2;
+  FHDNN_CHECK(batched || h.ndim() == 1,
+              "reconstruct expects (d) or (N, d), got "
+                  << shape_to_string(h.shape()));
+  const Tensor hh = batched ? h : h.reshaped(Shape{1, d_});
+  FHDNN_CHECK(hh.dim(1) == d_, "hd dim " << hh.dim(1) << " != encoder d " << d_);
+  // (N, d) x (d, n) -> (N, n); scale by n/d for unbiasedness.
+  Tensor z = ops::matmul(hh, phi_);
+  z.scale(static_cast<float>(n_) / static_cast<float>(d_));
+  return batched ? z : z.reshaped(Shape{n_});
+}
+
+}  // namespace fhdnn::hdc

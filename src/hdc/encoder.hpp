@@ -1,0 +1,53 @@
+// Hyperdimensional random-projection encoder (paper §3.3).
+//
+// Embeds an n-dimensional feature vector z into d-dimensional HD space via
+//   phi(z) = sign(Phi z)
+// where the rows of Phi (d x n) are sampled uniformly from the unit sphere.
+// The encoder also exposes:
+//   * encode_linear — Phi z without the sign nonlinearity (used by the
+//     holographic-reconstruction analysis, paper Eq. 5);
+//   * reconstruct — the least-squares readout (n/d) Phi^T h, an unbiased
+//     estimator of z from h = Phi z because E[Phi^T Phi] = (d/n) I for
+//     unit-sphere rows. (The paper writes the 1/d averaging form; the n
+//     factor is the deterministic scale making the estimator unbiased.)
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fhdnn::hdc {
+
+class RandomProjectionEncoder {
+ public:
+  /// Build an encoder mapping n-dim features to d-dim hypervectors.
+  /// Deterministic in (n, d, rng state) — all FHDnn clients construct an
+  /// identical encoder from a shared seed, so Phi is never transmitted.
+  RandomProjectionEncoder(std::int64_t feature_dim, std::int64_t hd_dim,
+                          Rng& rng);
+
+  std::int64_t feature_dim() const { return n_; }
+  std::int64_t hd_dim() const { return d_; }
+
+  /// sign(Phi z). Input (n) or batched (N, n); output matches: (d) or (N, d).
+  /// Elements are exactly +1 or -1 (sign(0) := +1, per the paper).
+  Tensor encode(const Tensor& z) const;
+
+  /// Phi z without the sign (same shapes as encode).
+  Tensor encode_linear(const Tensor& z) const;
+
+  /// Least-squares readout (n/d) Phi^T h of a (d) or (N, d) hypervector;
+  /// inverse of encode_linear in expectation.
+  Tensor reconstruct(const Tensor& h) const;
+
+  /// Read-only access to the projection matrix (d x n).
+  const Tensor& projection() const { return phi_; }
+
+ private:
+  std::int64_t n_;
+  std::int64_t d_;
+  Tensor phi_;  // (d, n), rows on the unit sphere
+};
+
+}  // namespace fhdnn::hdc

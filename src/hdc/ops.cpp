@@ -1,0 +1,72 @@
+#include "hdc/ops.hpp"
+
+#include "util/error.hpp"
+
+namespace fhdnn::hdc {
+
+Tensor random_bipolar(std::int64_t d, Rng& rng) {
+  FHDNN_CHECK(d > 0, "random_bipolar d=" << d);
+  Tensor v(Shape{d});
+  for (auto& x : v.data()) x = rng.bernoulli(0.5) ? 1.0F : -1.0F;
+  return v;
+}
+
+Tensor bind(const Tensor& a, const Tensor& b) {
+  FHDNN_CHECK(a.same_shape(b), "bind shape mismatch: "
+                                   << shape_to_string(a.shape()) << " vs "
+                                   << shape_to_string(b.shape()));
+  Tensor c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] *= bd[i];
+  return c;
+}
+
+Tensor bundle(const std::vector<Tensor>& vs) {
+  FHDNN_CHECK(!vs.empty(), "bundle of nothing");
+  Tensor acc = vs.front();
+  for (std::size_t i = 1; i < vs.size(); ++i) acc.axpy(1.0F, vs[i]);
+  return acc;
+}
+
+Tensor bundle_majority(const std::vector<Tensor>& vs) {
+  return sign(bundle(vs));
+}
+
+Tensor permute(const Tensor& v, std::int64_t k) {
+  const std::int64_t d = v.numel();
+  FHDNN_CHECK(d > 0, "permute of empty vector");
+  std::int64_t shift = k % d;
+  if (shift < 0) shift += d;
+  Tensor out(v.shape());
+  auto src = v.data();
+  auto dst = out.data();
+  for (std::int64_t i = 0; i < d; ++i) {
+    dst[static_cast<std::size_t>((i + shift) % d)] =
+        src[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+double hamming_distance(const Tensor& a, const Tensor& b) {
+  FHDNN_CHECK(a.same_shape(b), "hamming shape mismatch");
+  auto ad = a.data();
+  auto bd = b.data();
+  FHDNN_CHECK(!ad.empty(), "hamming of empty vectors");
+  std::size_t differ = 0;
+  for (std::size_t i = 0; i < ad.size(); ++i) {
+    FHDNN_CHECK((ad[i] == 1.0F || ad[i] == -1.0F) &&
+                    (bd[i] == 1.0F || bd[i] == -1.0F),
+                "hamming_distance requires bipolar inputs");
+    differ += (ad[i] != bd[i]);
+  }
+  return static_cast<double>(differ) / static_cast<double>(ad.size());
+}
+
+Tensor sign(const Tensor& v) {
+  Tensor out = v;
+  for (auto& x : out.data()) x = (x >= 0.0F) ? 1.0F : -1.0F;
+  return out;
+}
+
+}  // namespace fhdnn::hdc

@@ -1,0 +1,45 @@
+// Classic hyperdimensional algebra: bind, bundle, permute, and the
+// similarity metrics they rely on (Kanerva 2009, the paper's ref. [11]).
+//
+// These operate on bipolar hypervectors (entries in {-1, +1}) or general
+// real hypervectors:
+//   * bind (elementwise multiply)  — associates two hypervectors; for
+//     bipolar inputs it is its own inverse and distributes over bundling;
+//   * bundle (elementwise sum, optionally sign-thresholded) — superposes a
+//     set into one vector similar to each member;
+//   * permute (cyclic rotation) — encodes sequence position; preserves
+//     distances and is invertible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fhdnn::hdc {
+
+/// Random bipolar hypervector of dimension d (entries ±1, fair coin).
+Tensor random_bipolar(std::int64_t d, Rng& rng);
+
+/// Elementwise product. For bipolar a, b: bind(bind(a,b), b) == a.
+Tensor bind(const Tensor& a, const Tensor& b);
+
+/// Elementwise sum of a set of equal-shaped hypervectors.
+Tensor bundle(const std::vector<Tensor>& vs);
+
+/// sign(bundle(vs)) with ties broken to +1 — the majority-vote bundle used
+/// by binary HD models.
+Tensor bundle_majority(const std::vector<Tensor>& vs);
+
+/// Cyclic rotation by k positions (k may be negative or exceed d).
+Tensor permute(const Tensor& v, std::int64_t k);
+
+/// Normalized Hamming distance between two bipolar hypervectors: fraction
+/// of positions that differ, in [0, 1]. Requires entries in {-1, +1}.
+double hamming_distance(const Tensor& a, const Tensor& b);
+
+/// Elementwise sign with sign(0) := +1 (the library-wide convention).
+Tensor sign(const Tensor& v);
+
+}  // namespace fhdnn::hdc

@@ -1,0 +1,81 @@
+#include "hdc/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fhdnn::hdc {
+
+Quantizer::Quantizer(int bitwidth) : bitwidth_(bitwidth) {
+  FHDNN_CHECK(bitwidth >= 2 && bitwidth <= 31, "quantizer bitwidth " << bitwidth);
+  max_level_ = static_cast<std::int32_t>((1U << (bitwidth - 1)) - 1U);
+}
+
+QuantizedVector Quantizer::quantize(std::span<const float> values) const {
+  QuantizedVector q;
+  q.bitwidth = bitwidth_;
+  q.values.reserve(values.size());
+  float max_abs = 0.0F;
+  for (const float v : values) max_abs = std::max(max_abs, std::abs(v));
+  q.gain = max_abs > 0.0F ? static_cast<double>(max_level_) / max_abs : 1.0;
+  for (const float v : values) {
+    // llround then clamp: the max element lands exactly on ±max_level.
+    const auto scaled = std::llround(static_cast<double>(v) * q.gain);
+    const auto clamped = std::clamp<long long>(scaled, -max_level_, max_level_);
+    q.values.push_back(static_cast<std::int32_t>(clamped));
+  }
+  return q;
+}
+
+std::vector<float> Quantizer::dequantize(const QuantizedVector& q) const {
+  FHDNN_CHECK(q.gain > 0.0, "dequantize gain " << q.gain);
+  std::vector<float> out;
+  out.reserve(q.values.size());
+  for (const std::int32_t v : q.values) {
+    out.push_back(static_cast<float>(static_cast<double>(v) / q.gain));
+  }
+  return out;
+}
+
+std::vector<QuantizedVector> Quantizer::quantize_rows(
+    const Tensor& prototypes) const {
+  FHDNN_CHECK(prototypes.ndim() == 2,
+              "quantize_rows expects (K, d), got "
+                  << shape_to_string(prototypes.shape()));
+  const std::int64_t k = prototypes.dim(0), d = prototypes.dim(1);
+  std::vector<QuantizedVector> rows;
+  rows.reserve(static_cast<std::size_t>(k));
+  const auto data = prototypes.data();
+  for (std::int64_t i = 0; i < k; ++i) {
+    rows.push_back(quantize(data.subspan(static_cast<std::size_t>(i * d),
+                                         static_cast<std::size_t>(d))));
+  }
+  return rows;
+}
+
+Tensor Quantizer::dequantize_rows(const std::vector<QuantizedVector>& rows,
+                                  std::int64_t hd_dim) const {
+  FHDNN_CHECK(!rows.empty(), "dequantize_rows with no rows");
+  Tensor out(Shape{static_cast<std::int64_t>(rows.size()), hd_dim});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    FHDNN_CHECK(static_cast<std::int64_t>(rows[i].values.size()) == hd_dim,
+                "row " << i << " has " << rows[i].values.size()
+                       << " values, expected " << hd_dim);
+    const auto vals = dequantize(rows[i]);
+    for (std::int64_t j = 0; j < hd_dim; ++j) {
+      out(static_cast<std::int64_t>(i), j) = vals[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+double Quantizer::max_roundtrip_error(double max_abs) const {
+  if (max_abs <= 0.0) return 0.0;
+  // Half a quantization step + one float32 ulp of the value range (the
+  // dequantized result is stored as float).
+  return max_abs / (2.0 * static_cast<double>(max_level_)) +
+         max_abs * 1.2e-7;
+}
+
+}  // namespace fhdnn::hdc

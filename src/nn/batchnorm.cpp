@@ -1,0 +1,122 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fhdnn::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::ones(Shape{channels})),
+      beta_(Tensor(Shape{channels})),
+      running_mean_(Shape{channels}),
+      running_var_(Tensor::ones(Shape{channels})) {
+  FHDNN_CHECK(channels > 0, "BatchNorm2d channels " << channels);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  FHDNN_CHECK(x.ndim() == 4 && x.dim(1) == channels_,
+              "BatchNorm2d expects (N," << channels_ << ",H,W), got "
+                                        << shape_to_string(x.shape()));
+  const std::int64_t n = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
+  const std::int64_t per_chan = n * h * w;
+  cached_shape_ = x.shape();
+  Tensor y(x.shape());
+
+  if (training_) {
+    cached_xhat_ = Tensor(x.shape());
+    cached_inv_std_ = Tensor(Shape{c});
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      double sum = 0.0, sum_sq = 0.0;
+      for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t iy = 0; iy < h; ++iy) {
+          for (std::int64_t ix = 0; ix < w; ++ix) {
+            const double v = x(in, ic, iy, ix);
+            sum += v;
+            sum_sq += v * v;
+          }
+        }
+      }
+      const double mu = sum / static_cast<double>(per_chan);
+      // Biased variance (matches the normalization denominator).
+      const double var =
+          std::max(0.0, sum_sq / static_cast<double>(per_chan) - mu * mu);
+      const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+      cached_inv_std_(ic) = inv_std;
+      running_mean_(ic) =
+          (1.0F - momentum_) * running_mean_(ic) + momentum_ * static_cast<float>(mu);
+      running_var_(ic) =
+          (1.0F - momentum_) * running_var_(ic) + momentum_ * static_cast<float>(var);
+      const float g = gamma_.value(ic), b = beta_.value(ic);
+      for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t iy = 0; iy < h; ++iy) {
+          for (std::int64_t ix = 0; ix < w; ++ix) {
+            const float xh =
+                (x(in, ic, iy, ix) - static_cast<float>(mu)) * inv_std;
+            cached_xhat_(in, ic, iy, ix) = xh;
+            y(in, ic, iy, ix) = g * xh + b;
+          }
+        }
+      }
+    }
+  } else {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float inv_std =
+          1.0F / std::sqrt(running_var_(ic) + eps_);
+      const float mu = running_mean_(ic);
+      const float g = gamma_.value(ic), b = beta_.value(ic);
+      for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t iy = 0; iy < h; ++iy) {
+          for (std::int64_t ix = 0; ix < w; ++ix) {
+            y(in, ic, iy, ix) = g * (x(in, ic, iy, ix) - mu) * inv_std + b;
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  FHDNN_CHECK(training_, "BatchNorm2d backward requires training mode");
+  FHDNN_CHECK(grad_out.shape() == cached_shape_,
+              "BatchNorm2d backward grad shape "
+                  << shape_to_string(grad_out.shape()));
+  const std::int64_t n = cached_shape_[0], c = channels_, h = cached_shape_[2],
+                     w = cached_shape_[3];
+  const double m = static_cast<double>(n * h * w);
+  Tensor gx(cached_shape_);
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::int64_t in = 0; in < n; ++in) {
+      for (std::int64_t iy = 0; iy < h; ++iy) {
+        for (std::int64_t ix = 0; ix < w; ++ix) {
+          const double g = grad_out(in, ic, iy, ix);
+          sum_g += g;
+          sum_gx += g * cached_xhat_(in, ic, iy, ix);
+        }
+      }
+    }
+    gamma_.grad(ic) += static_cast<float>(sum_gx);
+    beta_.grad(ic) += static_cast<float>(sum_g);
+    const double mean_g = sum_g / m;
+    const double mean_gx = sum_gx / m;
+    const float scale = gamma_.value(ic) * cached_inv_std_(ic);
+    for (std::int64_t in = 0; in < n; ++in) {
+      for (std::int64_t iy = 0; iy < h; ++iy) {
+        for (std::int64_t ix = 0; ix < w; ++ix) {
+          const double g = grad_out(in, ic, iy, ix);
+          const double xh = cached_xhat_(in, ic, iy, ix);
+          gx(in, ic, iy, ix) =
+              static_cast<float>(scale * (g - mean_g - xh * mean_gx));
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace fhdnn::nn

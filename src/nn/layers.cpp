@@ -1,0 +1,128 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace fhdnn::nn {
+
+namespace {
+
+Tensor kaiming_uniform(Shape shape, std::int64_t fan_in, Rng& rng) {
+  const float bound = std::sqrt(6.0F / static_cast<float>(fan_in));
+  return Tensor::rand(std::move(shape), rng, -bound, bound);
+}
+
+Tensor kaiming_normal(Shape shape, std::int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+}  // namespace
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(kaiming_uniform(Shape{out_features, in_features}, in_features,
+                              rng)),
+      bias_(Tensor(Shape{out_features})) {
+  FHDNN_CHECK(in_features > 0 && out_features > 0,
+              "Linear(" << in_features << ", " << out_features << ")");
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  FHDNN_CHECK(x.ndim() == 2 && x.dim(1) == in_,
+              "Linear expects (N, " << in_ << "), got "
+                                    << shape_to_string(x.shape()));
+  cached_input_ = x;
+  return ops::linear_forward(x, weight_.value, bias_.value);
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  FHDNN_CHECK(grad_out.ndim() == 2 && grad_out.dim(1) == out_ &&
+                  grad_out.dim(0) == cached_input_.dim(0),
+              "Linear backward grad shape " << shape_to_string(grad_out.shape()));
+  // dW = g^T x, db = sum_rows(g), dx = g W
+  weight_.grad.axpy(1.0F, ops::matmul_at(grad_out, cached_input_));
+  bias_.grad.axpy(1.0F, ops::sum_rows(grad_out));
+  return ops::matmul(grad_out, weight_.value);
+}
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               Rng& rng)
+    : spec_{in_channels, out_channels, kernel, stride, padding},
+      weight_(kaiming_normal(Shape{out_channels, in_channels, kernel, kernel},
+                             in_channels * kernel * kernel, rng)),
+      bias_(Tensor(Shape{out_channels})) {
+  FHDNN_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 &&
+                  padding >= 0,
+              "Conv2d spec invalid");
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  cached_input_ = x;
+  return ops::conv2d_forward(x, weight_.value, bias_.value, spec_);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  auto grads = ops::conv2d_backward(grad_out, cached_input_, weight_.value,
+                                    spec_);
+  weight_.grad.axpy(1.0F, grads.grad_weight);
+  bias_.grad.axpy(1.0F, grads.grad_bias);
+  return std::move(grads.grad_input);
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  return ops::relu(x);
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  return ops::relu_backward(grad_out, cached_input_);
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  cached_shape_ = x.shape();
+  auto res = ops::maxpool2d_forward(x, kernel_);
+  cached_argmax_ = std::move(res.argmax);
+  return std::move(res.output);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  return ops::maxpool2d_backward(grad_out, cached_argmax_, cached_shape_);
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  cached_shape_ = x.shape();
+  return ops::global_avgpool_forward(x);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  return ops::global_avgpool_backward(grad_out, cached_shape_);
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  FHDNN_CHECK(x.ndim() >= 2, "Flatten expects batched input");
+  cached_shape_ = x.shape();
+  const std::int64_t n = x.dim(0);
+  return x.reshaped(Shape{n, x.numel() / n});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_shape_);
+}
+
+std::unique_ptr<Linear> make_linear(std::int64_t in, std::int64_t out,
+                                    Rng& rng) {
+  return std::make_unique<Linear>(in, out, rng);
+}
+
+std::unique_ptr<Conv2d> make_conv(std::int64_t ic, std::int64_t oc,
+                                  std::int64_t k, std::int64_t stride,
+                                  std::int64_t pad, Rng& rng) {
+  return std::make_unique<Conv2d>(ic, oc, k, stride, pad, rng);
+}
+
+}  // namespace fhdnn::nn

@@ -1,0 +1,113 @@
+// Concrete layers: Linear, Conv2d, ReLU, MaxPool2d, GlobalAvgPool, Flatten.
+// BatchNorm2d lives in nn/batchnorm.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/module.hpp"
+#include "tensor/conv.hpp"
+#include "util/rng.hpp"
+
+namespace fhdnn::nn {
+
+/// Fully connected layer y = x W^T + b with Kaiming-uniform init.
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Linear"; }
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Parameter weight_;  // (out, in)
+  Parameter bias_;    // (out)
+  Tensor cached_input_;
+};
+
+/// 2-d convolution (square kernel) with Kaiming-normal init.
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+         Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Conv2d"; }
+
+  const ops::Conv2dSpec& spec() const { return spec_; }
+  Parameter& weight() { return weight_; }
+
+ private:
+  ops::Conv2dSpec spec_;
+  Parameter weight_;  // (oc, ic, k, k)
+  Parameter bias_;    // (oc)
+  Tensor cached_input_;
+};
+
+/// Elementwise ReLU.
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Non-overlapping max pooling (stride == kernel).
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(std::int64_t kernel) : kernel_(kernel) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::int64_t kernel_;
+  Shape cached_shape_;
+  std::vector<std::int64_t> cached_argmax_;
+};
+
+/// (N, C, H, W) -> (N, C) global average pool.
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_shape_;
+};
+
+/// (N, ...) -> (N, prod(...)).
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_shape_;
+};
+
+/// Helpers for building Sequential models tersely.
+std::unique_ptr<Linear> make_linear(std::int64_t in, std::int64_t out, Rng& rng);
+std::unique_ptr<Conv2d> make_conv(std::int64_t ic, std::int64_t oc,
+                                  std::int64_t k, std::int64_t stride,
+                                  std::int64_t pad, Rng& rng);
+
+}  // namespace fhdnn::nn

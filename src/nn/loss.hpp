@@ -1,0 +1,31 @@
+// Losses for the CNN baselines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fhdnn::nn {
+
+/// Softmax cross-entropy over a batch.
+///
+/// forward() returns the mean negative log-likelihood; backward() returns
+/// d(loss)/d(logits), already divided by the batch size.
+class CrossEntropyLoss {
+ public:
+  /// logits: (N, classes); labels: N entries in [0, classes).
+  double forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+  /// Gradient w.r.t. logits for the last forward() call.
+  Tensor backward() const;
+
+ private:
+  Tensor cached_probs_;
+  std::vector<std::int64_t> cached_labels_;
+};
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace fhdnn::nn

@@ -1,0 +1,63 @@
+#include "nn/module.hpp"
+
+#include "util/error.hpp"
+
+namespace fhdnn::nn {
+
+std::int64_t Module::parameter_count() {
+  std::int64_t n = 0;
+  for (const Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+Sequential& Sequential::add(std::unique_ptr<Module> layer) {
+  FHDNN_CHECK(layer != nullptr, "Sequential::add(nullptr)");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::buffers() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* b : layer->buffers()) out.push_back(b);
+  }
+  return out;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+Module& Sequential::layer(std::size_t i) {
+  FHDNN_CHECK(i < layers_.size(), "Sequential layer index " << i);
+  return *layers_[i];
+}
+
+}  // namespace fhdnn::nn

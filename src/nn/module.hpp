@@ -1,0 +1,87 @@
+// Module abstraction for the from-scratch neural-network library.
+//
+// Every layer implements forward() and backward() with an explicit cache of
+// whatever the backward pass needs (no autograd tape). Layers expose their
+// learnable state as `Parameter`s (value + gradient) so optimizers and the
+// federated-learning layer can traverse a model generically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fhdnn::nn {
+
+/// A learnable tensor and its accumulated gradient.
+struct Parameter {
+  explicit Parameter(Tensor v)
+      : value(std::move(v)), grad(value.shape()) {}
+
+  Tensor value;
+  Tensor grad;
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// Base class for all layers and containers.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Compute outputs; caches activations needed by backward().
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Propagate gradients. Must be called after forward() with an upstream
+  /// gradient matching forward's output shape; accumulates into parameter
+  /// grads and returns the gradient w.r.t. the input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// All learnable parameters (depth-first for containers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Non-learnable state that still travels with the model (e.g. BatchNorm
+  /// running statistics). The FL layer serializes and averages these
+  /// alongside parameters, matching common FedAvg practice.
+  virtual std::vector<Tensor*> buffers() { return {}; }
+
+  /// Toggle training vs. inference behaviour (BatchNorm uses this).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  virtual std::string name() const = 0;
+
+  /// Total learnable scalar count.
+  std::int64_t parameter_count();
+
+  /// Zero all parameter gradients.
+  void zero_grad();
+
+ protected:
+  bool training_ = true;
+};
+
+/// Sequential container; owns its children.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Module> layer);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<Tensor*> buffers() override;
+  void set_training(bool training) override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Module& layer(std::size_t i);
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace fhdnn::nn

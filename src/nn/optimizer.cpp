@@ -1,0 +1,33 @@
+#include "nn/optimizer.hpp"
+
+#include "util/error.hpp"
+
+namespace fhdnn::nn {
+
+Sgd::Sgd(Module& model, Options options)
+    : params_(model.parameters()), options_(options) {
+  FHDNN_CHECK(options_.lr > 0.0F, "SGD lr " << options_.lr);
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    auto pv = p.value.data();
+    auto pg = p.grad.data();
+    auto vd = v.data();
+    for (std::size_t j = 0; j < pv.size(); ++j) {
+      const float g = pg[j] + options_.weight_decay * pv[j];
+      vd[j] = options_.momentum * vd[j] + g;
+      pv[j] -= options_.lr * vd[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace fhdnn::nn

@@ -1,0 +1,78 @@
+#include "perf/device_model.hpp"
+
+#include "util/error.hpp"
+
+namespace fhdnn::perf {
+
+DeviceProfile DeviceProfile::raspberry_pi_3b() {
+  // Fitted to Table 1: CNN 1328.04 s / 6742.8 J, FHDnn 858.72 s / 4418.4 J
+  // under ClientWorkload::paper_reference().
+  DeviceProfile d;
+  d.name = "Raspberry Pi 3b";
+  d.train_macs_per_sec = 1.2583e9;  // 1.671e12 MACs / 1328.04 s
+  d.fwd_macs_per_sec = 1.8875e9;    // forward-only ~1.5x more efficient
+  d.hd_ops_per_sec = 9.262e6;       // residual of the measured FHDnn time
+  d.power_train_w = 5.0773;         // 6742.8 J / 1328.04 s
+  d.power_fwd_w = 5.1452;           // 4418.4 J / 858.72 s
+  return d;
+}
+
+DeviceProfile DeviceProfile::jetson() {
+  // Fitted to Table 1: CNN 90.55 s / 497.572 J, FHDnn 15.96 s / 96.17 J.
+  DeviceProfile d;
+  d.name = "Nvidia Jetson";
+  d.train_macs_per_sec = 1.8454e10;  // 1.671e12 MACs / 90.55 s
+  d.fwd_macs_per_sec = 7.3815e10;    // inference ~4x training efficiency (GPU)
+  d.hd_ops_per_sec = 6.204e8;
+  d.power_train_w = 5.4950;  // 497.572 J / 90.55 s
+  d.power_fwd_w = 6.0257;    // 96.17 J / 15.96 s
+  return d;
+}
+
+std::uint64_t ClientWorkload::hd_ops(std::uint64_t feature_dim,
+                                     std::uint64_t hd_dim,
+                                     std::uint64_t classes) {
+  return feature_dim * hd_dim + classes * hd_dim;
+}
+
+ClientWorkload ClientWorkload::paper_reference() {
+  ClientWorkload w;
+  w.samples = 500;
+  w.epochs = 2;
+  w.cnn_fwd_macs = 557'000'000;  // ResNet-18 at 32x32
+  w.cnn_bwd_factor = 2.0;
+  w.hd_ops_per_sample = hd_ops(512, 10'000, 10);
+  return w;
+}
+
+CostEstimate cnn_local_training(const DeviceProfile& dev,
+                                const ClientWorkload& w) {
+  FHDNN_CHECK(dev.train_macs_per_sec > 0, "device " << dev.name
+                                                    << " train rate");
+  const double macs = static_cast<double>(w.epochs) *
+                      static_cast<double>(w.samples) *
+                      static_cast<double>(w.cnn_fwd_macs) *
+                      (1.0 + w.cnn_bwd_factor);
+  CostEstimate c;
+  c.seconds = macs / dev.train_macs_per_sec;
+  c.energy_joules = c.seconds * dev.power_train_w;
+  return c;
+}
+
+CostEstimate fhdnn_local_training(const DeviceProfile& dev,
+                                  const ClientWorkload& w) {
+  FHDNN_CHECK(dev.fwd_macs_per_sec > 0 && dev.hd_ops_per_sec > 0,
+              "device " << dev.name << " rates");
+  const double fwd_macs = static_cast<double>(w.epochs) *
+                          static_cast<double>(w.samples) *
+                          static_cast<double>(w.cnn_fwd_macs);
+  const double hd_ops = static_cast<double>(w.epochs) *
+                        static_cast<double>(w.samples) *
+                        static_cast<double>(w.hd_ops_per_sample);
+  CostEstimate c;
+  c.seconds = fwd_macs / dev.fwd_macs_per_sec + hd_ops / dev.hd_ops_per_sec;
+  c.energy_joules = c.seconds * dev.power_fwd_w;
+  return c;
+}
+
+}  // namespace fhdnn::perf

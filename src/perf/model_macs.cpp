@@ -1,0 +1,64 @@
+#include "perf/model_macs.hpp"
+
+#include "util/error.hpp"
+
+namespace fhdnn::perf {
+
+std::uint64_t conv2d_macs(std::int64_t in_channels, std::int64_t out_channels,
+                          std::int64_t kernel, std::int64_t out_h,
+                          std::int64_t out_w) {
+  FHDNN_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && out_h > 0 &&
+                  out_w > 0,
+              "conv2d_macs args");
+  return static_cast<std::uint64_t>(out_h) * static_cast<std::uint64_t>(out_w) *
+         static_cast<std::uint64_t>(out_channels) *
+         static_cast<std::uint64_t>(in_channels) *
+         static_cast<std::uint64_t>(kernel) * static_cast<std::uint64_t>(kernel);
+}
+
+std::uint64_t linear_macs(std::int64_t in_features, std::int64_t out_features) {
+  FHDNN_CHECK(in_features > 0 && out_features > 0, "linear_macs args");
+  return static_cast<std::uint64_t>(in_features) *
+         static_cast<std::uint64_t>(out_features);
+}
+
+std::uint64_t cnn2_fwd_macs(std::int64_t in_channels, std::int64_t image_hw,
+                            std::int64_t num_classes) {
+  FHDNN_CHECK(image_hw % 4 == 0, "cnn2 geometry");
+  std::uint64_t macs = 0;
+  macs += conv2d_macs(in_channels, 16, 3, image_hw, image_hw);
+  const std::int64_t h2 = image_hw / 2;
+  macs += conv2d_macs(16, 32, 3, h2, h2);
+  const std::int64_t h4 = image_hw / 4;
+  macs += linear_macs(32 * h4 * h4, 128);
+  macs += linear_macs(128, num_classes);
+  return macs;
+}
+
+std::uint64_t mini_resnet_fwd_macs(std::int64_t in_channels,
+                                   std::int64_t image_hw,
+                                   std::int64_t num_classes,
+                                   std::int64_t base_width) {
+  std::uint64_t macs = 0;
+  const std::int64_t w1 = base_width, w2 = 2 * base_width, w3 = 4 * base_width;
+  auto stride2 = [](std::int64_t hw) { return (hw + 2 - 3) / 2 + 1; };
+  // Stem.
+  macs += conv2d_macs(in_channels, w1, 3, image_hw, image_hw);
+  // Block 1 (stride 1, identity skip): two 3x3 convs at full resolution.
+  macs += 2 * conv2d_macs(w1, w1, 3, image_hw, image_hw);
+  // Block 2 (stride 2, projection): conv w1->w2 s2, conv w2->w2, 1x1 proj.
+  const std::int64_t hw2 = stride2(image_hw);
+  macs += conv2d_macs(w1, w2, 3, hw2, hw2);
+  macs += conv2d_macs(w2, w2, 3, hw2, hw2);
+  macs += conv2d_macs(w1, w2, 1, hw2, hw2);
+  // Block 3 (stride 2, projection).
+  const std::int64_t hw3 = stride2(hw2);
+  macs += conv2d_macs(w2, w3, 3, hw3, hw3);
+  macs += conv2d_macs(w3, w3, 3, hw3, hw3);
+  macs += conv2d_macs(w2, w3, 1, hw3, hw3);
+  // Head.
+  macs += linear_macs(w3, num_classes);
+  return macs;
+}
+
+}  // namespace fhdnn::perf

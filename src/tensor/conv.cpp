@@ -1,0 +1,258 @@
+#include "tensor/conv.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tensor/ops.hpp"
+
+#include "util/error.hpp"
+
+namespace fhdnn::ops {
+
+namespace {
+
+void check_nchw(const Tensor& x, const char* op) {
+  FHDNN_CHECK(x.ndim() == 4, op << " expects (N,C,H,W), got "
+                                << shape_to_string(x.shape()));
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
+  check_nchw(x, "im2col");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  FHDNN_CHECK(c == spec.in_channels, "im2col channels " << c << " != spec "
+                                                        << spec.in_channels);
+  const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
+  FHDNN_CHECK(oh > 0 && ow > 0, "conv output collapsed to zero");
+  const std::int64_t k = spec.kernel;
+  Tensor cols(Shape{n * oh * ow, c * k * k});
+  const float* px = x.data().data();
+  float* pc = cols.data().data();
+  const std::int64_t row_len = c * k * k;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float* row = pc + ((in * oh + oy) * ow + ox) * row_len;
+        std::int64_t col_idx = 0;
+        for (std::int64_t ic = 0; ic < c; ++ic) {
+          const float* chan = px + (in * c + ic) * h * w;
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = oy * spec.stride + ky - spec.padding;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ix = ox * spec.stride + kx - spec.padding;
+              row[col_idx++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                   ? chan[iy * w + ix]
+                                   : 0.0F;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::int64_t n,
+              std::int64_t h, std::int64_t w) {
+  const std::int64_t c = spec.in_channels;
+  const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
+  const std::int64_t k = spec.kernel;
+  FHDNN_CHECK(cols.ndim() == 2 && cols.dim(0) == n * oh * ow &&
+                  cols.dim(1) == c * k * k,
+              "col2im shape " << shape_to_string(cols.shape()));
+  Tensor x(Shape{n, c, h, w});
+  const float* pc = cols.data().data();
+  float* px = x.data().data();
+  const std::int64_t row_len = c * k * k;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float* row = pc + ((in * oh + oy) * ow + ox) * row_len;
+        std::int64_t col_idx = 0;
+        for (std::int64_t ic = 0; ic < c; ++ic) {
+          float* chan = px + (in * c + ic) * h * w;
+          for (std::int64_t ky = 0; ky < k; ++ky) {
+            const std::int64_t iy = oy * spec.stride + ky - spec.padding;
+            for (std::int64_t kx = 0; kx < k; ++kx) {
+              const std::int64_t ix = ox * spec.stride + kx - spec.padding;
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                chan[iy * w + ix] += row[col_idx];
+              }
+              ++col_idx;
+            }
+          }
+        }
+      }
+    }
+  }
+  return x;
+}
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec) {
+  check_nchw(x, "conv2d");
+  FHDNN_CHECK(weight.ndim() == 4 && weight.dim(0) == spec.out_channels &&
+                  weight.dim(1) == spec.in_channels &&
+                  weight.dim(2) == spec.kernel && weight.dim(3) == spec.kernel,
+              "conv2d weight shape " << shape_to_string(weight.shape()));
+  FHDNN_CHECK(bias.ndim() == 1 && bias.dim(0) == spec.out_channels,
+              "conv2d bias shape " << shape_to_string(bias.shape()));
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
+  const Tensor cols = im2col(x, spec);  // (n*oh*ow, ic*k*k)
+  const Tensor wmat = weight.reshaped(
+      Shape{spec.out_channels, spec.in_channels * spec.kernel * spec.kernel});
+  // (n*oh*ow, oc)
+  Tensor out_rows = matmul_bt(cols, wmat);
+  // Rearrange to (n, oc, oh, ow) and add bias.
+  Tensor y(Shape{n, spec.out_channels, oh, ow});
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const std::int64_t r = (in * oh + oy) * ow + ox;
+        for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
+          y(in, oc, oy, ox) = out_rows(r, oc) + bias(oc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& grad_out, const Tensor& x,
+                            const Tensor& weight, const Conv2dSpec& spec) {
+  check_nchw(grad_out, "conv2d_backward");
+  check_nchw(x, "conv2d_backward");
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
+  FHDNN_CHECK(grad_out.dim(0) == n && grad_out.dim(1) == spec.out_channels &&
+                  grad_out.dim(2) == oh && grad_out.dim(3) == ow,
+              "conv2d_backward grad shape " << shape_to_string(grad_out.shape()));
+
+  // grad_out as rows: (n*oh*ow, oc)
+  Tensor grows(Shape{n * oh * ow, spec.out_channels});
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          grows((in * oh + oy) * ow + ox, oc) = grad_out(in, oc, oy, ox);
+        }
+      }
+    }
+  }
+
+  const Tensor cols = im2col(x, spec);  // (n*oh*ow, ic*k*k)
+  // grad_wmat = grows^T * cols : (oc, ic*k*k)
+  Tensor grad_wmat = matmul_at(grows, cols);
+  Conv2dGrads grads;
+  grads.grad_weight = grad_wmat.reshaped(weight.shape());
+
+  grads.grad_bias = Tensor(Shape{spec.out_channels});
+  for (std::int64_t r = 0; r < grows.dim(0); ++r) {
+    for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
+      grads.grad_bias(oc) += grows(r, oc);
+    }
+  }
+
+  // grad_cols = grows * wmat : (n*oh*ow, ic*k*k); then fold back.
+  const Tensor wmat = weight.reshaped(
+      Shape{spec.out_channels, spec.in_channels * spec.kernel * spec.kernel});
+  const Tensor grad_cols = matmul(grows, wmat);
+  grads.grad_input = col2im(grad_cols, spec, n, h, w);
+  return grads;
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel) {
+  check_nchw(x, "maxpool2d");
+  FHDNN_CHECK(kernel >= 1, "pool kernel " << kernel);
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  FHDNN_CHECK(h % kernel == 0 && w % kernel == 0,
+              "maxpool2d requires H,W divisible by kernel; got "
+                  << shape_to_string(x.shape()) << " kernel " << kernel);
+  const std::int64_t oh = h / kernel, ow = w / kernel;
+  MaxPoolResult res{Tensor(Shape{n, c, oh, ow}), {}};
+  res.argmax.resize(static_cast<std::size_t>(res.output.numel()));
+  const float* px = x.data().data();
+  std::size_t out_i = 0;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float* chan = px + (in * c + ic) * h * w;
+      const std::int64_t chan_base = (in * c + ic) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t iy = oy * kernel + ky;
+              const std::int64_t ix = ox * kernel + kx;
+              const float v = chan[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = chan_base + iy * w + ix;
+              }
+            }
+          }
+          res.output(in, ic, oy, ox) = best;
+          res.argmax[out_i++] = best_idx;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_out,
+                          const std::vector<std::int64_t>& argmax,
+                          const Shape& input_shape) {
+  FHDNN_CHECK(static_cast<std::int64_t>(argmax.size()) == grad_out.numel(),
+              "maxpool backward argmax size mismatch");
+  Tensor gx(input_shape);
+  auto gd = grad_out.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    gx.at(argmax[i]) += gd[i];
+  }
+  return gx;
+}
+
+Tensor global_avgpool_forward(const Tensor& x) {
+  check_nchw(x, "global_avgpool");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor y(Shape{n, c});
+  const float inv = 1.0F / static_cast<float>(h * w);
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      double s = 0.0;
+      for (std::int64_t iy = 0; iy < h; ++iy) {
+        for (std::int64_t ix = 0; ix < w; ++ix) s += x(in, ic, iy, ix);
+      }
+      y(in, ic) = static_cast<float>(s) * inv;
+    }
+  }
+  return y;
+}
+
+Tensor global_avgpool_backward(const Tensor& grad_out,
+                               const Shape& input_shape) {
+  FHDNN_CHECK(input_shape.size() == 4, "global_avgpool_backward input shape");
+  const std::int64_t n = input_shape[0], c = input_shape[1],
+                     h = input_shape[2], w = input_shape[3];
+  FHDNN_CHECK(grad_out.ndim() == 2 && grad_out.dim(0) == n &&
+                  grad_out.dim(1) == c,
+              "global_avgpool_backward grad shape "
+                  << shape_to_string(grad_out.shape()));
+  Tensor gx(input_shape);
+  const float inv = 1.0F / static_cast<float>(h * w);
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float g = grad_out(in, ic) * inv;
+      for (std::int64_t iy = 0; iy < h; ++iy) {
+        for (std::int64_t ix = 0; ix < w; ++ix) gx(in, ic, iy, ix) = g;
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace fhdnn::ops

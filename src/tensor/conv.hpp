@@ -1,0 +1,71 @@
+// Convolution and pooling primitives (im2col based).
+//
+// Layouts: activations are (N, C, H, W); conv weights are
+// (out_channels, in_channels, kh, kw); pooling is per-channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fhdnn::ops {
+
+struct Conv2dSpec {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t padding = 1;
+
+  std::int64_t out_size(std::int64_t in) const {
+    return (in + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Unfold x (N,C,H,W) into columns: result is
+/// (N * out_h * out_w, C * kh * kw); each row is one receptive field.
+Tensor im2col(const Tensor& x, const Conv2dSpec& spec);
+
+/// Fold columns back, accumulating overlaps — adjoint of im2col. `n`, `h`,
+/// `w` give the original input geometry.
+Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::int64_t n,
+              std::int64_t h, std::int64_t w);
+
+/// y = conv2d(x, weight) + bias. weight is (OC, IC, k, k), bias is (OC).
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec);
+
+struct Conv2dGrads {
+  Tensor grad_input;
+  Tensor grad_weight;
+  Tensor grad_bias;
+};
+
+/// Gradients of conv2d given upstream grad_out (N, OC, oh, ow) and the
+/// forward input x.
+Conv2dGrads conv2d_backward(const Tensor& grad_out, const Tensor& x,
+                            const Tensor& weight, const Conv2dSpec& spec);
+
+/// 2x2 (or kxk) max pooling with stride == kernel.
+/// Returns pooled output and the flat argmax index per output element
+/// (into the input tensor) for the backward pass.
+struct MaxPoolResult {
+  Tensor output;
+  std::vector<std::int64_t> argmax;  // size == output.numel()
+};
+MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel);
+
+/// Scatter upstream grads through the recorded argmax indices.
+Tensor maxpool2d_backward(const Tensor& grad_out,
+                          const std::vector<std::int64_t>& argmax,
+                          const Shape& input_shape);
+
+/// Global average pool: (N, C, H, W) -> (N, C).
+Tensor global_avgpool_forward(const Tensor& x);
+
+/// Backward of global average pool.
+Tensor global_avgpool_backward(const Tensor& grad_out,
+                               const Shape& input_shape);
+
+}  // namespace fhdnn::ops

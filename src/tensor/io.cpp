@@ -1,0 +1,67 @@
+#include "tensor/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace fhdnn::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'H', 'D', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  FHDNN_CHECK(static_cast<bool>(is), "truncated tensor file");
+  return v;
+}
+
+}  // namespace
+
+void save_tensor(const Tensor& t, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  FHDNN_CHECK(os.is_open(), "cannot open '" << path << "' for writing");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(t.ndim()));
+  for (const auto d : t.shape()) write_pod(os, d);
+  os.write(reinterpret_cast<const char*>(t.data().data()),
+           static_cast<std::streamsize>(t.data().size() * sizeof(float)));
+  FHDNN_CHECK(static_cast<bool>(os), "failed writing '" << path << "'");
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FHDNN_CHECK(is.is_open(), "cannot open '" << path << "'");
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  FHDNN_CHECK(static_cast<bool>(is) && std::equal(magic, magic + 4, kMagic),
+              "'" << path << "' is not an FHDnn tensor file");
+  const auto version = read_pod<std::uint32_t>(is);
+  FHDNN_CHECK(version == kVersion,
+              "'" << path << "' has unsupported version " << version);
+  const auto ndim = read_pod<std::uint32_t>(is);
+  FHDNN_CHECK(ndim <= 8, "'" << path << "' has implausible rank " << ndim);
+  Shape shape;
+  for (std::uint32_t i = 0; i < ndim; ++i) {
+    shape.push_back(read_pod<std::int64_t>(is));
+    FHDNN_CHECK(shape.back() > 0 && shape.back() < (1LL << 40),
+                "'" << path << "' has implausible dim " << shape.back());
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data().data()),
+          static_cast<std::streamsize>(t.data().size() * sizeof(float)));
+  FHDNN_CHECK(static_cast<bool>(is), "truncated tensor data in '" << path << "'");
+  return t;
+}
+
+}  // namespace fhdnn::io

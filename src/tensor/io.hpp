@@ -1,0 +1,20 @@
+// Tensor persistence: a minimal, versioned binary container so trained
+// HD prototypes and NN states can be checkpointed and shipped.
+//
+// Format (little-endian): magic "FHDT", u32 version, u32 ndim,
+// i64 dims[ndim], f32 data[numel].
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace fhdnn::io {
+
+/// Write `t` to `path`; throws fhdnn::Error on I/O failure.
+void save_tensor(const Tensor& t, const std::string& path);
+
+/// Read a tensor written by save_tensor; throws on missing/corrupt files.
+Tensor load_tensor(const std::string& path);
+
+}  // namespace fhdnn::io

@@ -1,0 +1,233 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fhdnn::ops {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  FHDNN_CHECK(a.same_shape(b), op << " shape mismatch: "
+                                  << shape_to_string(a.shape()) << " vs "
+                                  << shape_to_string(b.shape()));
+}
+
+void check_2d(const Tensor& a, const char* op) {
+  FHDNN_CHECK(a.ndim() == 2, op << " expects a 2-d tensor, got "
+                                << shape_to_string(a.shape()));
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor c = a;
+  c.axpy(1.0F, b);
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor c = a;
+  c.axpy(-1.0F, b);
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor c = a;
+  auto cd = c.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] *= bd[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, float alpha) {
+  Tensor c = a;
+  c.scale(alpha);
+  return c;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul");
+  check_2d(b, "matmul");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FHDNN_CHECK(b.dim(0) == k, "matmul inner dims: " << shape_to_string(a.shape())
+                                                   << " x "
+                                                   << shape_to_string(b.shape()));
+  Tensor c(Shape{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // ikj order: unit-stride inner loop over both b and c rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0F) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul_bt");
+  check_2d(b, "matmul_bt");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  FHDNN_CHECK(b.dim(1) == k,
+              "matmul_bt inner dims: " << shape_to_string(a.shape()) << " x "
+                                       << shape_to_string(b.shape()) << "^T");
+  Tensor c(Shape{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul_at");
+  check_2d(b, "matmul_at");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  FHDNN_CHECK(b.dim(0) == k,
+              "matmul_at inner dims: " << shape_to_string(a.shape()) << "^T x "
+                                       << shape_to_string(b.shape()));
+  Tensor c(Shape{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_2d(a, "transpose");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor t(Shape{n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+Tensor linear_forward(const Tensor& x, const Tensor& weight,
+                      const Tensor& bias) {
+  check_2d(x, "linear_forward");
+  check_2d(weight, "linear_forward");
+  FHDNN_CHECK(bias.ndim() == 1 && bias.dim(0) == weight.dim(0),
+              "linear bias shape " << shape_to_string(bias.shape()));
+  Tensor y = matmul_bt(x, weight);
+  const std::int64_t n = y.dim(0), out = y.dim(1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < out; ++j) y(i, j) += bias(j);
+  }
+  return y;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
+  check_2d(logits, "argmax_rows");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t best = 0;
+    float best_v = logits(i, 0);
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (logits(i, j) > best_v) {
+        best_v = logits(i, j);
+        best = j;
+      }
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  check_2d(logits, "softmax_rows");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor p(logits.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    float mx = logits(i, 0);
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, logits(i, j));
+    double z = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float e = std::exp(logits(i, j) - mx);
+      p(i, j) = e;
+      z += e;
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (std::int64_t j = 0; j < c; ++j) p(i, j) *= inv;
+  }
+  return p;
+}
+
+Tensor sum_rows(const Tensor& a) {
+  check_2d(a, "sum_rows");
+  const std::int64_t n = a.dim(0), c = a.dim(1);
+  Tensor out(Shape{c});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) out(j) += a(i, j);
+  }
+  return out;
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  FHDNN_CHECK(a.numel() == b.numel(), "dot numel mismatch");
+  double s = 0.0;
+  auto ad = a.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) {
+    s += static_cast<double>(ad[i]) * bd[i];
+  }
+  return s;
+}
+
+double cosine_similarity(const Tensor& a, const Tensor& b) {
+  const double na = a.l2_norm();
+  const double nb = b.l2_norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(a, b) / (na * nb);
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor y = x;
+  for (auto& v : y.data()) v = std::max(v, 0.0F);
+  return y;
+}
+
+Tensor relu_backward(const Tensor& grad_out, const Tensor& x) {
+  FHDNN_CHECK(grad_out.same_shape(x), "relu_backward shape mismatch");
+  Tensor g = grad_out;
+  auto gd = g.data();
+  auto xd = x.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) {
+    if (xd[i] <= 0.0F) gd[i] = 0.0F;
+  }
+  return g;
+}
+
+}  // namespace fhdnn::ops

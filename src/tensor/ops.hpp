@@ -1,0 +1,61 @@
+// Free-function math on tensors: elementwise ops, matmul, reductions.
+//
+// Conventions: 2-d tensors are (rows, cols) row-major; batched activations
+// are (N, features) or (N, C, H, W). Functions validate shapes and throw
+// fhdnn::Error on mismatch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fhdnn::ops {
+
+/// c = a + b (elementwise, same shape).
+Tensor add(const Tensor& a, const Tensor& b);
+/// c = a - b.
+Tensor sub(const Tensor& a, const Tensor& b);
+/// c = a * b (Hadamard).
+Tensor mul(const Tensor& a, const Tensor& b);
+/// c = a * alpha.
+Tensor scale(const Tensor& a, float alpha);
+
+/// Matrix product of a (m x k) and b (k x n) -> (m x n). Cache-blocked ikj
+/// loop order; the NN layers route all their heavy lifting through here.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Matrix product with b transposed: a (m x k) * b^T where b is (n x k).
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+
+/// Matrix product with a transposed: a^T * b where a is (k x m), b is (k x n).
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+/// Transpose of a 2-d tensor.
+Tensor transpose(const Tensor& a);
+
+/// y = x * W^T + bias for batched rows: x (N x in), W (out x in), bias (out).
+Tensor linear_forward(const Tensor& x, const Tensor& weight,
+                      const Tensor& bias);
+
+/// Row-wise argmax of a 2-d tensor -> one index per row.
+std::vector<std::int64_t> argmax_rows(const Tensor& logits);
+
+/// Row-wise softmax of a 2-d tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Sum over dimension 0 of a 2-d tensor -> 1-d of size cols.
+Tensor sum_rows(const Tensor& a);
+
+/// Dot product of two 1-d tensors (or equal-numel tensors, flattened).
+double dot(const Tensor& a, const Tensor& b);
+
+/// Cosine similarity of two flattened tensors; 0 if either is all-zero.
+double cosine_similarity(const Tensor& a, const Tensor& b);
+
+/// Elementwise ReLU (out of place) and its mask-based backward.
+Tensor relu(const Tensor& x);
+/// grad_in = grad_out where x > 0 else 0.
+Tensor relu_backward(const Tensor& grad_out, const Tensor& x);
+
+}  // namespace fhdnn::ops

@@ -1,0 +1,164 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fhdnn {
+
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "bool";
+    case 3: return "string";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void CliFlags::define_int(const std::string& name, std::int64_t default_value,
+                          const std::string& help) {
+  FHDNN_CHECK(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{Kind::Int, std::to_string(default_value), help};
+  order_.push_back(name);
+}
+
+void CliFlags::define_double(const std::string& name, double default_value,
+                             const std::string& help) {
+  FHDNN_CHECK(!flags_.count(name), "duplicate flag --" << name);
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Kind::Double, os.str(), help};
+  order_.push_back(name);
+}
+
+void CliFlags::define_bool(const std::string& name, bool default_value,
+                           const std::string& help) {
+  FHDNN_CHECK(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{Kind::Bool, default_value ? "true" : "false", help};
+  order_.push_back(name);
+}
+
+void CliFlags::define_string(const std::string& name,
+                             const std::string& default_value,
+                             const std::string& help) {
+  FHDNN_CHECK(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{Kind::String, default_value, help};
+  order_.push_back(name);
+}
+
+void CliFlags::set_value(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  FHDNN_CHECK(it != flags_.end(), "unknown flag --" << name);
+  Flag& f = it->second;
+  switch (f.kind) {
+    case Kind::Int: {
+      std::size_t pos = 0;
+      try {
+        (void)std::stoll(value, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      FHDNN_CHECK(pos == value.size() && !value.empty(),
+                  "--" << name << " expects an integer, got '" << value << "'");
+      break;
+    }
+    case Kind::Double: {
+      std::size_t pos = 0;
+      try {
+        (void)std::stod(value, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      FHDNN_CHECK(pos == value.size() && !value.empty(),
+                  "--" << name << " expects a number, got '" << value << "'");
+      break;
+    }
+    case Kind::Bool:
+      FHDNN_CHECK(value == "true" || value == "false" || value == "1" ||
+                      value == "0",
+                  "--" << name << " expects true/false, got '" << value << "'");
+      break;
+    case Kind::String:
+      break;
+  }
+  f.value = value;
+}
+
+bool CliFlags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage(argv[0]);
+      return false;
+    }
+    FHDNN_CHECK(arg.rfind("--", 0) == 0, "unexpected argument '" << arg << "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      set_value(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    auto it = flags_.find(arg);
+    FHDNN_CHECK(it != flags_.end(), "unknown flag --" << arg);
+    if (it->second.kind == Kind::Bool) {
+      // Bare boolean flag; also accept a following true/false token.
+      if (i + 1 < argc && (std::string(argv[i + 1]) == "true" ||
+                           std::string(argv[i + 1]) == "false")) {
+        set_value(arg, argv[++i]);
+      } else {
+        set_value(arg, "true");
+      }
+    } else {
+      FHDNN_CHECK(i + 1 < argc, "--" << arg << " needs a value");
+      set_value(arg, argv[++i]);
+    }
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::find(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  FHDNN_CHECK(it != flags_.end(), "flag --" << name << " was never defined");
+  FHDNN_CHECK(it->second.kind == kind,
+              "flag --" << name << " is a "
+                        << kind_name(static_cast<int>(it->second.kind))
+                        << ", requested " << kind_name(static_cast<int>(kind)));
+  return it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return std::stoll(find(name, Kind::Int).value);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::stod(find(name, Kind::Double).value);
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string& v = find(name, Kind::Bool).value;
+  return v == "true" || v == "1";
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return find(name, Kind::String).value;
+}
+
+std::string CliFlags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (" << kind_name(static_cast<int>(f.kind))
+       << ", default " << f.value << ")\n      " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fhdnn

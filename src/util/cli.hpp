@@ -1,0 +1,55 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Supported syntax: --name=value, --name value, and bare boolean --name.
+// Unknown flags raise an error listing the registered flags, so a typo in a
+// bench invocation fails loudly instead of silently running defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fhdnn {
+
+class CliFlags {
+ public:
+  /// Register flags with defaults before parse().
+  void define_int(const std::string& name, std::int64_t default_value,
+                  const std::string& help);
+  void define_double(const std::string& name, double default_value,
+                     const std::string& help);
+  void define_bool(const std::string& name, bool default_value,
+                   const std::string& help);
+  void define_string(const std::string& name, const std::string& default_value,
+                     const std::string& help);
+
+  /// Parse argv. Throws fhdnn::Error on unknown flags or bad values.
+  /// Recognizes --help: prints usage to stdout and returns false (caller
+  /// should exit 0).
+  bool parse(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Render usage text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { Int, Double, Bool, String };
+  struct Flag {
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string help;
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+  void set_value(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace fhdnn

@@ -1,0 +1,45 @@
+// Error-handling helpers used across the FHDnn codebase.
+//
+// The library throws `fhdnn::Error` (derived from std::runtime_error) for
+// precondition violations so that callers can catch a single type. The
+// FHDNN_CHECK macro evaluates its condition in every build type — these are
+// API contract checks, not debug asserts.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fhdnn {
+
+/// Exception type thrown on any precondition or invariant violation inside
+/// the FHDnn library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FHDNN_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace fhdnn
+
+/// Check `cond`; on failure throw fhdnn::Error with location info.
+/// Usage: FHDNN_CHECK(i < n, "index " << i << " out of range " << n);
+#define FHDNN_CHECK(cond, ...)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream fhdnn_check_os_;                                  \
+      __VA_OPT__(fhdnn_check_os_ << __VA_ARGS__;)                          \
+      ::fhdnn::detail::throw_check_failure(#cond, __FILE__, __LINE__,      \
+                                           fhdnn_check_os_.str());         \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace fhdnn {
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?    ";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace fhdnn

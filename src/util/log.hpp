@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Experiments and the FL simulator use this to emit progress; tests set the
+// level to Warn to keep ctest output clean. Not thread-safe by design — the
+// simulator is single-threaded per experiment.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fhdnn {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (appends '\n') to stderr if `level` passes the filter.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+
+}  // namespace fhdnn

@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace fhdnn {
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  FHDNN_CHECK(!columns_.empty(), "table needs at least one column");
+}
+
+std::string TextTable::cell(double v) { return format_double(v); }
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  FHDNN_CHECK(cells.size() == columns_.size(),
+              "row has " << cells.size() << " cells, expected "
+                         << columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n==== " << title << " ====\n";
+}
+
+}  // namespace fhdnn

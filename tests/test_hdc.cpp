@@ -1,0 +1,336 @@
+// Tests for src/hdc: random-projection encoder, HD classifier, quantizer.
+// Includes property-style TEST_P sweeps for the holographic reconstruction
+// error (paper Eq. 5) and quantizer bitwidths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/quantizer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fhdnn {
+namespace {
+
+using hdc::HdClassifier;
+using hdc::Quantizer;
+using hdc::RandomProjectionEncoder;
+
+TEST(Encoder, RowsOnUnitSphere) {
+  Rng rng(1);
+  RandomProjectionEncoder enc(16, 64, rng);
+  const Tensor& phi = enc.projection();
+  for (std::int64_t i = 0; i < 64; ++i) {
+    double norm = 0.0;
+    for (std::int64_t j = 0; j < 16; ++j) norm += phi(i, j) * phi(i, j);
+    EXPECT_NEAR(norm, 1.0, 1e-5);
+  }
+}
+
+TEST(Encoder, OutputsAreSigns) {
+  Rng rng(2);
+  RandomProjectionEncoder enc(8, 128, rng);
+  Rng dr(3);
+  const Tensor z = Tensor::randn(Shape{4, 8}, dr);
+  const Tensor h = enc.encode(z);
+  EXPECT_EQ(h.shape(), (Shape{4, 128}));
+  for (const float v : h.data()) EXPECT_TRUE(v == 1.0F || v == -1.0F);
+}
+
+TEST(Encoder, SignConventionAtZero) {
+  Rng rng(4);
+  RandomProjectionEncoder enc(4, 16, rng);
+  const Tensor z(Shape{4});  // all zeros -> Phi z = 0 -> sign := +1
+  const Tensor h = enc.encode(z);
+  for (const float v : h.data()) EXPECT_EQ(v, 1.0F);
+}
+
+TEST(Encoder, DeterministicSharedSeed) {
+  Rng a(5), b(5);
+  RandomProjectionEncoder e1(8, 32, a);
+  RandomProjectionEncoder e2(8, 32, b);
+  EXPECT_EQ(e1.projection().vec(), e2.projection().vec());
+}
+
+TEST(Encoder, SingleAndBatchedAgree) {
+  Rng rng(6);
+  RandomProjectionEncoder enc(8, 32, rng);
+  Rng dr(7);
+  const Tensor z = Tensor::randn(Shape{1, 8}, dr);
+  const Tensor hb = enc.encode(z);
+  const Tensor hs = enc.encode(z.reshaped(Shape{8}));
+  EXPECT_EQ(hs.shape(), (Shape{32}));
+  for (std::int64_t i = 0; i < 32; ++i) EXPECT_EQ(hb(0, i), hs(i));
+}
+
+TEST(Encoder, SimilarInputsSimilarCodes) {
+  // Random projection + sign preserves angular similarity: closer feature
+  // vectors share more code bits.
+  Rng rng(8);
+  RandomProjectionEncoder enc(32, 2048, rng);
+  Rng dr(9);
+  Tensor a = Tensor::randn(Shape{32}, dr);
+  Tensor near = a;
+  for (auto& v : near.data()) v += static_cast<float>(dr.normal(0.0, 0.1));
+  const Tensor far = Tensor::randn(Shape{32}, dr);
+  auto hamming_agree = [&](const Tensor& x, const Tensor& y) {
+    const Tensor hx = enc.encode(x), hy = enc.encode(y);
+    int agree = 0;
+    for (std::int64_t i = 0; i < 2048; ++i) agree += (hx(i) == hy(i));
+    return agree / 2048.0;
+  };
+  EXPECT_GT(hamming_agree(a, near), hamming_agree(a, far) + 0.2);
+  EXPECT_NEAR(hamming_agree(a, far), 0.5, 0.06);  // random vectors ~orthogonal
+}
+
+TEST(Encoder, ReconstructUnbiasedOnLinearCodes) {
+  // reconstruct(encode_linear(z)) ~ z with error O(1/sqrt(d)).
+  Rng rng(10);
+  RandomProjectionEncoder enc(16, 8192, rng);
+  Rng dr(11);
+  const Tensor z = Tensor::randn(Shape{16}, dr);
+  const Tensor zr = enc.reconstruct(enc.encode_linear(z));
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_NEAR(zr(i), z(i), 0.35);
+}
+
+TEST(Encoder, DimensionMismatchThrows) {
+  Rng rng(12);
+  RandomProjectionEncoder enc(8, 32, rng);
+  EXPECT_THROW(enc.encode(Tensor(Shape{2, 9})), Error);
+  EXPECT_THROW(enc.reconstruct(Tensor(Shape{33})), Error);
+  EXPECT_THROW(enc.encode(Tensor(Shape{2, 2, 2})), Error);
+}
+
+/// Reconstruction error shrinks as d grows (holographic property, Eq. 5).
+class ReconstructionSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ReconstructionSweep, ErrorScalesInverseSqrtD) {
+  const std::int64_t d = GetParam();
+  Rng rng(13);
+  RandomProjectionEncoder enc(16, d, rng);
+  Rng dr(14);
+  double total_mse = 0.0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    const Tensor z = Tensor::randn(Shape{16}, dr);
+    const Tensor zr = enc.reconstruct(enc.encode_linear(z));
+    double mse = 0.0;
+    for (std::int64_t i = 0; i < 16; ++i) {
+      const double e = zr(i) - z(i);
+      mse += e * e;
+    }
+    total_mse += mse / 16.0;
+  }
+  const double avg = total_mse / trials;
+  // Theory: per-coordinate variance ~ (n/d) * ||z||^2/n = ||z||^2/d; with
+  // E||z||^2 = 16 this is ~16/d. Allow generous slack.
+  EXPECT_LT(avg, 5.0 * 16.0 / static_cast<double>(d) + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(HdDims, ReconstructionSweep,
+                         ::testing::Values<std::int64_t>(512, 2048, 8192));
+
+// ------------------------------------------------------------ classifier
+
+/// Two well-separated Gaussian clusters encoded into HD space.
+struct ClusterData {
+  Tensor h_train, h_test;
+  std::vector<std::int64_t> y_train, y_test;
+};
+
+ClusterData make_clusters(std::int64_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  data::IsoletSpec spec;
+  spec.dims = 32;
+  spec.classes = 4;
+  spec.n = 240;
+  spec.separation = 1.5;
+  spec.rank = 4;
+  const auto ds = data::make_isolet_like(spec, rng);
+  Rng enc_rng = rng.fork("enc");
+  RandomProjectionEncoder enc(32, d, enc_rng);
+  ClusterData out;
+  const auto split = data::train_test_split(ds, 0.25, rng);
+  out.h_train = enc.encode(split.train.x);
+  out.h_test = enc.encode(split.test.x);
+  out.y_train = split.train.labels;
+  out.y_test = split.test.labels;
+  return out;
+}
+
+TEST(Classifier, OneShotLearnsSeparableClusters) {
+  const auto data = make_clusters(2048, 20);
+  HdClassifier clf(4, 2048);
+  clf.bundle(data.h_train, data.y_train);
+  EXPECT_GT(clf.accuracy(data.h_test, data.y_test), 0.9);
+}
+
+TEST(Classifier, RefinementImprovesOrMaintains) {
+  const auto data = make_clusters(1024, 21);
+  HdClassifier clf(4, 1024);
+  clf.bundle(data.h_train, data.y_train);
+  const double acc0 = clf.accuracy(data.h_test, data.y_test);
+  for (int e = 0; e < 3; ++e) clf.refine_epoch(data.h_train, data.y_train);
+  EXPECT_GE(clf.accuracy(data.h_test, data.y_test), acc0 - 0.05);
+}
+
+TEST(Classifier, RefineReportsUpdates) {
+  const auto data = make_clusters(1024, 22);
+  HdClassifier clf(4, 1024);
+  // Empty model: everything mispredicted or tied, many updates.
+  const auto updates = clf.refine_epoch(data.h_train, data.y_train);
+  EXPECT_GT(updates, 0);
+  // After convergence, updates should drop.
+  std::int64_t last = updates;
+  for (int e = 0; e < 5; ++e) last = clf.refine_epoch(data.h_train, data.y_train);
+  EXPECT_LT(last, updates);
+}
+
+TEST(Classifier, SimilaritiesInCosineRange) {
+  const auto data = make_clusters(512, 23);
+  HdClassifier clf(4, 512);
+  clf.bundle(data.h_train, data.y_train);
+  const Tensor sim = clf.similarities(data.h_test);
+  for (const float v : sim.data()) {
+    EXPECT_GE(v, -1.0001F);
+    EXPECT_LE(v, 1.0001F);
+  }
+}
+
+TEST(Classifier, MaskedSimilarityFullMaskMatches) {
+  const auto data = make_clusters(512, 24);
+  HdClassifier clf(4, 512);
+  clf.bundle(data.h_train, data.y_train);
+  const std::vector<bool> all(512, true);
+  const Tensor s1 = clf.similarities(data.h_test);
+  const Tensor s2 = clf.masked_similarities(data.h_test, all);
+  for (std::int64_t i = 0; i < s1.numel(); ++i) {
+    EXPECT_NEAR(s1.at(i), s2.at(i), 1e-5);
+  }
+}
+
+TEST(Classifier, PartialDimensionsRetainAccuracy) {
+  // The Fig. 5(b) property: large fractions of dimensions can be dropped
+  // with modest accuracy loss.
+  const auto data = make_clusters(4096, 25);
+  HdClassifier clf(4, 4096);
+  clf.bundle(data.h_train, data.y_train);
+  for (int e = 0; e < 2; ++e) clf.refine_epoch(data.h_train, data.y_train);
+  const double full = clf.accuracy(data.h_test, data.y_test);
+
+  Rng rng(26);
+  std::vector<bool> mask(4096, false);
+  const auto keep = rng.sample_without_replacement(4096, 4096 / 5);  // keep 20%
+  for (const auto i : keep) mask[i] = true;
+  const Tensor sim = clf.masked_similarities(data.h_test, mask);
+  std::size_t correct = 0;
+  for (std::int64_t i = 0; i < sim.dim(0); ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t k = 1; k < 4; ++k) {
+      if (sim(i, k) > sim(i, best)) best = k;
+    }
+    correct += (best == data.y_test[static_cast<std::size_t>(i)]);
+  }
+  const double partial =
+      static_cast<double>(correct) / static_cast<double>(sim.dim(0));
+  EXPECT_GT(partial, full - 0.15);
+}
+
+TEST(Classifier, ValidatesInputs) {
+  HdClassifier clf(3, 64);
+  EXPECT_THROW(clf.bundle(Tensor(Shape{2, 32}), {0, 1}), Error);
+  EXPECT_THROW(clf.bundle(Tensor(Shape{2, 64}), {0}), Error);
+  EXPECT_THROW(clf.bundle(Tensor(Shape{2, 64}), {0, 3}), Error);
+  EXPECT_THROW(clf.set_prototypes(Tensor(Shape{2, 64})), Error);
+  EXPECT_THROW(HdClassifier(1, 64), Error);
+  std::vector<bool> short_mask(32, true);
+  EXPECT_THROW(clf.masked_similarities(Tensor(Shape{1, 64}), short_mask), Error);
+}
+
+// ------------------------------------------------------------ quantizer
+
+TEST(Quantizer, RoundTripBoundedError) {
+  Rng rng(30);
+  Quantizer q(16);
+  std::vector<float> v(500);
+  rng.fill_normal(v, 0.0F, 10.0F);
+  const auto qv = q.quantize(v);
+  const auto back = q.dequantize(qv);
+  float max_abs = 0.0F;
+  for (const float x : v) max_abs = std::max(max_abs, std::abs(x));
+  const double bound = q.max_roundtrip_error(max_abs) * 1.001;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(std::abs(back[i] - v[i]), bound);
+  }
+}
+
+TEST(Quantizer, GainSaturatesMaxElement) {
+  Quantizer q(8);
+  const std::vector<float> v{1.0F, -4.0F, 2.0F};
+  const auto qv = q.quantize(v);
+  EXPECT_EQ(qv.values[1], -q.max_level());
+  EXPECT_NEAR(qv.gain, q.max_level() / 4.0, 1e-9);
+}
+
+TEST(Quantizer, AllZeroVector) {
+  Quantizer q(8);
+  const std::vector<float> v(10, 0.0F);
+  const auto qv = q.quantize(v);
+  EXPECT_EQ(qv.gain, 1.0);
+  const auto back = q.dequantize(qv);
+  for (const float x : back) EXPECT_EQ(x, 0.0F);
+}
+
+TEST(Quantizer, RowsIndependentGains) {
+  Quantizer q(12);
+  Tensor m(Shape{2, 3}, {1, 2, 3, 100, 200, 300});
+  const auto rows = q.quantize_rows(m);
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_NEAR(rows[0].gain * 3.0, q.max_level(), 1e-6);
+  EXPECT_NEAR(rows[1].gain * 300.0, q.max_level(), 1e-3);
+  const Tensor back = q.dequantize_rows(rows, 3);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(back.at(i), m.at(i), m.at(i) * 0.01 + 0.1);
+  }
+}
+
+TEST(Quantizer, RejectsBadBitwidth) {
+  EXPECT_THROW(Quantizer(1), Error);
+  EXPECT_THROW(Quantizer(32), Error);
+  EXPECT_NO_THROW(Quantizer(2));
+  EXPECT_NO_THROW(Quantizer(31));
+}
+
+/// Round-trip error shrinks as bitwidth grows.
+class QuantizerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerSweep, ErrorHalvesPerBit) {
+  const int bits = GetParam();
+  Rng rng(31);
+  std::vector<float> v(200);
+  rng.fill_normal(v, 0.0F, 5.0F);
+  Quantizer q(bits);
+  const auto back = q.dequantize(q.quantize(v));
+  double max_err = 0.0;
+  float max_abs = 0.0F;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    max_err = std::max(max_err, static_cast<double>(std::abs(back[i] - v[i])));
+    max_abs = std::max(max_abs, std::abs(v[i]));
+  }
+  EXPECT_LE(max_err, q.max_roundtrip_error(max_abs) * 1.001);
+  // And the theoretical bound itself halves per bit.
+  if (bits > 2) {
+    EXPECT_LT(q.max_roundtrip_error(1.0),
+              Quantizer(bits - 1).max_roundtrip_error(1.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bitwidths, QuantizerSweep,
+                         ::testing::Values(4, 8, 12, 16, 24));
+
+}  // namespace
+}  // namespace fhdnn

@@ -1,0 +1,273 @@
+// Tests for the extended HDC components: classic HD algebra (bind/bundle/
+// permute), the ID-level encoder, and the binarized transmission model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "hdc/binary_model.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/id_level_encoder.hpp"
+#include "hdc/ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fhdnn {
+namespace {
+
+using namespace fhdnn::hdc;
+
+// ---------------------------------------------------------------- algebra
+
+TEST(HdAlgebra, RandomBipolarBalanced) {
+  Rng rng(1);
+  const Tensor v = random_bipolar(10000, rng);
+  double sum = 0.0;
+  for (const float x : v.data()) {
+    EXPECT_TRUE(x == 1.0F || x == -1.0F);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.05);
+}
+
+TEST(HdAlgebra, BindIsInvolutionForBipolar) {
+  Rng rng(2);
+  const Tensor a = random_bipolar(512, rng);
+  const Tensor b = random_bipolar(512, rng);
+  const Tensor ab = bind(a, b);
+  const Tensor back = bind(ab, b);
+  for (std::int64_t i = 0; i < 512; ++i) EXPECT_EQ(back(i), a(i));
+}
+
+TEST(HdAlgebra, BindDissimilarToOperands) {
+  Rng rng(3);
+  const Tensor a = random_bipolar(4096, rng);
+  const Tensor b = random_bipolar(4096, rng);
+  const Tensor ab = bind(a, b);
+  // bound vector ~orthogonal to both operands (Hamming ~0.5).
+  EXPECT_NEAR(hamming_distance(ab, a), 0.5, 0.05);
+  EXPECT_NEAR(hamming_distance(ab, b), 0.5, 0.05);
+}
+
+TEST(HdAlgebra, BundleSimilarToMembers) {
+  Rng rng(4);
+  std::vector<Tensor> members;
+  for (int i = 0; i < 5; ++i) members.push_back(random_bipolar(4096, rng));
+  const Tensor maj = bundle_majority(members);
+  const Tensor stranger = random_bipolar(4096, rng);
+  for (const auto& m : members) {
+    EXPECT_LT(hamming_distance(maj, m), 0.35);
+  }
+  EXPECT_NEAR(hamming_distance(maj, stranger), 0.5, 0.05);
+}
+
+TEST(HdAlgebra, BundleSums) {
+  const Tensor a = Tensor::from({1, -1, 1});
+  const Tensor b = Tensor::from({1, 1, -1});
+  const Tensor s = bundle({a, b});
+  EXPECT_EQ(s(0), 2.0F);
+  EXPECT_EQ(s(1), 0.0F);
+  EXPECT_THROW(bundle({}), Error);
+}
+
+TEST(HdAlgebra, PermuteRoundTripAndDistancePreserving) {
+  Rng rng(5);
+  const Tensor a = random_bipolar(1024, rng);
+  const Tensor b = random_bipolar(1024, rng);
+  const Tensor pa = permute(a, 37);
+  const Tensor pb = permute(b, 37);
+  // Invertible.
+  const Tensor back = permute(pa, -37);
+  for (std::int64_t i = 0; i < 1024; ++i) EXPECT_EQ(back(i), a(i));
+  // Distance preserving.
+  EXPECT_EQ(hamming_distance(a, b), hamming_distance(pa, pb));
+  // Permutation decorrelates from the original.
+  EXPECT_NEAR(hamming_distance(a, pa), 0.5, 0.06);
+  // Wrap-around equivalence.
+  const Tensor p1 = permute(a, 1024 + 3);
+  const Tensor p2 = permute(a, 3);
+  for (std::int64_t i = 0; i < 1024; ++i) EXPECT_EQ(p1(i), p2(i));
+}
+
+TEST(HdAlgebra, SignConvention) {
+  const Tensor v = Tensor::from({-0.5F, 0.0F, 2.0F});
+  const Tensor s = sign(v);
+  EXPECT_EQ(s(0), -1.0F);
+  EXPECT_EQ(s(1), 1.0F);  // sign(0) := +1
+  EXPECT_EQ(s(2), 1.0F);
+}
+
+TEST(HdAlgebra, HammingValidatesBipolar) {
+  const Tensor a = Tensor::from({1, -1});
+  const Tensor b = Tensor::from({1, 0.5F});
+  EXPECT_THROW(hamming_distance(a, b), Error);
+}
+
+// ---------------------------------------------------------------- id-level
+
+TEST(IdLevelEncoder, QuantizeEdges) {
+  Rng rng(6);
+  IdLevelEncoder enc(4, 256, 8, 0.0F, 1.0F, rng);
+  EXPECT_EQ(enc.quantize(-5.0F), 0);
+  EXPECT_EQ(enc.quantize(0.0F), 0);
+  EXPECT_EQ(enc.quantize(0.999F), 7);
+  EXPECT_EQ(enc.quantize(1.0F), 7);
+  EXPECT_EQ(enc.quantize(9.0F), 7);
+  EXPECT_EQ(enc.quantize(0.5F), 4);
+}
+
+TEST(IdLevelEncoder, LevelSimilarityDecaysWithDistance) {
+  Rng rng(7);
+  IdLevelEncoder enc(4, 8192, 16, 0.0F, 1.0F, rng);
+  // Adjacent levels very similar, extreme levels ~orthogonal.
+  EXPECT_GT(enc.level_similarity(0, 1), 0.8);
+  EXPECT_GT(enc.level_similarity(0, 4), enc.level_similarity(0, 12));
+  EXPECT_LT(enc.level_similarity(0, 15), 0.2);
+  EXPECT_DOUBLE_EQ(enc.level_similarity(3, 3), 1.0);
+}
+
+TEST(IdLevelEncoder, OutputsBipolar) {
+  Rng rng(8);
+  IdLevelEncoder enc(16, 512, 8, -1.0F, 1.0F, rng);
+  Rng dr(9);
+  const Tensor z = Tensor::randn(Shape{5, 16}, dr);
+  const Tensor h = enc.encode(z);
+  EXPECT_EQ(h.shape(), (Shape{5, 512}));
+  for (const float v : h.data()) EXPECT_TRUE(v == 1.0F || v == -1.0F);
+}
+
+TEST(IdLevelEncoder, SimilarInputsSimilarCodes) {
+  Rng rng(10);
+  IdLevelEncoder enc(32, 4096, 16, -3.0F, 3.0F, rng);
+  Rng dr(11);
+  Tensor a = Tensor::randn(Shape{32}, dr);
+  Tensor near = a;
+  for (auto& v : near.data()) v += static_cast<float>(dr.normal(0.0, 0.05));
+  const Tensor far = Tensor::randn(Shape{32}, dr);
+  const Tensor ha = enc.encode(a), hn = enc.encode(near), hf = enc.encode(far);
+  EXPECT_LT(hamming_distance(ha, hn), hamming_distance(ha, hf) - 0.1);
+}
+
+TEST(IdLevelEncoder, ClassifiesIsoletLikeData) {
+  // End-to-end: ID-level encoding + HD classifier learns clustered data.
+  Rng rng(12);
+  data::IsoletSpec spec;
+  spec.dims = 32;
+  spec.classes = 4;
+  spec.n = 240;
+  spec.rank = 4;
+  const auto ds = data::make_isolet_like(spec, rng);
+  const auto split = data::train_test_split(ds, 0.25, rng);
+  Rng er = rng.fork("enc");
+  IdLevelEncoder enc(32, 2048, 16, -6.0F, 6.0F, er);
+  const Tensor htr = enc.encode(split.train.x);
+  const Tensor hte = enc.encode(split.test.x);
+  HdClassifier clf(4, 2048);
+  clf.bundle(htr, split.train.labels);
+  for (int e = 0; e < 2; ++e) clf.refine_epoch(htr, split.train.labels);
+  EXPECT_GT(clf.accuracy(hte, split.test.labels), 0.8);
+}
+
+TEST(IdLevelEncoder, Validation) {
+  Rng rng(13);
+  EXPECT_THROW(IdLevelEncoder(0, 256, 8, 0, 1, rng), Error);
+  EXPECT_THROW(IdLevelEncoder(4, 256, 1, 0, 1, rng), Error);
+  EXPECT_THROW(IdLevelEncoder(4, 256, 8, 1, 1, rng), Error);
+  IdLevelEncoder enc(4, 256, 8, 0, 1, rng);
+  EXPECT_THROW(enc.encode(Tensor(Shape{2, 5})), Error);
+  EXPECT_THROW(enc.level_similarity(0, 8), Error);
+}
+
+// ---------------------------------------------------------------- binary
+
+TEST(BinaryModel, RoundTripSigns) {
+  Rng rng(14);
+  const Tensor protos = Tensor::randn(Shape{3, 100}, rng);
+  const BinaryModel m = binarize(protos);
+  EXPECT_EQ(m.payload_bits(), 300U);
+  const Tensor back = expand(m);
+  for (std::int64_t i = 0; i < protos.numel(); ++i) {
+    EXPECT_EQ(back.at(i), protos.at(i) >= 0.0F ? 1.0F : -1.0F);
+  }
+}
+
+TEST(BinaryModel, FlipCountMatchesRate) {
+  Rng rng(15);
+  Tensor protos = Tensor::randn(Shape{10, 10000}, rng);
+  BinaryModel m = binarize(protos);
+  const Tensor before = expand(m);
+  const auto flips = flip_binary_model_bits(m, 0.01, rng);
+  EXPECT_NEAR(static_cast<double>(flips), 1000.0, 150.0);
+  const Tensor after = expand(m);
+  std::size_t changed = 0;
+  for (std::int64_t i = 0; i < before.numel(); ++i) {
+    changed += (before.at(i) != after.at(i));
+  }
+  EXPECT_EQ(changed, flips);
+}
+
+TEST(BinaryModel, FlipsNeverExplodeValues) {
+  // The binary-transport motivation: a flipped bit toggles one ±1, so the
+  // worst-case per-element damage is bounded by 2 — no float32 blowups.
+  Rng rng(16);
+  Tensor protos = Tensor::randn(Shape{4, 1000}, rng, 100.0F);
+  BinaryModel m = binarize(protos);
+  flip_binary_model_bits(m, 0.2, rng);
+  const Tensor t = expand(m);
+  for (const float v : t.data()) EXPECT_TRUE(v == 1.0F || v == -1.0F);
+}
+
+TEST(BinaryModel, MajorityAggregate) {
+  // Three models voting elementwise.
+  Tensor a(Shape{1, 4}, {1, 1, -1, -1});
+  Tensor b(Shape{1, 4}, {1, -1, -1, 1});
+  Tensor c(Shape{1, 4}, {1, -1, -1, -1});
+  const auto agg =
+      majority_aggregate({binarize(a), binarize(b), binarize(c)});
+  const Tensor t = expand(agg);
+  EXPECT_EQ(t(0, 0), 1.0F);
+  EXPECT_EQ(t(0, 1), -1.0F);
+  EXPECT_EQ(t(0, 2), -1.0F);
+  EXPECT_EQ(t(0, 3), -1.0F);
+}
+
+TEST(BinaryModel, MajorityTieGoesPositive) {
+  Tensor a(Shape{1, 1}, {1});
+  Tensor b(Shape{1, 1}, {-1});
+  const auto agg = majority_aggregate({binarize(a), binarize(b)});
+  EXPECT_EQ(expand(agg)(0, 0), 1.0F);
+}
+
+TEST(BinaryModel, BinarizedClassifierRetainsAccuracy) {
+  // Sign-compressing a trained prototype matrix costs little accuracy —
+  // the justification for 1-bit transmission.
+  Rng rng(17);
+  data::IsoletSpec spec;
+  spec.dims = 32;
+  spec.classes = 4;
+  spec.n = 240;
+  const auto ds = data::make_isolet_like(spec, rng);
+  const auto split = data::train_test_split(ds, 0.25, rng);
+  Rng er = rng.fork("enc");
+  hdc::RandomProjectionEncoder enc(32, 2048, er);
+  const Tensor htr = enc.encode(split.train.x);
+  const Tensor hte = enc.encode(split.test.x);
+  HdClassifier clf(4, 2048);
+  clf.bundle(htr, split.train.labels);
+  const double full = clf.accuracy(hte, split.test.labels);
+  clf.set_prototypes(expand(binarize(clf.prototypes())));
+  const double binary = clf.accuracy(hte, split.test.labels);
+  EXPECT_GT(binary, full - 0.1);
+}
+
+TEST(BinaryModel, Validation) {
+  EXPECT_THROW(binarize(Tensor(Shape{4})), Error);
+  EXPECT_THROW(majority_aggregate({}), Error);
+  Tensor a(Shape{1, 4});
+  Tensor b(Shape{1, 5});
+  EXPECT_THROW(majority_aggregate({binarize(a), binarize(b)}), Error);
+}
+
+}  // namespace
+}  // namespace fhdnn

@@ -1,0 +1,317 @@
+// Cross-module property tests: mathematical invariants checked over
+// parameterized sweeps (TEST_P). These pin down the *mechanisms* the paper's
+// claims rest on, not specific configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include "channel/channel.hpp"
+#include "channel/fading.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/quantizer.hpp"
+#include "nn/batchnorm.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace fhdnn {
+namespace {
+
+// ----------------------------------------------------------------------
+// Convolution: im2col-based forward equals the direct definition for every
+// geometry in the sweep, and col2im is its exact adjoint.
+// Param: (in_channels, out_channels, kernel, stride, padding, hw)
+using ConvCase = std::tuple<int, int, int, int, int, int>;
+
+class ConvGeometry : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometry, ForwardMatchesDirectDefinition) {
+  const auto [ic, oc, k, s, p, hw] = GetParam();
+  ops::Conv2dSpec spec{ic, oc, k, s, p};
+  if (spec.out_size(hw) <= 0) GTEST_SKIP() << "degenerate geometry";
+  Rng rng(static_cast<std::uint64_t>(ic * 31 + oc * 7 + k + s + p + hw));
+  const Tensor x = Tensor::randn(Shape{2, ic, hw, hw}, rng);
+  const Tensor w = Tensor::randn(Shape{oc, ic, k, k}, rng);
+  const Tensor b = Tensor::randn(Shape{oc}, rng);
+  const Tensor got = ops::conv2d_forward(x, w, b, spec);
+
+  const std::int64_t oh = spec.out_size(hw);
+  for (std::int64_t n = 0; n < 2; ++n) {
+    for (std::int64_t o = 0; o < oc; ++o) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < oh; ++ox) {
+          double acc = b(o);
+          for (std::int64_t c = 0; c < ic; ++c) {
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t iy = oy * s + ky - p;
+                const std::int64_t ix = ox * s + kx - p;
+                if (iy < 0 || iy >= hw || ix < 0 || ix >= hw) continue;
+                acc += static_cast<double>(x(n, c, iy, ix)) * w(o, c, ky, kx);
+              }
+            }
+          }
+          ASSERT_NEAR(got(n, o, oy, ox), acc, 1e-3)
+              << "at (" << n << "," << o << "," << oy << "," << ox << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ConvGeometry, Col2imIsAdjointOfIm2col) {
+  const auto [ic, oc, k, s, p, hw] = GetParam();
+  (void)oc;
+  ops::Conv2dSpec spec{ic, 1, k, s, p};
+  if (spec.out_size(hw) <= 0) GTEST_SKIP() << "degenerate geometry";
+  Rng rng(static_cast<std::uint64_t>(ic + k + s + p + hw));
+  const Tensor x = Tensor::randn(Shape{1, ic, hw, hw}, rng);
+  const Tensor cols = ops::im2col(x, spec);
+  const Tensor y = Tensor::randn(cols.shape(), rng);
+  const Tensor back = ops::col2im(y, spec, 1, hw, hw);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < cols.numel(); ++i) lhs += cols.at(i) * y.at(i);
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x.at(i) * back.at(i);
+  EXPECT_NEAR(lhs, rhs, std::abs(lhs) * 1e-4 + 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometry,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 5}, ConvCase{1, 2, 3, 1, 1, 6},
+                      ConvCase{2, 3, 3, 2, 1, 7}, ConvCase{3, 4, 5, 1, 2, 8},
+                      ConvCase{2, 2, 3, 3, 0, 9}, ConvCase{4, 1, 2, 2, 0, 8}));
+
+// ----------------------------------------------------------------------
+// Random projection + sign is an angle-preserving hash (Goemans-Williamson):
+// P[signs disagree at a dimension] = angle(x, y) / pi. This is the precise
+// sense in which HD encodings preserve similarity.
+class AngleHash : public ::testing::TestWithParam<double> {};
+
+TEST_P(AngleHash, DisagreementMatchesAngleOverPi) {
+  const double angle = GetParam();
+  const std::int64_t d = 20000;
+  Rng rng(99);
+  hdc::RandomProjectionEncoder enc(8, d, rng);
+  // Two unit vectors at the requested angle in a fixed 2-d subspace.
+  Tensor x(Shape{8}), y(Shape{8});
+  x(0) = 1.0F;
+  y(0) = static_cast<float>(std::cos(angle));
+  y(1) = static_cast<float>(std::sin(angle));
+  const Tensor hx = enc.encode(x);
+  const Tensor hy = enc.encode(y);
+  std::int64_t differ = 0;
+  for (std::int64_t i = 0; i < d; ++i) differ += (hx(i) != hy(i));
+  const double measured = static_cast<double>(differ) / static_cast<double>(d);
+  EXPECT_NEAR(measured, angle / std::numbers::pi, 0.02) << "angle " << angle;
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, AngleHash,
+                         ::testing::Values(0.1, 0.5, 1.0, 1.5707963, 2.5,
+                                           3.0));
+
+// ----------------------------------------------------------------------
+// HD classifier accuracy is non-decreasing (within noise) in d — more
+// dimensions, more information capacity.
+class DimensionSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DimensionSweep, AccuracyReasonableAtEveryD) {
+  const std::int64_t d = GetParam();
+  Rng rng(7);
+  data::IsoletSpec spec;
+  spec.dims = 32;
+  spec.classes = 5;
+  spec.n = 300;
+  const auto ds = data::make_isolet_like(spec, rng);
+  const auto split = data::train_test_split(ds, 0.25, rng);
+  Rng er = rng.fork("enc");
+  hdc::RandomProjectionEncoder enc(32, d, er);
+  hdc::HdClassifier clf(5, d);
+  clf.bundle(enc.encode(split.train.x), split.train.labels);
+  const double acc =
+      clf.accuracy(enc.encode(split.test.x), split.test.labels);
+  // Even d=256 should beat chance handily on separable clusters; larger d
+  // should be near-perfect.
+  EXPECT_GT(acc, d >= 2048 ? 0.9 : 0.6) << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DimensionSweep,
+                         ::testing::Values<std::int64_t>(256, 1024, 4096));
+
+// ----------------------------------------------------------------------
+// Packet loss: zeroed fraction concentrates on the configured rate.
+class LossRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossRateSweep, ZeroedFractionMatchesRate) {
+  const double rate = GetParam();
+  channel::PacketLossChannel ch(rate, 32 * 16);  // 16 floats per packet
+  Rng rng(11);
+  std::vector<float> payload(16 * 2000, 1.0F);
+  ch.apply(payload, rng);
+  std::size_t zeros = 0;
+  for (const float v : payload) zeros += (v == 0.0F);
+  const double measured =
+      static_cast<double>(zeros) / static_cast<double>(payload.size());
+  EXPECT_NEAR(measured, rate, 0.03 + rate * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LossRateSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.2, 0.3, 0.5));
+
+// ----------------------------------------------------------------------
+// BSC: measured flip rate matches p_e across orders of magnitude.
+class BerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BerSweep, FlipRateMatches) {
+  const double ber = GetParam();
+  channel::BitErrorChannel ch(ber);
+  Rng rng(13);
+  std::vector<float> payload(200000, 1.0F);
+  const auto stats = ch.apply(payload, rng);
+  const double expected = ber * 32.0 * static_cast<double>(payload.size());
+  EXPECT_NEAR(static_cast<double>(stats.bit_flips), expected,
+              6.0 * std::sqrt(expected) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bers, BerSweep,
+                         ::testing::Values(1e-5, 1e-4, 1e-3, 1e-2));
+
+// ----------------------------------------------------------------------
+// Dirichlet partitioning: label skew decreases monotonically (on average)
+// as alpha grows.
+class AlphaSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(AlphaSweep, SkewOrderedByAlpha) {
+  const auto [small_alpha, big_alpha] = GetParam();
+  Rng rng(17);
+  const auto ds = data::synthetic_mnist(800, rng);
+  double skew_small = 0.0, skew_big = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    Rng r1 = rng.fork("s" + std::to_string(t));
+    Rng r2 = rng.fork("b" + std::to_string(t));
+    skew_small +=
+        data::label_skew(ds, data::partition_dirichlet(ds, 8, small_alpha, r1));
+    skew_big +=
+        data::label_skew(ds, data::partition_dirichlet(ds, 8, big_alpha, r2));
+  }
+  EXPECT_GT(skew_small, skew_big);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(std::pair{0.05, 1.0},
+                                           std::pair{0.1, 10.0},
+                                           std::pair{0.3, 100.0}));
+
+// ----------------------------------------------------------------------
+// AWGN at SNR s then AGC quantization round trip: total perturbation is
+// dominated by the channel, not the quantizer, for B >= 8.
+class QuantizerNoiseInteraction : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerNoiseInteraction, QuantizerErrorBelowChannelNoise) {
+  const int bits = GetParam();
+  Rng rng(19);
+  std::vector<float> v(5000);
+  rng.fill_normal(v, 0.0F, 2.0F);
+  // Channel noise at 20 dB SNR: sigma = rms / 10.
+  const double sigma = 0.2;
+  hdc::Quantizer q(bits);
+  const auto back = q.dequantize(q.quantize(v));
+  double qerr = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    qerr += (back[i] - v[i]) * (back[i] - v[i]);
+  }
+  qerr /= static_cast<double>(v.size());
+  EXPECT_LT(qerr, sigma * sigma / 4.0)
+      << "B=" << bits << " quantization should be sub-channel-noise";
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizerNoiseInteraction,
+                         ::testing::Values(8, 12, 16));
+
+// ----------------------------------------------------------------------
+// Gilbert-Elliott: measured loss matches the stationary rate for several
+// parameterizations.
+using GeCase = std::tuple<double, double, double>;
+class GeSweep : public ::testing::TestWithParam<GeCase> {};
+
+TEST_P(GeSweep, StationaryLossRate) {
+  const auto [gb, bg, bad] = GetParam();
+  channel::GilbertElliottChannel::Params p;
+  p.p_good_to_bad = gb;
+  p.p_bad_to_good = bg;
+  p.loss_good = 0.0;
+  p.loss_bad = bad;
+  p.packet_bits = 32 * 8;
+  const channel::GilbertElliottChannel ch(p);
+  Rng rng(23);
+  std::size_t lost = 0, total = 0;
+  for (int t = 0; t < 40; ++t) {
+    std::vector<float> payload(8 * 500, 1.0F);
+    const auto stats = ch.apply(payload, rng);
+    lost += stats.packets_lost;
+    total += stats.packets_total;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / static_cast<double>(total),
+              ch.average_loss_rate(), 0.025);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, GeSweep,
+                         ::testing::Values(GeCase{0.05, 0.2, 0.7},
+                                           GeCase{0.01, 0.5, 0.9},
+                                           GeCase{0.2, 0.2, 0.5}));
+
+// ----------------------------------------------------------------------
+// BatchNorm normalizes every channel count in the sweep.
+class BnChannels : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BnChannels, OutputsStandardized) {
+  const std::int64_t c = GetParam();
+  Rng rng(29);
+  nn::BatchNorm2d bn(c);
+  Tensor x = Tensor::randn(Shape{6, c, 4, 4}, rng, 3.0F);
+  for (auto& v : x.data()) v -= 5.0F;
+  const Tensor y = bn.forward(x);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    stats::Accumulator acc;
+    for (std::int64_t n = 0; n < 6; ++n) {
+      for (std::int64_t i = 0; i < 4; ++i) {
+        for (std::int64_t j = 0; j < 4; ++j) acc.add(y(n, ch, i, j));
+      }
+    }
+    EXPECT_NEAR(acc.mean(), 0.0, 1e-3);
+    EXPECT_NEAR(acc.variance(), 1.0, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, BnChannels,
+                         ::testing::Values<std::int64_t>(1, 3, 8));
+
+// ----------------------------------------------------------------------
+// Softmax + cross-entropy invariance: adding a constant to every logit of a
+// row changes nothing.
+class LogitShift : public ::testing::TestWithParam<float> {};
+
+TEST_P(LogitShift, SoftmaxShiftInvariant) {
+  const float shift = GetParam();
+  Rng rng(31);
+  const Tensor logits = Tensor::randn(Shape{4, 6}, rng, 2.0F);
+  Tensor shifted = logits;
+  for (auto& v : shifted.data()) v += shift;
+  const Tensor p1 = ops::softmax_rows(logits);
+  const Tensor p2 = ops::softmax_rows(shifted);
+  for (std::int64_t i = 0; i < p1.numel(); ++i) {
+    EXPECT_NEAR(p1.at(i), p2.at(i), 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, LogitShift,
+                         ::testing::Values(-100.0F, -1.0F, 3.0F, 50.0F));
+
+}  // namespace
+}  // namespace fhdnn

@@ -1,0 +1,261 @@
+// Tests for src/tensor: Tensor container + ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fhdnn {
+namespace {
+
+TEST(Shape, Numel) {
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({3}), 3);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_THROW(shape_numel({2, 0}), Error);
+  EXPECT_THROW(shape_numel({-1}), Error);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+TEST(Tensor, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.at(0), 0.0F);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.at(i), 0.0F);
+}
+
+TEST(Tensor, FromValuesAndIndexing) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t(0, 0), 1.0F);
+  EXPECT_EQ(t(0, 2), 3.0F);
+  EXPECT_EQ(t(1, 0), 4.0F);
+  EXPECT_EQ(t(1, 2), 6.0F);
+  t(1, 1) = 9.0F;
+  EXPECT_EQ(t.at(4), 9.0F);
+}
+
+TEST(Tensor, FourDimIndexing) {
+  Tensor t(Shape{2, 2, 2, 2});
+  t(1, 0, 1, 0) = 7.0F;
+  // Row-major flat index: ((1*2+0)*2+1)*2+0 = 10.
+  EXPECT_EQ(t.at(10), 7.0F);
+}
+
+TEST(Tensor, BoundsChecked) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t(2, 0), Error);
+  EXPECT_THROW(t(0, 3), Error);
+  EXPECT_THROW(t(-1, 0), Error);
+  EXPECT_THROW(t.at(6), Error);
+  EXPECT_THROW(t(0), Error);  // wrong arity
+}
+
+TEST(Tensor, ShapeValueMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, DimNegativeIndex) {
+  Tensor t(Shape{2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_THROW(t.dim(3), Error);
+}
+
+TEST(Tensor, Factories) {
+  EXPECT_EQ(Tensor::ones(Shape{3}).sum(), 3.0);
+  EXPECT_EQ(Tensor::full(Shape{2}, 2.5F).sum(), 5.0);
+  const Tensor f = Tensor::from({1.0F, -1.0F});
+  EXPECT_EQ(f.dim(0), 2);
+  EXPECT_EQ(f(1), -1.0F);
+}
+
+TEST(Tensor, RandnStats) {
+  Rng rng(1);
+  const Tensor t = Tensor::randn(Shape{10000}, rng, 2.0F);
+  EXPECT_NEAR(t.mean(), 0.0, 0.1);
+  double var = 0.0;
+  for (const float v : t.data()) var += v * v;
+  EXPECT_NEAR(var / 10000.0, 4.0, 0.3);
+}
+
+TEST(Tensor, RandBounds) {
+  Rng rng(2);
+  const Tensor t = Tensor::rand(Shape{1000}, rng, -2.0F, -1.0F);
+  EXPECT_GE(t.min(), -2.0F);
+  EXPECT_LT(t.max(), -1.0F);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r(2, 1), 6.0F);
+  EXPECT_THROW(t.reshaped(Shape{4, 2}), Error);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t(Shape{4}, {1, -2, 3, 0});
+  EXPECT_EQ(t.sum(), 2.0);
+  EXPECT_EQ(t.mean(), 0.5);
+  EXPECT_EQ(t.min(), -2.0F);
+  EXPECT_EQ(t.max(), 3.0F);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(14.0), 1e-6);
+}
+
+TEST(Tensor, AxpyAndScale) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  const Tensor b(Shape{3}, {1, 1, 1});
+  a.axpy(2.0F, b);
+  EXPECT_EQ(a(0), 3.0F);
+  EXPECT_EQ(a(2), 5.0F);
+  a.scale(0.5F);
+  EXPECT_EQ(a(0), 1.5F);
+  Tensor c(Shape{2});
+  EXPECT_THROW(a.axpy(1.0F, c), Error);
+}
+
+// ---------------------------------------------------------------- ops
+
+TEST(Ops, AddSubMul) {
+  const Tensor a(Shape{2}, {1, 2});
+  const Tensor b(Shape{2}, {3, 5});
+  EXPECT_EQ(ops::add(a, b)(1), 7.0F);
+  EXPECT_EQ(ops::sub(b, a)(0), 2.0F);
+  EXPECT_EQ(ops::mul(a, b)(1), 10.0F);
+  EXPECT_EQ(ops::scale(a, 3.0F)(0), 3.0F);
+  const Tensor c(Shape{3});
+  EXPECT_THROW(ops::add(a, c), Error);
+}
+
+TEST(Ops, MatmulSmall) {
+  const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c(0, 0), 58.0F);
+  EXPECT_EQ(c(0, 1), 64.0F);
+  EXPECT_EQ(c(1, 0), 139.0F);
+  EXPECT_EQ(c(1, 1), 154.0F);
+}
+
+TEST(Ops, MatmulShapeMismatch) {
+  const Tensor a(Shape{2, 3});
+  const Tensor b(Shape{2, 2});
+  EXPECT_THROW(ops::matmul(a, b), Error);
+}
+
+TEST(Ops, MatmulVariantsAgree) {
+  Rng rng(3);
+  const Tensor a = Tensor::randn(Shape{4, 6}, rng);
+  const Tensor b = Tensor::randn(Shape{6, 5}, rng);
+  const Tensor c = ops::matmul(a, b);
+  // matmul_bt(a, b^T) == a b
+  const Tensor bt = ops::transpose(b);
+  const Tensor c2 = ops::matmul_bt(a, bt);
+  // matmul_at(a^T, b) == a b
+  const Tensor at = ops::transpose(a);
+  const Tensor c3 = ops::matmul_at(at, b);
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_NEAR(c.at(i), c2.at(i), 1e-4);
+    EXPECT_NEAR(c.at(i), c3.at(i), 1e-4);
+  }
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  Rng rng(4);
+  const Tensor a = Tensor::rand(Shape{3, 5}, rng);
+  const Tensor t = ops::transpose(ops::transpose(a));
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.at(i), t.at(i));
+}
+
+TEST(Ops, LinearForward) {
+  const Tensor x(Shape{1, 2}, {1, 2});
+  const Tensor w(Shape{3, 2}, {1, 0, 0, 1, 1, 1});
+  const Tensor b(Shape{3}, {0.5F, -0.5F, 0});
+  const Tensor y = ops::linear_forward(x, w, b);
+  EXPECT_EQ(y(0, 0), 1.5F);
+  EXPECT_EQ(y(0, 1), 1.5F);
+  EXPECT_EQ(y(0, 2), 3.0F);
+}
+
+TEST(Ops, ArgmaxRows) {
+  const Tensor t(Shape{2, 3}, {0, 5, 2, 7, 1, 3});
+  const auto idx = ops::argmax_rows(t);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  const Tensor t(Shape{2, 3}, {1, 2, 3, 1000, 1000, 1000});
+  const Tensor p = ops::softmax_rows(t);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < 3; ++j) {
+      s += p(i, j);
+      EXPECT_GE(p(i, j), 0.0F);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+  // Large logits don't overflow (stabilized).
+  EXPECT_NEAR(p(1, 0), 1.0 / 3.0, 1e-5);
+}
+
+TEST(Ops, SumRows) {
+  const Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor s = ops::sum_rows(t);
+  EXPECT_EQ(s(0), 5.0F);
+  EXPECT_EQ(s(1), 7.0F);
+  EXPECT_EQ(s(2), 9.0F);
+}
+
+TEST(Ops, DotAndCosine) {
+  const Tensor a(Shape{3}, {1, 0, 1});
+  const Tensor b(Shape{3}, {1, 1, 0});
+  EXPECT_EQ(ops::dot(a, b), 1.0);
+  EXPECT_NEAR(ops::cosine_similarity(a, b), 0.5, 1e-6);
+  EXPECT_NEAR(ops::cosine_similarity(a, a), 1.0, 1e-6);
+  const Tensor z(Shape{3});
+  EXPECT_EQ(ops::cosine_similarity(a, z), 0.0);
+}
+
+TEST(Ops, ReluAndBackward) {
+  const Tensor x(Shape{4}, {-1, 0, 2, -3});
+  const Tensor y = ops::relu(x);
+  EXPECT_EQ(y(0), 0.0F);
+  EXPECT_EQ(y(2), 2.0F);
+  const Tensor g(Shape{4}, {1, 1, 1, 1});
+  const Tensor gx = ops::relu_backward(g, x);
+  EXPECT_EQ(gx(0), 0.0F);
+  EXPECT_EQ(gx(1), 0.0F);  // sign(0) treated as non-positive for grad
+  EXPECT_EQ(gx(2), 1.0F);
+}
+
+TEST(Ops, MatmulRandomAgainstNaive) {
+  Rng rng(5);
+  const std::int64_t m = 7, k = 9, n = 8;
+  const Tensor a = Tensor::randn(Shape{m, k}, rng);
+  const Tensor b = Tensor::randn(Shape{k, n}, rng);
+  const Tensor c = ops::matmul(a, b);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += a(i, kk) * b(kk, j);
+      EXPECT_NEAR(c(i, j), acc, 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fhdnn
