@@ -5,14 +5,25 @@
 
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace fhdnn::fl {
 
 namespace {
 
 constexpr std::int64_t kEvalBatch = 128;
+
+/// Everything one client task produces; the server reduces these in
+/// participant order after the parallel section.
+struct ClientOutcome {
+  std::vector<float> state;       ///< post-channel update (delivered only)
+  double loss = 0.0;
+  std::uint64_t sent_scalars = 0;  ///< scalars actually transmitted
+  channel::TransmitStats stats;
+};
 
 }  // namespace
 
@@ -40,11 +51,39 @@ FedAvgTrainer::FedAvgTrainer(ModelFactory factory, const data::Dataset& train,
               "dropout_prob " << config_.dropout_prob);
   Rng init_rng = root_rng_.fork("init");
   global_ = factory_(init_rng);
-  Rng worker_rng = root_rng_.fork("worker-init");
-  worker_ = factory_(worker_rng);
   state_scalars_ = nn::state_size(*global_);
-  FHDNN_CHECK(nn::state_size(*worker_) == state_scalars_,
+  // Seed the worker pool with one instance and verify the factory produces
+  // a matching architecture; further instances are created on demand.
+  Rng worker_rng = root_rng_.fork("worker-init");
+  auto first_worker = factory_(worker_rng);
+  FHDNN_CHECK(nn::state_size(*first_worker) == state_scalars_,
               "factory produced mismatched architectures");
+  worker_pool_.push_back(std::move(first_worker));
+  workers_created_ = 1;
+}
+
+std::unique_ptr<nn::Module> FedAvgTrainer::acquire_worker() {
+  {
+    const std::lock_guard<std::mutex> lock(worker_mu_);
+    if (!worker_pool_.empty()) {
+      auto worker = std::move(worker_pool_.back());
+      worker_pool_.pop_back();
+      return worker;
+    }
+    ++workers_created_;
+  }
+  // The instance is fully overwritten by copy_state before training, so the
+  // init stream only needs to be unique, not meaningful.
+  Rng rng = root_rng_.fork("worker-init-" + std::to_string(workers_created_));
+  auto worker = factory_(rng);
+  FHDNN_CHECK(nn::state_size(*worker) == state_scalars_,
+              "factory produced mismatched architectures");
+  return worker;
+}
+
+void FedAvgTrainer::release_worker(std::unique_ptr<nn::Module> worker) {
+  const std::lock_guard<std::mutex> lock(worker_mu_);
+  worker_pool_.push_back(std::move(worker));
 }
 
 double FedAvgTrainer::evaluate() {
@@ -61,21 +100,25 @@ double FedAvgTrainer::evaluate() {
         test_batch_.x.data().begin() + static_cast<std::ptrdiff_t>(begin * per),
         len * per, xb.data().begin());
     const Tensor logits = global_->forward(xb);
-    std::vector<std::int64_t> labels(
-        test_batch_.labels.begin() + static_cast<std::ptrdiff_t>(begin),
-        test_batch_.labels.begin() + static_cast<std::ptrdiff_t>(begin + len));
-    correct += static_cast<std::size_t>(
-        std::llround(nn::accuracy(logits, labels) * static_cast<double>(len)));
+    // Count correct predictions directly — reconstructing the count from
+    // the accuracy ratio can round off by one.
+    const auto preds = ops::argmax_rows(logits);
+    for (std::int64_t i = 0; i < len; ++i) {
+      if (preds[static_cast<std::size_t>(i)] ==
+          test_batch_.labels[static_cast<std::size_t>(begin + i)]) {
+        ++correct;
+      }
+    }
   }
   global_->set_training(true);
   return static_cast<double>(correct) / static_cast<double>(n);
 }
 
 std::pair<std::vector<float>, double> FedAvgTrainer::local_update(
-    std::size_t client, Rng& rng) {
-  nn::copy_state(*global_, *worker_);
-  worker_->set_training(true);
-  nn::Sgd opt(*worker_, {config_.lr, config_.momentum, config_.weight_decay});
+    std::size_t client, Rng& rng, nn::Module& worker) {
+  nn::copy_state(*global_, worker);
+  worker.set_training(true);
+  nn::Sgd opt(worker, {config_.lr, config_.momentum, config_.weight_decay});
   nn::CrossEntropyLoss loss_fn;
   const auto& indices = parts_[client];
   FHDNN_CHECK(!indices.empty(), "client " << client << " has no data");
@@ -90,14 +133,14 @@ std::pair<std::vector<float>, double> FedAvgTrainer::local_update(
       for (const std::size_t i : local_idx) batch_idx.push_back(indices[i]);
       const auto batch = train_.gather(batch_idx);
       opt.zero_grad();
-      const Tensor logits = worker_->forward(batch.x);
+      const Tensor logits = worker.forward(batch.x);
       total_loss += loss_fn.forward(logits, batch.labels);
-      worker_->backward(loss_fn.backward());
+      worker.backward(loss_fn.backward());
       opt.step();
       ++batches;
     }
   }
-  return {nn::get_state(*worker_),
+  return {nn::get_state(worker),
           batches ? total_loss / static_cast<double>(batches) : 0.0};
 }
 
@@ -105,6 +148,7 @@ RoundMetrics FedAvgTrainer::round(int round_index) {
   Rng round_rng = root_rng_.fork("round-" + std::to_string(round_index));
   Rng sample_rng = round_rng.fork("sample");
   const auto participants = sampler_.sample(sample_rng);
+  const auto n_participants = static_cast<std::int64_t>(participants.size());
 
   RoundMetrics metrics;
   metrics.round = round_index;
@@ -115,47 +159,84 @@ RoundMetrics FedAvgTrainer::round(int round_index) {
       config_.update_fraction < 1.0 ? nn::get_state(*global_)
                                     : std::vector<float>{};
 
+  // Pre-draw delivery outcomes in participant order so the dropout stream
+  // never depends on client execution order.
+  std::vector<char> delivered_flag(participants.size(), 1);
+  Rng dropout_rng = round_rng.fork("dropout");
+  if (config_.dropout_prob > 0.0) {
+    for (auto& flag : delivered_flag) {
+      if (dropout_rng.bernoulli(config_.dropout_prob)) flag = 0;
+    }
+  }
+
+  // Client-parallel local updates. Each task draws only from its own named
+  // RNG fork and trains a private worker model; `global_` is read-only
+  // until the serial reduction below.
+  std::vector<ClientOutcome> outcomes(participants.size());
+  parallel::parallel_for(0, n_participants, 1,
+                         [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t idx = i0; idx < i1; ++idx) {
+      const std::size_t client = participants[static_cast<std::size_t>(idx)];
+      ClientOutcome& out = outcomes[static_cast<std::size_t>(idx)];
+      Rng client_rng = round_rng.fork("client-" + std::to_string(client));
+      auto worker = acquire_worker();
+      auto [state, loss] = local_update(client, client_rng, *worker);
+      release_worker(std::move(worker));
+      out.loss = loss;
+      if (!delivered_flag[static_cast<std::size_t>(idx)]) {
+        // Transmission failure: the client trained (and paid the compute),
+        // but its delivery is discarded — nothing reaches the server and no
+        // bytes are accounted.
+        continue;
+      }
+      // Update-subsampling compression: untransmitted scalars fall back to
+      // the broadcast global value at the server. Uplink accounting counts
+      // the scalars the Bernoulli mask actually transmitted, not the
+      // expected fraction.
+      std::uint64_t sent = state.size();
+      if (config_.update_fraction < 1.0) {
+        Rng mask_rng = client_rng.fork("mask");
+        sent = 0;
+        for (std::size_t i = 0; i < state.size(); ++i) {
+          if (mask_rng.bernoulli(config_.update_fraction)) {
+            ++sent;
+          } else {
+            state[i] = broadcast_state[i];
+          }
+        }
+      }
+      out.sent_scalars = sent;
+      if (uplink_ != nullptr) {
+        Rng chan_rng = client_rng.fork("channel");
+        out.stats = uplink_->apply(state, chan_rng);
+      }
+      out.state = std::move(state);
+    }
+  });
+
+  // Serial reduction in fixed participant order: aggregation stays
+  // bit-identical to the sequential schedule at any thread count.
   std::vector<float> aggregate(static_cast<std::size_t>(state_scalars_), 0.0F);
   double weight_total = 0.0;
   double loss_total = 0.0;
   std::size_t delivered = 0;
-  Rng dropout_rng = round_rng.fork("dropout");
-  for (const std::size_t client : participants) {
-    if (config_.dropout_prob > 0.0 &&
-        dropout_rng.bernoulli(config_.dropout_prob)) {
-      continue;  // client trained but never delivered; nothing reaches the server
-    }
+  for (std::size_t idx = 0; idx < participants.size(); ++idx) {
+    if (!delivered_flag[idx]) continue;  // trained but never delivered
     ++delivered;
-    Rng client_rng = round_rng.fork("client-" + std::to_string(client));
-    auto [state, loss] = local_update(client, client_rng);
-    loss_total += loss;
-    // Update-subsampling compression: untransmitted scalars fall back to
-    // the broadcast global value at the server.
-    if (config_.update_fraction < 1.0) {
-      Rng mask_rng = client_rng.fork("mask");
-      for (std::size_t i = 0; i < state.size(); ++i) {
-        if (!mask_rng.bernoulli(config_.update_fraction)) {
-          state[i] = broadcast_state[i];
-        }
-      }
-      metrics.bytes_uplink += static_cast<std::uint64_t>(
-          config_.update_fraction * static_cast<double>(state.size()) *
-          sizeof(float));
-    } else {
-      metrics.bytes_uplink += state.size() * sizeof(float);
-    }
+    const std::size_t client = participants[idx];
+    ClientOutcome& out = outcomes[idx];
+    loss_total += out.loss;
+    metrics.bytes_uplink += out.sent_scalars * sizeof(float);
     if (uplink_ != nullptr) {
-      Rng chan_rng = client_rng.fork("channel");
-      const auto stats = uplink_->apply(state, chan_rng);
-      metrics.bits_on_air += stats.bits_on_air;
-      metrics.bit_flips += stats.bit_flips;
-      metrics.packets_lost += stats.packets_lost;
+      metrics.bits_on_air += out.stats.bits_on_air;
+      metrics.bit_flips += out.stats.bit_flips;
+      metrics.packets_lost += out.stats.packets_lost;
     } else {
-      metrics.bits_on_air += state.size() * 32;
+      metrics.bits_on_air += out.sent_scalars * 32;
     }
     const double w = static_cast<double>(parts_[client].size());
-    for (std::size_t i = 0; i < state.size(); ++i) {
-      aggregate[i] += static_cast<float>(w) * state[i];
+    for (std::size_t i = 0; i < out.state.size(); ++i) {
+      aggregate[i] += static_cast<float>(w) * out.state[i];
     }
     weight_total += w;
   }

@@ -2,10 +2,17 @@
 // baseline. Supports an unreliable uplink: each participating client's
 // serialized model state is pushed through a channel::Channel before the
 // server averages, exactly the corruption model of paper §3.5.
+//
+// Client local updates run in parallel (util/parallel.hpp): every client's
+// randomness comes from a named fork of the round RNG, each task trains a
+// private worker model, and the server reduces the collected updates in
+// fixed participant order — so round results are bit-identical at every
+// FHDNN_THREADS setting.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "channel/channel.hpp"
 #include "data/dataset.hpp"
@@ -67,10 +74,19 @@ class FedAvgTrainer {
   std::int64_t update_scalars() const { return state_scalars_; }
 
  private:
-  /// Train `client` locally from the current global state; returns its
-  /// post-training state and mean loss.
+  /// Train `client` locally from the current global state into `worker`;
+  /// returns its post-training state and mean loss. Thread-safe given a
+  /// private `worker` and `rng`: it only reads `global_`, `train_`, and
+  /// `parts_`.
   std::pair<std::vector<float>, double> local_update(std::size_t client,
-                                                     Rng& rng);
+                                                     Rng& rng,
+                                                     nn::Module& worker);
+
+  /// Check out / return a local-training model instance. The pool grows to
+  /// one instance per concurrently-running client task; every instance is
+  /// fully overwritten by copy_state before use, so reuse is safe.
+  std::unique_ptr<nn::Module> acquire_worker();
+  void release_worker(std::unique_ptr<nn::Module> worker);
 
   ModelFactory factory_;
   const data::Dataset& train_;
@@ -81,7 +97,9 @@ class FedAvgTrainer {
 
   Rng root_rng_;
   std::unique_ptr<nn::Module> global_;
-  std::unique_ptr<nn::Module> worker_;  ///< reused local-training instance
+  std::vector<std::unique_ptr<nn::Module>> worker_pool_;
+  std::mutex worker_mu_;
+  std::size_t workers_created_ = 0;
   std::int64_t state_scalars_ = 0;
   ClientSampler sampler_;
   TrainingHistory history_;

@@ -4,6 +4,7 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace fhdnn::fl {
 
@@ -74,45 +75,74 @@ RoundMetrics FedHdTrainer::round(int round_index) {
     (void)channel::transmit_hd_model(broadcast, config_.downlink, down_rng);
   }
 
+  // Pre-draw delivery outcomes in participant order so the dropout stream
+  // never depends on client execution order.
+  std::vector<char> delivered_flag(participants.size(), 1);
+  Rng dropout_rng = round_rng.fork("dropout");
+  if (config_.dropout_prob > 0.0) {
+    for (auto& flag : delivered_flag) {
+      if (dropout_rng.bernoulli(config_.dropout_prob)) flag = 0;
+    }
+  }
+
+  // Client-parallel local refinement: each task owns a private classifier
+  // and draws only from named forks of the round RNG, so results are
+  // bit-identical at every thread count.
+  struct ClientOutcome {
+    Tensor transmitted;
+    double error = 0.0;
+    channel::HdUplinkStats stats;
+  };
+  std::vector<ClientOutcome> outcomes(participants.size());
+  parallel::parallel_for(
+      0, static_cast<std::int64_t>(participants.size()), 1,
+      [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t idx = i0; idx < i1; ++idx) {
+      const std::size_t client = participants[static_cast<std::size_t>(idx)];
+      ClientOutcome& out = outcomes[static_cast<std::size_t>(idx)];
+      const auto& cdata = clients_[client];
+      hdc::HdClassifier local(config_.num_classes, config_.hd_dim);
+      local.set_prototypes(broadcast);
+      if (global_empty) {
+        local.bundle(cdata.h, cdata.labels);  // one-shot learning (§3.4.1)
+      }
+      std::int64_t updates = 0;
+      for (int e = 0; e < config_.local_epochs; ++e) {
+        updates = config_.adaptive_refine
+                      ? local.refine_epoch_adaptive(cdata.h, cdata.labels,
+                                                    config_.refine_lr)
+                      : local.refine_epoch(cdata.h, cdata.labels,
+                                           config_.refine_lr);
+      }
+      out.error = static_cast<double>(updates) /
+                  static_cast<double>(cdata.labels.size());
+      if (!delivered_flag[static_cast<std::size_t>(idx)]) {
+        // Transmission failure: the client trained but its update never
+        // reaches the server; skip the uplink entirely.
+        continue;
+      }
+      // Uplink: possibly corrupt the local prototypes.
+      out.transmitted = local.prototypes();
+      Rng chan_rng = round_rng.fork("channel-" + std::to_string(client));
+      out.stats = channel::transmit_hd_model(out.transmitted, config_.uplink,
+                                             chan_rng);
+    }
+  });
+
+  // Serial reduction in fixed participant order (bit-identical aggregation).
   Tensor aggregate(Shape{config_.num_classes, config_.hd_dim});
   double error_total = 0.0;
   std::size_t delivered = 0;
-  Rng dropout_rng = round_rng.fork("dropout");
-
-  for (const std::size_t client : participants) {
-    if (config_.dropout_prob > 0.0 &&
-        dropout_rng.bernoulli(config_.dropout_prob)) {
-      continue;  // update never reaches the server
-    }
+  for (std::size_t idx = 0; idx < participants.size(); ++idx) {
+    if (!delivered_flag[idx]) continue;
     ++delivered;
-    const auto& cdata = clients_[client];
-    hdc::HdClassifier local(config_.num_classes, config_.hd_dim);
-    local.set_prototypes(broadcast);
-    if (global_empty) {
-      local.bundle(cdata.h, cdata.labels);  // one-shot learning (§3.4.1)
-    }
-    std::int64_t updates = 0;
-    for (int e = 0; e < config_.local_epochs; ++e) {
-      updates = config_.adaptive_refine
-                    ? local.refine_epoch_adaptive(cdata.h, cdata.labels,
-                                                  config_.refine_lr)
-                    : local.refine_epoch(cdata.h, cdata.labels,
-                                         config_.refine_lr);
-    }
-    error_total += static_cast<double>(updates) /
-                   static_cast<double>(cdata.labels.size());
-
-    // Uplink: possibly corrupt the local prototypes.
-    Tensor transmitted = local.prototypes();
-    Rng chan_rng = round_rng.fork("channel-" + std::to_string(client));
-    const auto stats =
-        channel::transmit_hd_model(transmitted, config_.uplink, chan_rng);
-    metrics.bits_on_air += stats.bits_on_air;
-    metrics.bit_flips += stats.bit_flips;
-    metrics.packets_lost += stats.packets_lost;
+    const ClientOutcome& out = outcomes[idx];
+    error_total += out.error;
+    metrics.bits_on_air += out.stats.bits_on_air;
+    metrics.bit_flips += out.stats.bit_flips;
+    metrics.packets_lost += out.stats.packets_lost;
     metrics.bytes_uplink += update_bytes();
-
-    aggregate.axpy(1.0F, transmitted);
+    aggregate.axpy(1.0F, out.transmitted);
   }
 
   metrics.clients = delivered;

@@ -17,6 +17,12 @@
 //      scale-invariant and the Eq. 4 SNR bundling gain is a ratio, identical
 //      under sum and mean. Set average_aggregation = false for the literal
 //      Eq. 1 behaviour in short runs.
+//
+// Steps 2–3 run client-parallel on the util/parallel.hpp pool: each
+// participant refines a private HdClassifier seeded from a named RNG fork
+// and dropout coins are pre-drawn, while step 4 reduces serially in client
+// order — so round results are bit-identical at any FHDNN_THREADS setting
+// (see DESIGN.md §6).
 #pragma once
 
 #include <vector>

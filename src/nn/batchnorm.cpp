@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace fhdnn::nn {
 
@@ -29,7 +30,11 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   if (training_) {
     cached_xhat_ = Tensor(x.shape());
     cached_inv_std_ = Tensor(Shape{c});
-    for (std::int64_t ic = 0; ic < c; ++ic) {
+    // Channels are fully independent (stats, running buffers, and the
+    // output slice), so the channel loop parallelizes deterministically.
+    parallel::parallel_for(0, c, parallel::grain_for(3 * per_chan),
+                           [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ic = c0; ic < c1; ++ic) {
       double sum = 0.0, sum_sq = 0.0;
       for (std::int64_t in = 0; in < n; ++in) {
         for (std::int64_t iy = 0; iy < h; ++iy) {
@@ -62,8 +67,11 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
         }
       }
     }
+    });
   } else {
-    for (std::int64_t ic = 0; ic < c; ++ic) {
+    parallel::parallel_for(0, c, parallel::grain_for(per_chan),
+                           [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ic = c0; ic < c1; ++ic) {
       const float inv_std =
           1.0F / std::sqrt(running_var_(ic) + eps_);
       const float mu = running_mean_(ic);
@@ -76,6 +84,7 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
         }
       }
     }
+    });
   }
   return y;
 }
@@ -89,7 +98,10 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
                      w = cached_shape_[3];
   const double m = static_cast<double>(n * h * w);
   Tensor gx(cached_shape_);
-  for (std::int64_t ic = 0; ic < c; ++ic) {
+  parallel::parallel_for(0, c,
+                         parallel::grain_for(4 * static_cast<std::int64_t>(m)),
+                         [&](std::int64_t c0, std::int64_t c1) {
+  for (std::int64_t ic = c0; ic < c1; ++ic) {
     double sum_g = 0.0, sum_gx = 0.0;
     for (std::int64_t in = 0; in < n; ++in) {
       for (std::int64_t iy = 0; iy < h; ++iy) {
@@ -116,6 +128,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
       }
     }
   }
+  });
   return gx;
 }
 

@@ -6,6 +6,7 @@
 #include "tensor/ops.hpp"
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace fhdnn::ops {
 
@@ -30,26 +31,30 @@ Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
   const float* px = x.data().data();
   float* pc = cols.data().data();
   const std::int64_t row_len = c * k * k;
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        float* row = pc + ((in * oh + oy) * ow + ox) * row_len;
-        std::int64_t col_idx = 0;
-        for (std::int64_t ic = 0; ic < c; ++ic) {
-          const float* chan = px + (in * c + ic) * h * w;
-          for (std::int64_t ky = 0; ky < k; ++ky) {
-            const std::int64_t iy = oy * spec.stride + ky - spec.padding;
-            for (std::int64_t kx = 0; kx < k; ++kx) {
-              const std::int64_t ix = ox * spec.stride + kx - spec.padding;
-              row[col_idx++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                                   ? chan[iy * w + ix]
-                                   : 0.0F;
-            }
+  // One chunk owns a contiguous span of output rows (each row is one
+  // (image, oy, ox) patch), so the parallel fill is race-free.
+  parallel::parallel_for(0, n * oh * ow, parallel::grain_for(row_len),
+                         [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::int64_t in = r / (oh * ow);
+      const std::int64_t oy = (r / ow) % oh;
+      const std::int64_t ox = r % ow;
+      float* row = pc + r * row_len;
+      std::int64_t col_idx = 0;
+      for (std::int64_t ic = 0; ic < c; ++ic) {
+        const float* chan = px + (in * c + ic) * h * w;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          const std::int64_t iy = oy * spec.stride + ky - spec.padding;
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            const std::int64_t ix = ox * spec.stride + kx - spec.padding;
+            row[col_idx++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                 ? chan[iy * w + ix]
+                                 : 0.0F;
           }
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -65,7 +70,11 @@ Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::int64_t n,
   const float* pc = cols.data().data();
   float* px = x.data().data();
   const std::int64_t row_len = c * k * k;
-  for (std::int64_t in = 0; in < n; ++in) {
+  // Patches overlap within one image, so the accumulation is parallel over
+  // images only — each image's scatter region is disjoint.
+  parallel::parallel_for(0, n, parallel::grain_for(oh * ow * row_len),
+                         [&](std::int64_t n0, std::int64_t n1) {
+  for (std::int64_t in = n0; in < n1; ++in) {
     for (std::int64_t oy = 0; oy < oh; ++oy) {
       for (std::int64_t ox = 0; ox < ow; ++ox) {
         const float* row = pc + ((in * oh + oy) * ow + ox) * row_len;
@@ -86,6 +95,7 @@ Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::int64_t n,
       }
     }
   }
+  });
   return x;
 }
 
@@ -105,18 +115,22 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
       Shape{spec.out_channels, spec.in_channels * spec.kernel * spec.kernel});
   // (n*oh*ow, oc)
   Tensor out_rows = matmul_bt(cols, wmat);
-  // Rearrange to (n, oc, oh, ow) and add bias.
+  // Rearrange to (n, oc, oh, ow) and add bias; each image is private.
   Tensor y(Shape{n, spec.out_channels, oh, ow});
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        const std::int64_t r = (in * oh + oy) * ow + ox;
-        for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
-          y(in, oc, oy, ox) = out_rows(r, oc) + bias(oc);
+  parallel::parallel_for(
+      0, n, parallel::grain_for(spec.out_channels * oh * ow),
+      [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t in = n0; in < n1; ++in) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const std::int64_t r = (in * oh + oy) * ow + ox;
+          for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
+            y(in, oc, oy, ox) = out_rows(r, oc) + bias(oc);
+          }
         }
       }
     }
-  }
+  });
   return y;
 }
 
@@ -130,17 +144,21 @@ Conv2dGrads conv2d_backward(const Tensor& grad_out, const Tensor& x,
                   grad_out.dim(2) == oh && grad_out.dim(3) == ow,
               "conv2d_backward grad shape " << shape_to_string(grad_out.shape()));
 
-  // grad_out as rows: (n*oh*ow, oc)
+  // grad_out as rows: (n*oh*ow, oc); row blocks per image are disjoint.
   Tensor grows(Shape{n * oh * ow, spec.out_channels});
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-          grows((in * oh + oy) * ow + ox, oc) = grad_out(in, oc, oy, ox);
+  parallel::parallel_for(
+      0, n, parallel::grain_for(spec.out_channels * oh * ow),
+      [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t in = n0; in < n1; ++in) {
+      for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            grows((in * oh + oy) * ow + ox, oc) = grad_out(in, oc, oy, ox);
+          }
         }
       }
     }
-  }
+  });
 
   const Tensor cols = im2col(x, spec);  // (n*oh*ow, ic*k*k)
   // grad_wmat = grows^T * cols : (oc, ic*k*k)
@@ -174,11 +192,16 @@ MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel) {
   MaxPoolResult res{Tensor(Shape{n, c, oh, ow}), {}};
   res.argmax.resize(static_cast<std::size_t>(res.output.numel()));
   const float* px = x.data().data();
-  std::size_t out_i = 0;
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t ic = 0; ic < c; ++ic) {
-      const float* chan = px + (in * c + ic) * h * w;
-      const std::int64_t chan_base = (in * c + ic) * h * w;
+  // Parallel over (image, channel) planes; each plane writes a private
+  // slice of output and argmax.
+  parallel::parallel_for(0, n * c, parallel::grain_for(h * w),
+                         [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t plane = p0; plane < p1; ++plane) {
+      const std::int64_t in = plane / c;
+      const std::int64_t ic = plane % c;
+      const float* chan = px + plane * h * w;
+      const std::int64_t chan_base = plane * h * w;
+      std::size_t out_i = static_cast<std::size_t>(plane * oh * ow);
       for (std::int64_t oy = 0; oy < oh; ++oy) {
         for (std::int64_t ox = 0; ox < ow; ++ox) {
           float best = -std::numeric_limits<float>::infinity();
@@ -199,7 +222,7 @@ MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel) {
         }
       }
     }
-  }
+  });
   return res;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace fhdnn::ops {
 
@@ -62,17 +63,22 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  // ikj order: unit-stride inner loop over both b and c rows.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0F) continue;
-      const float* brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // ikj order: unit-stride inner loop over both b and c rows. Each output
+  // row is owned by exactly one chunk, so the parallel schedule is
+  // bit-identical to the serial one. No zero-skip: 0 * Inf and 0 * NaN must
+  // propagate NaN per IEEE-754 (the channel models rely on it).
+  parallel::parallel_for(0, m, parallel::grain_for(k * n),
+                         [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        const float* brow = pb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -87,16 +93,21 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
-      crow[j] = static_cast<float>(acc);
+  parallel::parallel_for(0, m, parallel::grain_for(k * n),
+                         [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        double acc = 0.0;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          acc += static_cast<double>(arow[kk]) * brow[kk];
+        }
+        crow[j] = static_cast<float>(acc);
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -111,16 +122,20 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0F) continue;
+  // i-outer so each output row is owned by one chunk; the per-element
+  // accumulation order (kk ascending) matches the serial kk-outer loop, so
+  // results are bit-identical. No zero-skip (IEEE NaN/Inf propagation).
+  parallel::parallel_for(0, m, parallel::grain_for(k * n),
+                         [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
       float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[kk * m + i];
+        const float* brow = pb + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -142,9 +157,12 @@ Tensor linear_forward(const Tensor& x, const Tensor& weight,
               "linear bias shape " << shape_to_string(bias.shape()));
   Tensor y = matmul_bt(x, weight);
   const std::int64_t n = y.dim(0), out = y.dim(1);
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t j = 0; j < out; ++j) y(i, j) += bias(j);
-  }
+  parallel::parallel_for(0, n, parallel::grain_for(out),
+                         [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t j = 0; j < out; ++j) y(i, j) += bias(j);
+    }
+  });
   return y;
 }
 
@@ -170,18 +188,21 @@ Tensor softmax_rows(const Tensor& logits) {
   check_2d(logits, "softmax_rows");
   const std::int64_t n = logits.dim(0), c = logits.dim(1);
   Tensor p(logits.shape());
-  for (std::int64_t i = 0; i < n; ++i) {
-    float mx = logits(i, 0);
-    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, logits(i, j));
-    double z = 0.0;
-    for (std::int64_t j = 0; j < c; ++j) {
-      const float e = std::exp(logits(i, j) - mx);
-      p(i, j) = e;
-      z += e;
+  parallel::parallel_for(0, n, parallel::grain_for(4 * c),
+                         [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float mx = logits(i, 0);
+      for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, logits(i, j));
+      double z = 0.0;
+      for (std::int64_t j = 0; j < c; ++j) {
+        const float e = std::exp(logits(i, j) - mx);
+        p(i, j) = e;
+        z += e;
+      }
+      const float inv = static_cast<float>(1.0 / z);
+      for (std::int64_t j = 0; j < c; ++j) p(i, j) *= inv;
     }
-    const float inv = static_cast<float>(1.0 / z);
-    for (std::int64_t j = 0; j < c; ++j) p(i, j) *= inv;
-  }
+  });
   return p;
 }
 
@@ -215,7 +236,15 @@ double cosine_similarity(const Tensor& a, const Tensor& b) {
 
 Tensor relu(const Tensor& x) {
   Tensor y = x;
-  for (auto& v : y.data()) v = std::max(v, 0.0F);
+  auto yd = y.data();
+  parallel::parallel_for(0, static_cast<std::int64_t>(yd.size()),
+                         parallel::grain_for(1),
+                         [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      yd[static_cast<std::size_t>(i)] =
+          std::max(yd[static_cast<std::size_t>(i)], 0.0F);
+    }
+  });
   return y;
 }
 
@@ -224,9 +253,15 @@ Tensor relu_backward(const Tensor& grad_out, const Tensor& x) {
   Tensor g = grad_out;
   auto gd = g.data();
   auto xd = x.data();
-  for (std::size_t i = 0; i < gd.size(); ++i) {
-    if (xd[i] <= 0.0F) gd[i] = 0.0F;
-  }
+  parallel::parallel_for(0, static_cast<std::int64_t>(gd.size()),
+                         parallel::grain_for(1),
+                         [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      if (xd[static_cast<std::size_t>(i)] <= 0.0F) {
+        gd[static_cast<std::size_t>(i)] = 0.0F;
+      }
+    }
+  });
   return g;
 }
 

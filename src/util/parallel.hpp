@@ -1,0 +1,61 @@
+// Deterministic thread-pool parallelism for the tensor kernels and the FL
+// client simulation.
+//
+// Design rules that make every parallel path bit-identical to the serial
+// schedule (`FHDNN_THREADS=1`):
+//   * `parallel_for` splits [begin, end) into contiguous chunks whose
+//     boundaries depend only on (begin, end, grain) — never on the thread
+//     count or on which worker picks a chunk up;
+//   * each index belongs to exactly one chunk, so a body that writes a
+//     private output region per index (a matmul row, an im2col row, a
+//     client slot) races with nobody and produces the same bits at every
+//     thread count;
+//   * cross-item reductions (FedAvg aggregation, loss averaging) are NOT
+//     parallelized — callers collect per-item results and reduce serially
+//     in fixed index order.
+// Nested calls from inside a parallel region run inline (one level of
+// parallelism): client-level parallelism in the FL trainers wins over
+// row-level parallelism in the kernels underneath it.
+//
+// The pool is process-global, lazily created, and sized by the
+// `FHDNN_THREADS` environment variable (default: hardware concurrency).
+// `set_num_threads` overrides the count at runtime (used by tests and the
+// scaling bench); `FHDNN_THREADS=1` disables the pool entirely.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fhdnn::parallel {
+
+/// Hard ceiling on pool size (a backstop, far above any sane setting).
+inline constexpr int kMaxThreads = 256;
+
+/// Configured thread count. Initialized on first use from `FHDNN_THREADS`
+/// (falling back to std::thread::hardware_concurrency()); always >= 1.
+int num_threads();
+
+/// Override the configured count, clamped to [1, kMaxThreads]. Takes effect
+/// on the next parallel_for; already-spawned workers stay alive.
+void set_num_threads(int n);
+
+/// Run `fn(chunk_begin, chunk_end)` over contiguous chunks of at most
+/// `grain` indices covering [begin, end), on up to num_threads() threads
+/// (the calling thread participates). Runs `fn(begin, end)` inline when the
+/// range is empty-or-single-chunk, the pool is configured serial, or the
+/// caller is already inside a parallel region. The first exception thrown
+/// by any chunk is rethrown on the calling thread after all chunks stop.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// True while the current thread executes inside a parallel_for body —
+/// nested parallel_for calls from such a context run inline.
+bool in_parallel_region();
+
+/// Grain size that puts at least `min_work` scalar operations into each
+/// chunk when one item costs `work_per_item` ops — keeps small loops serial
+/// and bounds per-chunk dispatch overhead.
+std::int64_t grain_for(std::int64_t work_per_item,
+                       std::int64_t min_work = 1 << 15);
+
+}  // namespace fhdnn::parallel

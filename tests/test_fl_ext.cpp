@@ -224,9 +224,12 @@ TEST(UpdateSubsampling, ReducesTrafficAndStillLearns) {
   fl::FedAvgTrainer sub_tr(factory, split.train, parts, split.test, cfg);
   const auto sub_hist = sub_tr.run();
 
-  EXPECT_NEAR(static_cast<double>(sub_hist.rounds()[0].bytes_uplink),
-              0.5 * static_cast<double>(full_hist.rounds()[0].bytes_uplink),
-              1.0);
+  // Uplink bytes count the scalars actually transmitted by each client's
+  // Bernoulli(q) mask, so the ratio matches q only up to sampling noise
+  // (a few sigma of a Binomial over ~10^4 scalars per client).
+  const auto full_bytes = static_cast<double>(full_hist.rounds()[0].bytes_uplink);
+  const auto sub_bytes = static_cast<double>(sub_hist.rounds()[0].bytes_uplink);
+  EXPECT_NEAR(sub_bytes, 0.5 * full_bytes, 0.02 * full_bytes);
   // Compression slows but must not destroy learning.
   EXPECT_GT(sub_hist.final_accuracy(), 0.35);
   EXPECT_GE(full_hist.final_accuracy() + 0.05, sub_hist.final_accuracy());
