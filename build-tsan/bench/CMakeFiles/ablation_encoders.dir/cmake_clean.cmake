@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_encoders.dir/ablation_encoders.cpp.o"
+  "CMakeFiles/ablation_encoders.dir/ablation_encoders.cpp.o.d"
+  "ablation_encoders"
+  "ablation_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quantizer_snr.dir/ablation_quantizer_snr.cpp.o"
+  "CMakeFiles/ablation_quantizer_snr.dir/ablation_quantizer_snr.cpp.o.d"
+  "ablation_quantizer_snr"
+  "ablation_quantizer_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quantizer_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

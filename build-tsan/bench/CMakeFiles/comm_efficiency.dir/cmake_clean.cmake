@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_efficiency.dir/comm_efficiency.cpp.o"
+  "CMakeFiles/comm_efficiency.dir/comm_efficiency.cpp.o.d"
+  "comm_efficiency"
+  "comm_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_analysis.dir/convergence_analysis.cpp.o"
+  "CMakeFiles/convergence_analysis.dir/convergence_analysis.cpp.o.d"
+  "convergence_analysis"
+  "convergence_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

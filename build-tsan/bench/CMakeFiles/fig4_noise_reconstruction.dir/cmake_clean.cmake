@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_noise_reconstruction.dir/fig4_noise_reconstruction.cpp.o"
+  "CMakeFiles/fig4_noise_reconstruction.dir/fig4_noise_reconstruction.cpp.o.d"
+  "fig4_noise_reconstruction"
+  "fig4_noise_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_noise_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

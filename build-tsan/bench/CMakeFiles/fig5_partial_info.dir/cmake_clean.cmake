@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_partial_info.dir/fig5_partial_info.cpp.o"
+  "CMakeFiles/fig5_partial_info.dir/fig5_partial_info.cpp.o.d"
+  "fig5_partial_info"
+  "fig5_partial_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_partial_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

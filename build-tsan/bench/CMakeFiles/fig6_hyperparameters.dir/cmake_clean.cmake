@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hyperparameters.dir/fig6_hyperparameters.cpp.o"
+  "CMakeFiles/fig6_hyperparameters.dir/fig6_hyperparameters.cpp.o.d"
+  "fig6_hyperparameters"
+  "fig6_hyperparameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hyperparameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_accuracy_curves.dir/fig7_accuracy_curves.cpp.o"
+  "CMakeFiles/fig7_accuracy_curves.dir/fig7_accuracy_curves.cpp.o.d"
+  "fig7_accuracy_curves"
+  "fig7_accuracy_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_accuracy_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

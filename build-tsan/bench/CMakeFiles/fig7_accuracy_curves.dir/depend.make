@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_accuracy_curves.
+# This may be replaced when dependencies are built.

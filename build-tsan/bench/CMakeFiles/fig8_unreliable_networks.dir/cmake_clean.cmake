@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_unreliable_networks.dir/fig8_unreliable_networks.cpp.o"
+  "CMakeFiles/fig8_unreliable_networks.dir/fig8_unreliable_networks.cpp.o.d"
+  "fig8_unreliable_networks"
+  "fig8_unreliable_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_unreliable_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

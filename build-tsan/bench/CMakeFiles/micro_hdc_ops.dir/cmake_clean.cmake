@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hdc_ops.dir/micro_hdc_ops.cpp.o"
+  "CMakeFiles/micro_hdc_ops.dir/micro_hdc_ops.cpp.o.d"
+  "micro_hdc_ops"
+  "micro_hdc_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hdc_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

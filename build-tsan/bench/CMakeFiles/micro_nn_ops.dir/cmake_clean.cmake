@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_nn_ops.dir/micro_nn_ops.cpp.o"
+  "CMakeFiles/micro_nn_ops.dir/micro_nn_ops.cpp.o.d"
+  "micro_nn_ops"
+  "micro_nn_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_nn_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_nn_ops.
+# This may be replaced when dependencies are built.

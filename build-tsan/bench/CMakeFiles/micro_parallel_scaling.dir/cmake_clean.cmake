@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parallel_scaling.dir/micro_parallel_scaling.cpp.o"
+  "CMakeFiles/micro_parallel_scaling.dir/micro_parallel_scaling.cpp.o.d"
+  "micro_parallel_scaling"
+  "micro_parallel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parallel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

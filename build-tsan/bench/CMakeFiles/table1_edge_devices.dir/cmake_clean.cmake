@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_edge_devices.dir/table1_edge_devices.cpp.o"
+  "CMakeFiles/table1_edge_devices.dir/table1_edge_devices.cpp.o.d"
+  "table1_edge_devices"
+  "table1_edge_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_edge_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noniid_study.dir/noniid_study.cpp.o"
+  "CMakeFiles/noniid_study.dir/noniid_study.cpp.o.d"
+  "noniid_study"
+  "noniid_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noniid_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

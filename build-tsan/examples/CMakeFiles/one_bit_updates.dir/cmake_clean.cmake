@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_bit_updates.dir/one_bit_updates.cpp.o"
+  "CMakeFiles/one_bit_updates.dir/one_bit_updates.cpp.o.d"
+  "one_bit_updates"
+  "one_bit_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_bit_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for one_bit_updates.
+# This may be replaced when dependencies are built.

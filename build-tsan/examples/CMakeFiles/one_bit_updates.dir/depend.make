@@ -1,0 +1,2 @@
+# Empty dependencies file for one_bit_updates.
+# This may be replaced when dependencies are built.

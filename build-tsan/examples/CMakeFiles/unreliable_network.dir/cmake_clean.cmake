@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unreliable_network.dir/unreliable_network.cpp.o"
+  "CMakeFiles/unreliable_network.dir/unreliable_network.cpp.o.d"
+  "unreliable_network"
+  "unreliable_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unreliable_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

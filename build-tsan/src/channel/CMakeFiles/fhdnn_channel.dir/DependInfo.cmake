@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/bits.cpp" "src/channel/CMakeFiles/fhdnn_channel.dir/bits.cpp.o" "gcc" "src/channel/CMakeFiles/fhdnn_channel.dir/bits.cpp.o.d"
+  "/root/repo/src/channel/channel.cpp" "src/channel/CMakeFiles/fhdnn_channel.dir/channel.cpp.o" "gcc" "src/channel/CMakeFiles/fhdnn_channel.dir/channel.cpp.o.d"
+  "/root/repo/src/channel/fading.cpp" "src/channel/CMakeFiles/fhdnn_channel.dir/fading.cpp.o" "gcc" "src/channel/CMakeFiles/fhdnn_channel.dir/fading.cpp.o.d"
+  "/root/repo/src/channel/hd_uplink.cpp" "src/channel/CMakeFiles/fhdnn_channel.dir/hd_uplink.cpp.o" "gcc" "src/channel/CMakeFiles/fhdnn_channel.dir/hd_uplink.cpp.o.d"
+  "/root/repo/src/channel/lte.cpp" "src/channel/CMakeFiles/fhdnn_channel.dir/lte.cpp.o" "gcc" "src/channel/CMakeFiles/fhdnn_channel.dir/lte.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/hdc/CMakeFiles/fhdnn_hdc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/fhdnn_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/fhdnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhdnn_channel.dir/bits.cpp.o"
+  "CMakeFiles/fhdnn_channel.dir/bits.cpp.o.d"
+  "CMakeFiles/fhdnn_channel.dir/channel.cpp.o"
+  "CMakeFiles/fhdnn_channel.dir/channel.cpp.o.d"
+  "CMakeFiles/fhdnn_channel.dir/fading.cpp.o"
+  "CMakeFiles/fhdnn_channel.dir/fading.cpp.o.d"
+  "CMakeFiles/fhdnn_channel.dir/hd_uplink.cpp.o"
+  "CMakeFiles/fhdnn_channel.dir/hd_uplink.cpp.o.d"
+  "CMakeFiles/fhdnn_channel.dir/lte.cpp.o"
+  "CMakeFiles/fhdnn_channel.dir/lte.cpp.o.d"
+  "libfhdnn_channel.a"
+  "libfhdnn_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhdnn_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

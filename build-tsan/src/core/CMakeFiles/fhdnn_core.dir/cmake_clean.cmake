@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhdnn_core.dir/experiment.cpp.o"
+  "CMakeFiles/fhdnn_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/fhdnn_core.dir/fhdnn.cpp.o"
+  "CMakeFiles/fhdnn_core.dir/fhdnn.cpp.o.d"
+  "CMakeFiles/fhdnn_core.dir/pipeline.cpp.o"
+  "CMakeFiles/fhdnn_core.dir/pipeline.cpp.o.d"
+  "libfhdnn_core.a"
+  "libfhdnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhdnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhdnn_data.dir/dataset.cpp.o"
+  "CMakeFiles/fhdnn_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fhdnn_data.dir/partition.cpp.o"
+  "CMakeFiles/fhdnn_data.dir/partition.cpp.o.d"
+  "CMakeFiles/fhdnn_data.dir/synthetic.cpp.o"
+  "CMakeFiles/fhdnn_data.dir/synthetic.cpp.o.d"
+  "libfhdnn_data.a"
+  "libfhdnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhdnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fhdnn_data.
+# This may be replaced when dependencies are built.

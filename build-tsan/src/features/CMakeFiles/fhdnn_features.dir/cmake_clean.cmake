@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhdnn_features.dir/extractor.cpp.o"
+  "CMakeFiles/fhdnn_features.dir/extractor.cpp.o.d"
+  "libfhdnn_features.a"
+  "libfhdnn_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhdnn_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

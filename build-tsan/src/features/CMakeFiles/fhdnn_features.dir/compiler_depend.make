@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fhdnn_features.
+# This may be replaced when dependencies are built.

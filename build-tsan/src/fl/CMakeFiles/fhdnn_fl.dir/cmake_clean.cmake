@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhdnn_fl.dir/convergence.cpp.o"
+  "CMakeFiles/fhdnn_fl.dir/convergence.cpp.o.d"
+  "CMakeFiles/fhdnn_fl.dir/fedavg.cpp.o"
+  "CMakeFiles/fhdnn_fl.dir/fedavg.cpp.o.d"
+  "CMakeFiles/fhdnn_fl.dir/fedhd.cpp.o"
+  "CMakeFiles/fhdnn_fl.dir/fedhd.cpp.o.d"
+  "CMakeFiles/fhdnn_fl.dir/history.cpp.o"
+  "CMakeFiles/fhdnn_fl.dir/history.cpp.o.d"
+  "CMakeFiles/fhdnn_fl.dir/sampler.cpp.o"
+  "CMakeFiles/fhdnn_fl.dir/sampler.cpp.o.d"
+  "CMakeFiles/fhdnn_fl.dir/timeline.cpp.o"
+  "CMakeFiles/fhdnn_fl.dir/timeline.cpp.o.d"
+  "libfhdnn_fl.a"
+  "libfhdnn_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhdnn_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdc/binary_model.cpp" "src/hdc/CMakeFiles/fhdnn_hdc.dir/binary_model.cpp.o" "gcc" "src/hdc/CMakeFiles/fhdnn_hdc.dir/binary_model.cpp.o.d"
+  "/root/repo/src/hdc/classifier.cpp" "src/hdc/CMakeFiles/fhdnn_hdc.dir/classifier.cpp.o" "gcc" "src/hdc/CMakeFiles/fhdnn_hdc.dir/classifier.cpp.o.d"
+  "/root/repo/src/hdc/encoder.cpp" "src/hdc/CMakeFiles/fhdnn_hdc.dir/encoder.cpp.o" "gcc" "src/hdc/CMakeFiles/fhdnn_hdc.dir/encoder.cpp.o.d"
+  "/root/repo/src/hdc/id_level_encoder.cpp" "src/hdc/CMakeFiles/fhdnn_hdc.dir/id_level_encoder.cpp.o" "gcc" "src/hdc/CMakeFiles/fhdnn_hdc.dir/id_level_encoder.cpp.o.d"
+  "/root/repo/src/hdc/ops.cpp" "src/hdc/CMakeFiles/fhdnn_hdc.dir/ops.cpp.o" "gcc" "src/hdc/CMakeFiles/fhdnn_hdc.dir/ops.cpp.o.d"
+  "/root/repo/src/hdc/quantizer.cpp" "src/hdc/CMakeFiles/fhdnn_hdc.dir/quantizer.cpp.o" "gcc" "src/hdc/CMakeFiles/fhdnn_hdc.dir/quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/fhdnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/fhdnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhdnn_hdc.dir/binary_model.cpp.o"
+  "CMakeFiles/fhdnn_hdc.dir/binary_model.cpp.o.d"
+  "CMakeFiles/fhdnn_hdc.dir/classifier.cpp.o"
+  "CMakeFiles/fhdnn_hdc.dir/classifier.cpp.o.d"
+  "CMakeFiles/fhdnn_hdc.dir/encoder.cpp.o"
+  "CMakeFiles/fhdnn_hdc.dir/encoder.cpp.o.d"
+  "CMakeFiles/fhdnn_hdc.dir/id_level_encoder.cpp.o"
+  "CMakeFiles/fhdnn_hdc.dir/id_level_encoder.cpp.o.d"
+  "CMakeFiles/fhdnn_hdc.dir/ops.cpp.o"
+  "CMakeFiles/fhdnn_hdc.dir/ops.cpp.o.d"
+  "CMakeFiles/fhdnn_hdc.dir/quantizer.cpp.o"
+  "CMakeFiles/fhdnn_hdc.dir/quantizer.cpp.o.d"
+  "libfhdnn_hdc.a"
+  "libfhdnn_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhdnn_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

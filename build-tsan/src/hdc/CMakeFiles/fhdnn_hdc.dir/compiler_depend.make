@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fhdnn_hdc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/fhdnn_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/fhdnn_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/fhdnn_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/fhdnn_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fhdnn_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fhdnn_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/fhdnn_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/fhdnn_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/fhdnn_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/fhdnn_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/resnet.cpp" "src/nn/CMakeFiles/fhdnn_nn.dir/resnet.cpp.o" "gcc" "src/nn/CMakeFiles/fhdnn_nn.dir/resnet.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/fhdnn_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/fhdnn_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/fhdnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/fhdnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhdnn_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/fhdnn_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/fhdnn_nn.dir/layers.cpp.o"
+  "CMakeFiles/fhdnn_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/fhdnn_nn.dir/loss.cpp.o"
+  "CMakeFiles/fhdnn_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fhdnn_nn.dir/module.cpp.o"
+  "CMakeFiles/fhdnn_nn.dir/module.cpp.o.d"
+  "CMakeFiles/fhdnn_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fhdnn_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fhdnn_nn.dir/resnet.cpp.o"
+  "CMakeFiles/fhdnn_nn.dir/resnet.cpp.o.d"
+  "CMakeFiles/fhdnn_nn.dir/serialize.cpp.o"
+  "CMakeFiles/fhdnn_nn.dir/serialize.cpp.o.d"
+  "libfhdnn_nn.a"
+  "libfhdnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhdnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhdnn_perf.dir/device_model.cpp.o"
+  "CMakeFiles/fhdnn_perf.dir/device_model.cpp.o.d"
+  "CMakeFiles/fhdnn_perf.dir/model_macs.cpp.o"
+  "CMakeFiles/fhdnn_perf.dir/model_macs.cpp.o.d"
+  "libfhdnn_perf.a"
+  "libfhdnn_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhdnn_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

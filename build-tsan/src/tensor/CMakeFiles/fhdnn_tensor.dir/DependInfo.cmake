@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/conv.cpp" "src/tensor/CMakeFiles/fhdnn_tensor.dir/conv.cpp.o" "gcc" "src/tensor/CMakeFiles/fhdnn_tensor.dir/conv.cpp.o.d"
+  "/root/repo/src/tensor/io.cpp" "src/tensor/CMakeFiles/fhdnn_tensor.dir/io.cpp.o" "gcc" "src/tensor/CMakeFiles/fhdnn_tensor.dir/io.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/tensor/CMakeFiles/fhdnn_tensor.dir/ops.cpp.o" "gcc" "src/tensor/CMakeFiles/fhdnn_tensor.dir/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/fhdnn_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/fhdnn_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/fhdnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

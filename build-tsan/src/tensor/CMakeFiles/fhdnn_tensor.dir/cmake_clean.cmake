@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhdnn_tensor.dir/conv.cpp.o"
+  "CMakeFiles/fhdnn_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/fhdnn_tensor.dir/io.cpp.o"
+  "CMakeFiles/fhdnn_tensor.dir/io.cpp.o.d"
+  "CMakeFiles/fhdnn_tensor.dir/ops.cpp.o"
+  "CMakeFiles/fhdnn_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/fhdnn_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fhdnn_tensor.dir/tensor.cpp.o.d"
+  "libfhdnn_tensor.a"
+  "libfhdnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhdnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/util/CMakeFiles/fhdnn_util.dir/cli.cpp.o" "gcc" "src/util/CMakeFiles/fhdnn_util.dir/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/fhdnn_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/fhdnn_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/fhdnn_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/fhdnn_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/util/CMakeFiles/fhdnn_util.dir/parallel.cpp.o" "gcc" "src/util/CMakeFiles/fhdnn_util.dir/parallel.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/fhdnn_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/fhdnn_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/fhdnn_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/fhdnn_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/fhdnn_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/fhdnn_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fhdnn_util.dir/cli.cpp.o"
+  "CMakeFiles/fhdnn_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fhdnn_util.dir/csv.cpp.o"
+  "CMakeFiles/fhdnn_util.dir/csv.cpp.o.d"
+  "CMakeFiles/fhdnn_util.dir/log.cpp.o"
+  "CMakeFiles/fhdnn_util.dir/log.cpp.o.d"
+  "CMakeFiles/fhdnn_util.dir/parallel.cpp.o"
+  "CMakeFiles/fhdnn_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/fhdnn_util.dir/rng.cpp.o"
+  "CMakeFiles/fhdnn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fhdnn_util.dir/stats.cpp.o"
+  "CMakeFiles/fhdnn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fhdnn_util.dir/table.cpp.o"
+  "CMakeFiles/fhdnn_util.dir/table.cpp.o.d"
+  "libfhdnn_util.a"
+  "libfhdnn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fhdnn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

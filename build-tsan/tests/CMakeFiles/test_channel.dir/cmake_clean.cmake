@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel.dir/test_channel.cpp.o"
+  "CMakeFiles/test_channel.dir/test_channel.cpp.o.d"
+  "test_channel"
+  "test_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

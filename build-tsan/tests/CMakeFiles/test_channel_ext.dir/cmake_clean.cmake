@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_ext.dir/test_channel_ext.cpp.o"
+  "CMakeFiles/test_channel_ext.dir/test_channel_ext.cpp.o.d"
+  "test_channel_ext"
+  "test_channel_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv.dir/test_conv.cpp.o"
+  "CMakeFiles/test_conv.dir/test_conv.cpp.o.d"
+  "test_conv"
+  "test_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

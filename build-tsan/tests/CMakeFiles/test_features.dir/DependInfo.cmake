@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/test_features.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/test_features.dir/test_features.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/fhdnn_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fl/CMakeFiles/fhdnn_fl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/features/CMakeFiles/fhdnn_features.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/fhdnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/fhdnn_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/channel/CMakeFiles/fhdnn_channel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/hdc/CMakeFiles/fhdnn_hdc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/fhdnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/perf/CMakeFiles/fhdnn_perf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/fhdnn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

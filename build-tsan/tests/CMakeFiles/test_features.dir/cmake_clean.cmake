@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_features.dir/test_features.cpp.o"
+  "CMakeFiles/test_features.dir/test_features.cpp.o.d"
+  "test_features"
+  "test_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

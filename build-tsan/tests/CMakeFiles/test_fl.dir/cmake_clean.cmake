@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl.dir/test_fl.cpp.o"
+  "CMakeFiles/test_fl.dir/test_fl.cpp.o.d"
+  "test_fl"
+  "test_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fl_ext.dir/test_fl_ext.cpp.o"
+  "CMakeFiles/test_fl_ext.dir/test_fl_ext.cpp.o.d"
+  "test_fl_ext"
+  "test_fl_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fl_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdc.dir/test_hdc.cpp.o"
+  "CMakeFiles/test_hdc.dir/test_hdc.cpp.o.d"
+  "test_hdc"
+  "test_hdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

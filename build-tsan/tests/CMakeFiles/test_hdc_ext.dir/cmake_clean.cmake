@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdc_ext.dir/test_hdc_ext.cpp.o"
+  "CMakeFiles/test_hdc_ext.dir/test_hdc_ext.cpp.o.d"
+  "test_hdc_ext"
+  "test_hdc_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdc_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_training.dir/test_nn_training.cpp.o"
+  "CMakeFiles/test_nn_training.dir/test_nn_training.cpp.o.d"
+  "test_nn_training"
+  "test_nn_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf.dir/test_perf.cpp.o"
+  "CMakeFiles/test_perf.dir/test_perf.cpp.o.d"
+  "test_perf"
+  "test_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
