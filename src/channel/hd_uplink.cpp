@@ -39,13 +39,9 @@ HdUplinkStats transmit_hd_model(Tensor& prototypes,
       HdUplinkStats s;
       if (config.binary_transport) {
         prototypes = hdc::expand(hdc::binarize(prototypes));
-        s.bits_on_air = static_cast<std::size_t>(prototypes.numel());
-      } else {
-        s.bits_on_air = static_cast<std::size_t>(prototypes.numel()) *
-                        (config.use_quantizer
-                             ? static_cast<std::size_t>(config.quantizer_bits)
-                             : 32U);
       }
+      s.bits_on_air = static_cast<std::size_t>(prototypes.numel()) *
+                      static_cast<std::size_t>(hd_bits_per_scalar(config));
       return s;
     }
     case HdUplinkMode::Awgn: {
@@ -96,6 +92,21 @@ HdUplinkStats transmit_hd_model(Tensor& prototypes,
     }
   }
   throw Error("unreachable HdUplinkMode");
+}
+
+std::uint64_t hd_bits_per_scalar(const HdUplinkConfig& config) {
+  const bool digital = config.mode == HdUplinkMode::BitErrors ||
+                       config.mode == HdUplinkMode::Perfect;
+  if (digital && config.binary_transport) return 1;
+  if (digital && config.use_quantizer) {
+    return static_cast<std::uint64_t>(config.quantizer_bits);
+  }
+  return 32;
+}
+
+std::uint64_t hd_update_bytes(const HdUplinkConfig& config,
+                              std::uint64_t scalars) {
+  return (scalars * hd_bits_per_scalar(config) + 7) / 8;
 }
 
 std::string describe(const HdUplinkConfig& config) {

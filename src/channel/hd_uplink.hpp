@@ -61,6 +61,17 @@ struct HdUplinkStats {
 HdUplinkStats transmit_hd_model(Tensor& prototypes, const HdUplinkConfig& config,
                                 Rng& rng);
 
+/// Bits one model scalar costs on the uplink under `config` — the single
+/// accounting rule shared by transmit_hd_model's statistics and closed-form
+/// update-size reporting: 1 for binary-sign transport, B for the AGC
+/// quantizer (digital modes), 32 for raw-float and analog paths.
+std::uint64_t hd_bits_per_scalar(const HdUplinkConfig& config);
+
+/// Closed-form uplink payload of one delivered model of `scalars` scalars,
+/// in bytes: ceil(scalars * hd_bits_per_scalar / 8).
+std::uint64_t hd_update_bytes(const HdUplinkConfig& config,
+                              std::uint64_t scalars);
+
 /// Human-readable description, for experiment logs.
 std::string describe(const HdUplinkConfig& config);
 

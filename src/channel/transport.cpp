@@ -1,0 +1,77 @@
+#include "channel/transport.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fhdnn::channel {
+
+FloatStateTransport::FloatStateTransport(double update_fraction,
+                                         const Channel* uplink)
+    : update_fraction_(update_fraction), uplink_(uplink) {
+  FHDNN_CHECK(update_fraction_ > 0.0 && update_fraction_ <= 1.0,
+              "update_fraction " << update_fraction_);
+}
+
+TransportStats FloatStateTransport::transmit(std::vector<float>& update,
+                                             std::size_t /*client*/,
+                                             Rng& client_rng,
+                                             const Rng& round_rng) const {
+  (void)round_rng;
+  // Update-subsampling compression: untransmitted scalars fall back to the
+  // broadcast global value at the server. Accounting counts the scalars the
+  // Bernoulli mask actually transmitted, not the expected fraction.
+  std::uint64_t sent = update.size();
+  if (update_fraction_ < 1.0) {
+    FHDNN_CHECK(broadcast_ != nullptr && broadcast_->size() == update.size(),
+                "subsampling transport needs the round's broadcast snapshot");
+    Rng mask_rng = client_rng.fork("mask");
+    sent = 0;
+    for (std::size_t i = 0; i < update.size(); ++i) {
+      if (mask_rng.bernoulli(update_fraction_)) {
+        ++sent;
+      } else {
+        update[i] = (*broadcast_)[i];
+      }
+    }
+  }
+  TransportStats stats;
+  stats.payload_bytes = sent * sizeof(float);
+  if (uplink_ != nullptr) {
+    Rng chan_rng = client_rng.fork("channel");
+    const TransmitStats s = uplink_->apply(update, chan_rng);
+    stats.bits_on_air = s.bits_on_air;
+    stats.bit_flips = s.bit_flips;
+    stats.packets_lost = s.packets_lost;
+    stats.packets_total = s.packets_total;
+  } else {
+    stats.bits_on_air = sent * 32;
+  }
+  return stats;
+}
+
+std::string FloatStateTransport::name() const {
+  std::ostringstream os;
+  os << "float32";
+  if (update_fraction_ < 1.0) os << " subsample=" << update_fraction_;
+  os << " via " << (uplink_ != nullptr ? uplink_->name() : "perfect");
+  return os.str();
+}
+
+TransportStats HdModelTransport::transmit(Tensor& update, std::size_t client,
+                                          Rng& client_rng,
+                                          const Rng& round_rng) const {
+  (void)client_rng;
+  Rng chan_rng = round_rng.fork("channel-" + std::to_string(client));
+  const std::uint64_t scalars = static_cast<std::uint64_t>(update.numel());
+  const HdUplinkStats s = transmit_hd_model(update, config_, chan_rng);
+  TransportStats stats;
+  stats.payload_bytes = hd_update_bytes(config_, scalars);
+  stats.bits_on_air = s.bits_on_air;
+  stats.bit_flips = s.bit_flips;
+  stats.packets_lost = s.packets_lost;
+  stats.packets_total = s.packets_total;
+  return stats;
+}
+
+}  // namespace fhdnn::channel

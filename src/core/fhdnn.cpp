@@ -1,5 +1,6 @@
 #include "core/fhdnn.hpp"
 
+#include "channel/hd_uplink.hpp"
 #include "util/error.hpp"
 
 namespace fhdnn::core {
@@ -70,8 +71,10 @@ double FhdnnModel::accuracy(const data::Dataset& ds) const {
 }
 
 std::uint64_t FhdnnModel::update_bytes() const {
-  return static_cast<std::uint64_t>(classifier_.prototypes().numel()) *
-         sizeof(float);
+  channel::HdUplinkConfig raw;  // Perfect mode, raw float bits
+  raw.use_quantizer = false;
+  return channel::hd_update_bytes(
+      raw, static_cast<std::uint64_t>(classifier_.prototypes().numel()));
 }
 
 }  // namespace fhdnn::core

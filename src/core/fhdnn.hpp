@@ -64,7 +64,8 @@ class FhdnnModel {
   /// Accuracy on a raw-image dataset.
   double accuracy(const data::Dataset& ds) const;
 
-  /// Transmissible model size in bytes (float32 prototypes).
+  /// Transmissible model size in bytes (raw float32 prototypes), computed
+  /// with the shared channel::hd_update_bytes accounting rule.
   std::uint64_t update_bytes() const;
 
  private:

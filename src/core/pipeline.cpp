@@ -109,8 +109,16 @@ fl::TrainingHistory run_cnn_federated(const CnnParams& cnn,
 }
 
 std::uint64_t fhdnn_update_bytes(const FhdnnConfig& config) {
-  return static_cast<std::uint64_t>(config.num_classes) *
-         static_cast<std::uint64_t>(config.hd_dim) * sizeof(float);
+  channel::HdUplinkConfig raw;  // Perfect mode, raw float bits
+  raw.use_quantizer = false;
+  return fhdnn_update_bytes(config, raw);
+}
+
+std::uint64_t fhdnn_update_bytes(const FhdnnConfig& config,
+                                 const channel::HdUplinkConfig& uplink) {
+  return channel::hd_update_bytes(
+      uplink, static_cast<std::uint64_t>(config.num_classes) *
+                  static_cast<std::uint64_t>(config.hd_dim));
 }
 
 std::uint64_t cnn_update_bytes(const CnnParams& cnn, const data::Dataset& ds) {

@@ -81,8 +81,14 @@ fl::TrainingHistory run_cnn_federated(const CnnParams& cnn,
                                       const FederatedParams& params,
                                       const channel::Channel* uplink);
 
-/// Update sizes (bytes) for communication accounting.
+/// Update sizes (bytes) for communication accounting, delegated to
+/// channel::hd_update_bytes so every layer reports with the same rule.
+/// The one-argument overload assumes raw float32 prototypes; the
+/// two-argument one accounts under a specific uplink (AGC-quantized or
+/// binary payloads shrink accordingly).
 std::uint64_t fhdnn_update_bytes(const FhdnnConfig& config);
+std::uint64_t fhdnn_update_bytes(const FhdnnConfig& config,
+                                 const channel::HdUplinkConfig& uplink);
 std::uint64_t cnn_update_bytes(const CnnParams& cnn, const data::Dataset& ds);
 
 }  // namespace fhdnn::core

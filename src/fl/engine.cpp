@@ -1,0 +1,100 @@
+#include "fl/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+
+namespace fhdnn::fl {
+
+RoundEngine::RoundEngine(EngineConfig config, RoundProtocol& protocol)
+    : config_(std::move(config)),
+      protocol_(protocol),
+      root_rng_(config_.seed),
+      sampler_(config_.n_clients, config_.client_fraction) {
+  FHDNN_CHECK(config_.rounds > 0, "engine rounds " << config_.rounds);
+  FHDNN_CHECK(config_.dropout_prob >= 0.0 && config_.dropout_prob < 1.0,
+              "dropout_prob " << config_.dropout_prob);
+}
+
+RoundMetrics RoundEngine::round(int round_index) {
+  const auto start = std::chrono::steady_clock::now();
+  Rng round_rng = root_rng_.fork("round-" + std::to_string(round_index));
+  Rng sample_rng = round_rng.fork("sample");
+  const auto participants = sampler_.sample(sample_rng);
+  const std::size_t n = participants.size();
+
+  RoundMetrics metrics;
+  metrics.round = round_index;
+  metrics.sampled = n;
+
+  // Serial prologue: the protocol refreshes the broadcast copy clients
+  // start from and sizes its per-slot update buffer.
+  protocol_.begin_round(round_rng, n);
+
+  // Pre-draw delivery outcomes in participant order so the dropout stream
+  // never depends on client execution order.
+  Rng dropout_rng = round_rng.fork("dropout");
+  const auto delivered_flag =
+      draw_delivery_flags(n, config_.dropout_prob, dropout_rng);
+
+  // Client-parallel local updates + transport. Each task draws only from
+  // named forks of the round stream; global state is read-only until the
+  // serial reduction below.
+  std::vector<ClientReport> reports(n);
+  parallel::parallel_for(
+      0, static_cast<std::int64_t>(n), 1,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const auto slot = static_cast<std::size_t>(i);
+          reports[slot] = protocol_.run_client(
+              slot, participants[slot], round_rng, delivered_flag[slot] != 0);
+        }
+      });
+
+  // Serial accounting + reduction in fixed participant order: aggregation
+  // stays bit-identical to the sequential schedule at any thread count.
+  double loss_total = 0.0;
+  std::size_t delivered = 0;
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (!delivered_flag[slot]) continue;
+    ++delivered;
+    loss_total += reports[slot].loss;
+    metrics.bytes_uplink += reports[slot].stats.payload_bytes;
+    metrics.bits_on_air += reports[slot].stats.bits_on_air;
+    metrics.bit_flips += reports[slot].stats.bit_flips;
+    metrics.packets_lost += reports[slot].stats.packets_lost;
+  }
+  protocol_.reduce(participants, delivered_flag);
+
+  metrics.clients = delivered;
+  metrics.dropped = n - delivered;
+  metrics.train_loss =
+      delivered ? loss_total / static_cast<double>(delivered) : 0.0;
+  if (round_index % std::max(1, config_.eval_every) == 0 ||
+      round_index == config_.rounds) {
+    metrics.test_accuracy = protocol_.evaluate();
+  } else {
+    metrics.test_accuracy =
+        history_.empty() ? 0.0 : history_.rounds().back().test_accuracy;
+  }
+  metrics.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return metrics;
+}
+
+TrainingHistory RoundEngine::run() {
+  for (int r = 1; r <= config_.rounds; ++r) {
+    const RoundMetrics m = round(r);
+    history_.add(m);
+    log_debug() << config_.name << " round " << r << " acc=" << m.test_accuracy
+                << " loss=" << m.train_loss << " delivered=" << m.clients << "/"
+                << m.sampled << " wall=" << m.wall_seconds << "s";
+  }
+  return history_;
+}
+
+}  // namespace fhdnn::fl

@@ -1,0 +1,202 @@
+// The generic federated round engine both trainers share.
+//
+// FedAvg over CNNs and federated bundling over HD models run the *same*
+// synchronous protocol (paper §3.4.2 / McMahan et al.); only three seams
+// differ:
+//   * LocalLearner — how one client trains from the round's broadcast and
+//     what its update looks like (flat float state vs. prototype matrix);
+//   * channel::Transport — how an update is serialized, corrupted on the
+//     uplink, and accounted (channel/transport.hpp);
+//   * Aggregator — how delivered updates reduce into the global model
+//     (weighted averaging vs. bundling).
+//
+// RoundEngine owns everything else: client sampling (fraction C),
+// pre-drawn dropout coins, client-parallel local updates on the
+// util/parallel.hpp pool, serial fixed-order reduction, the evaluation
+// schedule, and per-round accounting (wall-clock time, sampled /
+// delivered / dropped counts, uplink traffic) — so both trainers report
+// identically through RoundMetrics.
+//
+// Determinism contract (DESIGN.md §6): every round forks a named stream
+// root.fork("round-<r>"), from which the engine forks "sample", "dropout",
+// and "client-<id>" per participant; seams fork their own named streams
+// from those ("mask", "channel", "channel-<id>", "downlink"). Forking
+// never perturbs the parent, coins are pre-drawn in participant order, and
+// the reduction is serial in participant order — histories are
+// bit-identical at every FHDNN_THREADS setting (wall_seconds excepted).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/transport.hpp"
+#include "fl/history.hpp"
+#include "fl/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace fhdnn::fl {
+
+/// Trains one client from the current broadcast model — the learner seam.
+template <typename Update>
+class LocalLearner {
+ public:
+  virtual ~LocalLearner() = default;
+
+  struct TrainResult {
+    Update update{};
+    double loss = 0.0;  ///< mean local loss (CNN) or error rate (HD)
+  };
+
+  /// Serial, once per round before any client runs: refresh the broadcast
+  /// copy clients start from (downlink corruption, reference snapshots).
+  virtual void begin_round(const Rng& round_rng) { (void)round_rng; }
+
+  /// Train `client` starting from the round's broadcast and return its
+  /// update. Called concurrently for distinct clients: implementations may
+  /// only read shared state and must draw all randomness from `client_rng`
+  /// (the engine-named fork "client-<id>" of the round stream).
+  virtual TrainResult train(std::size_t client, Rng& client_rng) = 0;
+
+  /// Test-set accuracy of the current global model.
+  virtual double evaluate() = 0;
+};
+
+/// Folds delivered updates into the global model — the aggregation seam.
+/// The engine drives begin_round, then accumulate for each *delivered*
+/// participant serially in fixed participant order, then commit once when
+/// at least one update was delivered (an all-dropped round leaves the
+/// global model untouched).
+template <typename Update>
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual void begin_round() = 0;
+  virtual void accumulate(std::size_t client, Update&& update) = 0;
+  virtual void commit(std::size_t delivered) = 0;
+};
+
+/// What the engine learns about one participant's parallel task.
+struct ClientReport {
+  double loss = 0.0;
+  channel::TransportStats stats;  ///< zeros for dropped participants
+};
+
+/// Type-erased face of a (LocalLearner, Transport, Aggregator) triple; the
+/// engine drives rounds through it without knowing the update type. Use
+/// ProtocolAdapter to assemble one from the typed seams.
+class RoundProtocol {
+ public:
+  virtual ~RoundProtocol() = default;
+
+  /// Serial round prologue; `n_participants` slots will run.
+  virtual void begin_round(const Rng& round_rng,
+                          std::size_t n_participants) = 0;
+
+  /// Train participant `slot` (client id `client`); when `delivered`, also
+  /// push its update through the transport and retain it for reduce().
+  /// Thread-safe across distinct slots.
+  virtual ClientReport run_client(std::size_t slot, std::size_t client,
+                                  const Rng& round_rng, bool delivered) = 0;
+
+  /// Serial fixed-order reduction of the delivered updates into the global
+  /// model. `participants[i]` is slot i's client id; `delivered[i]` its
+  /// pre-drawn delivery coin.
+  virtual void reduce(const std::vector<std::size_t>& participants,
+                      const std::vector<char>& delivered) = 0;
+
+  virtual double evaluate() = 0;
+};
+
+/// Glues the three typed seams into a RoundProtocol, holding the per-slot
+/// update buffer between the parallel section and the serial reduction.
+template <typename Update>
+class ProtocolAdapter final : public RoundProtocol {
+ public:
+  /// All three seams must outlive the adapter.
+  ProtocolAdapter(LocalLearner<Update>& learner,
+                  channel::Transport<Update>& transport,
+                  Aggregator<Update>& aggregator)
+      : learner_(learner), transport_(transport), aggregator_(aggregator) {}
+
+  void begin_round(const Rng& round_rng, std::size_t n_participants) override {
+    learner_.begin_round(round_rng);
+    outcomes_.clear();
+    outcomes_.resize(n_participants);
+  }
+
+  ClientReport run_client(std::size_t slot, std::size_t client,
+                          const Rng& round_rng, bool delivered) override {
+    Rng client_rng = round_rng.fork("client-" + std::to_string(client));
+    auto result = learner_.train(client, client_rng);
+    ClientReport report;
+    report.loss = result.loss;
+    if (delivered) {
+      // Dropped participants trained (and paid the compute), but nothing
+      // reaches the channel or the server and no traffic is accounted.
+      report.stats =
+          transport_.transmit(result.update, client, client_rng, round_rng);
+      outcomes_[slot] = std::move(result.update);
+    }
+    return report;
+  }
+
+  void reduce(const std::vector<std::size_t>& participants,
+              const std::vector<char>& delivered) override {
+    aggregator_.begin_round();
+    std::size_t n = 0;
+    for (std::size_t slot = 0; slot < participants.size(); ++slot) {
+      if (!delivered[slot]) continue;
+      ++n;
+      aggregator_.accumulate(participants[slot], std::move(outcomes_[slot]));
+    }
+    if (n > 0) aggregator_.commit(n);
+  }
+
+  double evaluate() override { return learner_.evaluate(); }
+
+ private:
+  LocalLearner<Update>& learner_;
+  channel::Transport<Update>& transport_;
+  Aggregator<Update>& aggregator_;
+  std::vector<Update> outcomes_;
+};
+
+/// Engine knobs shared by every federated protocol (paper notation).
+struct EngineConfig {
+  std::size_t n_clients = 0;
+  double client_fraction = 0.1;  ///< C
+  int rounds = 1;
+  int eval_every = 1;            ///< evaluate test accuracy every k rounds
+  double dropout_prob = 0.0;     ///< per-participant delivery failure
+  std::uint64_t seed = 1;
+  std::string name = "engine";   ///< log prefix ("fedavg", "fedhd", ...)
+};
+
+/// The shared synchronous round loop. See the file header for the seam
+/// split and the determinism contract.
+class RoundEngine {
+ public:
+  /// `protocol` must outlive the engine.
+  RoundEngine(EngineConfig config, RoundProtocol& protocol);
+
+  /// Execute one round. Does not append to history(); run() does.
+  RoundMetrics round(int round_index);
+
+  /// Run all configured rounds, appending each to history().
+  TrainingHistory run();
+
+  const TrainingHistory& history() const { return history_; }
+  const ClientSampler& sampler() const { return sampler_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+  RoundProtocol& protocol_;
+  Rng root_rng_;
+  ClientSampler sampler_;
+  TrainingHistory history_;
+};
+
+}  // namespace fhdnn::fl

@@ -1,273 +1,275 @@
 #include "fl/fedavg.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <mutex>
+#include <utility>
+#include <vector>
 
+#include "channel/transport.hpp"
 #include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
-#include "util/log.hpp"
-#include "util/parallel.hpp"
 
 namespace fhdnn::fl {
 
+namespace detail {
+
 namespace {
-
 constexpr std::int64_t kEvalBatch = 128;
+}  // namespace
 
-/// Everything one client task produces; the server reduces these in
-/// participant order after the parallel section.
-struct ClientOutcome {
-  std::vector<float> state;       ///< post-channel update (delivered only)
-  double loss = 0.0;
-  std::uint64_t sent_scalars = 0;  ///< scalars actually transmitted
-  channel::TransmitStats stats;
+/// LocalLearner seam: E epochs of minibatch SGD from the broadcast state on
+/// a private worker model. The worker pool grows to one instance per
+/// concurrently-running client task; every instance is fully overwritten by
+/// copy_state before use, so reuse is safe.
+class FedAvgLearner final : public LocalLearner<std::vector<float>> {
+ public:
+  FedAvgLearner(ModelFactory factory, const data::Dataset& train,
+                data::ClientIndices parts, const data::Dataset& test,
+                const FedAvgConfig& config,
+                channel::FloatStateTransport& transport)
+      : factory_(std::move(factory)),
+        train_(train),
+        parts_(std::move(parts)),
+        test_(test),
+        config_(config),
+        transport_(transport),
+        root_rng_(config.seed),
+        test_batch_(test.all()) {
+    FHDNN_CHECK(parts_.size() == config_.n_clients,
+                "partition has " << parts_.size() << " clients, config says "
+                                 << config_.n_clients);
+    FHDNN_CHECK(config_.local_epochs > 0,
+                "FedAvg local_epochs " << config_.local_epochs);
+    Rng init_rng = root_rng_.fork("init");
+    global_ = factory_(init_rng);
+    state_scalars_ = nn::state_size(*global_);
+    // Seed the worker pool with one instance and verify the factory
+    // produces a matching architecture; further instances on demand.
+    Rng worker_rng = root_rng_.fork("worker-init");
+    auto first_worker = factory_(worker_rng);
+    FHDNN_CHECK(nn::state_size(*first_worker) == state_scalars_,
+                "factory produced mismatched architectures");
+    worker_pool_.push_back(std::move(first_worker));
+    workers_created_ = 1;
+  }
+
+  void begin_round(const Rng& /*round_rng*/) override {
+    // Snapshot of the broadcast model; update-subsampling falls back to it.
+    if (config_.update_fraction < 1.0) {
+      broadcast_state_ = nn::get_state(*global_);
+      transport_.set_broadcast(&broadcast_state_);
+    }
+  }
+
+  TrainResult train(std::size_t client, Rng& client_rng) override {
+    auto worker = acquire_worker();
+    auto [state, loss] = local_update(client, client_rng, *worker);
+    release_worker(std::move(worker));
+    return {std::move(state), loss};
+  }
+
+  double evaluate() override {
+    global_->set_training(false);
+    const std::int64_t n = test_batch_.x.dim(0);
+    const std::int64_t per = test_batch_.x.numel() / n;
+    std::size_t correct = 0;
+    for (std::int64_t begin = 0; begin < n; begin += kEvalBatch) {
+      const std::int64_t len = std::min(kEvalBatch, n - begin);
+      Shape shape = test_batch_.x.shape();
+      shape[0] = len;
+      Tensor xb(shape);
+      std::copy_n(test_batch_.x.data().begin() +
+                      static_cast<std::ptrdiff_t>(begin * per),
+                  len * per, xb.data().begin());
+      const Tensor logits = global_->forward(xb);
+      // Count correct predictions directly — reconstructing the count from
+      // the accuracy ratio can round off by one.
+      const auto preds = ops::argmax_rows(logits);
+      for (std::int64_t i = 0; i < len; ++i) {
+        if (preds[static_cast<std::size_t>(i)] ==
+            test_batch_.labels[static_cast<std::size_t>(begin + i)]) {
+          ++correct;
+        }
+      }
+    }
+    global_->set_training(true);
+    return static_cast<double>(correct) / static_cast<double>(n);
+  }
+
+  nn::Module& global_model() { return *global_; }
+  std::int64_t state_scalars() const { return state_scalars_; }
+  const data::ClientIndices& parts() const { return parts_; }
+
+ private:
+  /// Check out / return a local-training model instance.
+  std::unique_ptr<nn::Module> acquire_worker() {
+    std::size_t id = 0;
+    {
+      const std::lock_guard<std::mutex> lock(worker_mu_);
+      if (!worker_pool_.empty()) {
+        auto worker = std::move(worker_pool_.back());
+        worker_pool_.pop_back();
+        return worker;
+      }
+      id = ++workers_created_;
+    }
+    // The instance is fully overwritten by copy_state before training, so
+    // the init stream only needs to be unique, not meaningful.
+    Rng rng = root_rng_.fork("worker-init-" + std::to_string(id));
+    auto worker = factory_(rng);
+    FHDNN_CHECK(nn::state_size(*worker) == state_scalars_,
+                "factory produced mismatched architectures");
+    return worker;
+  }
+
+  void release_worker(std::unique_ptr<nn::Module> worker) {
+    const std::lock_guard<std::mutex> lock(worker_mu_);
+    worker_pool_.push_back(std::move(worker));
+  }
+
+  /// Train `client` locally from the current global state into `worker`;
+  /// returns its post-training state and mean loss. Thread-safe given a
+  /// private `worker` and `rng`: it only reads `global_`, `train_`, and
+  /// `parts_`.
+  std::pair<std::vector<float>, double> local_update(std::size_t client,
+                                                     Rng& rng,
+                                                     nn::Module& worker) {
+    nn::copy_state(*global_, worker);
+    worker.set_training(true);
+    nn::Sgd opt(worker, {config_.lr, config_.momentum, config_.weight_decay});
+    nn::CrossEntropyLoss loss_fn;
+    const auto& indices = parts_[client];
+    FHDNN_CHECK(!indices.empty(), "client " << client << " has no data");
+    double total_loss = 0.0;
+    std::size_t batches = 0;
+    for (int e = 0; e < config_.local_epochs; ++e) {
+      data::BatchIterator it(indices.size(), config_.batch_size, rng);
+      while (!it.done()) {
+        const auto local_idx = it.next();
+        std::vector<std::size_t> batch_idx;
+        batch_idx.reserve(local_idx.size());
+        for (const std::size_t i : local_idx) batch_idx.push_back(indices[i]);
+        const auto batch = train_.gather(batch_idx);
+        opt.zero_grad();
+        const Tensor logits = worker.forward(batch.x);
+        total_loss += loss_fn.forward(logits, batch.labels);
+        worker.backward(loss_fn.backward());
+        opt.step();
+        ++batches;
+      }
+    }
+    return {nn::get_state(worker),
+            batches ? total_loss / static_cast<double>(batches) : 0.0};
+  }
+
+  ModelFactory factory_;
+  const data::Dataset& train_;
+  data::ClientIndices parts_;
+  const data::Dataset& test_;
+  const FedAvgConfig& config_;
+  channel::FloatStateTransport& transport_;
+  Rng root_rng_;
+  std::unique_ptr<nn::Module> global_;
+  std::vector<std::unique_ptr<nn::Module>> worker_pool_;
+  std::mutex worker_mu_;
+  std::size_t workers_created_ = 0;
+  std::int64_t state_scalars_ = 0;
+  std::vector<float> broadcast_state_;
+  data::Dataset::Batch test_batch_;
 };
 
-}  // namespace
+/// Aggregator seam: example-count weighted averaging, serial in fixed
+/// participant order.
+class FedAvgAggregator final : public Aggregator<std::vector<float>> {
+ public:
+  explicit FedAvgAggregator(FedAvgLearner& learner) : learner_(learner) {}
+
+  void begin_round() override {
+    aggregate_.assign(static_cast<std::size_t>(learner_.state_scalars()),
+                      0.0F);
+    weight_total_ = 0.0;
+  }
+
+  void accumulate(std::size_t client, std::vector<float>&& state) override {
+    const double w =
+        static_cast<double>(learner_.parts()[client].size());
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      aggregate_[i] += static_cast<float>(w) * state[i];
+    }
+    weight_total_ += w;
+  }
+
+  void commit(std::size_t /*delivered*/) override {
+    FHDNN_CHECK(weight_total_ > 0.0, "no data among participants");
+    const float inv = static_cast<float>(1.0 / weight_total_);
+    for (auto& v : aggregate_) v *= inv;
+    nn::set_state(learner_.global_model(), aggregate_);
+  }
+
+ private:
+  FedAvgLearner& learner_;
+  std::vector<float> aggregate_;
+  double weight_total_ = 0.0;
+};
+
+/// Owns the three seams and the adapter gluing them into a RoundProtocol.
+class FedAvgProtocol {
+ public:
+  FedAvgProtocol(ModelFactory factory, const data::Dataset& train,
+                 data::ClientIndices parts, const data::Dataset& test,
+                 FedAvgConfig config, const channel::Channel* uplink)
+      : config_(config),
+        transport_(config_.update_fraction, uplink),
+        learner_(std::move(factory), train, std::move(parts), test, config_,
+                 transport_),
+        aggregator_(learner_),
+        adapter_(learner_, transport_, aggregator_) {}
+
+  RoundProtocol& protocol() { return adapter_; }
+  FedAvgLearner& learner() { return learner_; }
+  const FedAvgConfig& config() const { return config_; }
+
+ private:
+  FedAvgConfig config_;
+  channel::FloatStateTransport transport_;
+  FedAvgLearner learner_;
+  FedAvgAggregator aggregator_;
+  ProtocolAdapter<std::vector<float>> adapter_;
+};
+
+}  // namespace detail
 
 FedAvgTrainer::FedAvgTrainer(ModelFactory factory, const data::Dataset& train,
                              data::ClientIndices parts,
                              const data::Dataset& test, FedAvgConfig config,
                              const channel::Channel* uplink)
-    : factory_(std::move(factory)),
-      train_(train),
-      parts_(std::move(parts)),
-      test_(test),
-      config_(config),
-      uplink_(uplink),
-      root_rng_(config.seed),
-      sampler_(config.n_clients, config.client_fraction),
-      test_batch_(test.all()) {
-  FHDNN_CHECK(parts_.size() == config_.n_clients,
-              "partition has " << parts_.size() << " clients, config says "
-                               << config_.n_clients);
-  FHDNN_CHECK(config_.rounds > 0 && config_.local_epochs > 0,
-              "FedAvg config rounds/epochs");
-  FHDNN_CHECK(config_.update_fraction > 0.0 && config_.update_fraction <= 1.0,
-              "update_fraction " << config_.update_fraction);
-  FHDNN_CHECK(config_.dropout_prob >= 0.0 && config_.dropout_prob < 1.0,
-              "dropout_prob " << config_.dropout_prob);
-  Rng init_rng = root_rng_.fork("init");
-  global_ = factory_(init_rng);
-  state_scalars_ = nn::state_size(*global_);
-  // Seed the worker pool with one instance and verify the factory produces
-  // a matching architecture; further instances are created on demand.
-  Rng worker_rng = root_rng_.fork("worker-init");
-  auto first_worker = factory_(worker_rng);
-  FHDNN_CHECK(nn::state_size(*first_worker) == state_scalars_,
-              "factory produced mismatched architectures");
-  worker_pool_.push_back(std::move(first_worker));
-  workers_created_ = 1;
-}
+    : protocol_(std::make_unique<detail::FedAvgProtocol>(
+          std::move(factory), train, std::move(parts), test, config, uplink)),
+      engine_(std::make_unique<RoundEngine>(
+          EngineConfig{config.n_clients, config.client_fraction, config.rounds,
+                       config.eval_every, config.dropout_prob, config.seed,
+                       "fedavg"},
+          protocol_->protocol())) {}
 
-std::unique_ptr<nn::Module> FedAvgTrainer::acquire_worker() {
-  {
-    const std::lock_guard<std::mutex> lock(worker_mu_);
-    if (!worker_pool_.empty()) {
-      auto worker = std::move(worker_pool_.back());
-      worker_pool_.pop_back();
-      return worker;
-    }
-    ++workers_created_;
-  }
-  // The instance is fully overwritten by copy_state before training, so the
-  // init stream only needs to be unique, not meaningful.
-  Rng rng = root_rng_.fork("worker-init-" + std::to_string(workers_created_));
-  auto worker = factory_(rng);
-  FHDNN_CHECK(nn::state_size(*worker) == state_scalars_,
-              "factory produced mismatched architectures");
-  return worker;
-}
+FedAvgTrainer::~FedAvgTrainer() = default;
 
-void FedAvgTrainer::release_worker(std::unique_ptr<nn::Module> worker) {
-  const std::lock_guard<std::mutex> lock(worker_mu_);
-  worker_pool_.push_back(std::move(worker));
-}
-
-double FedAvgTrainer::evaluate() {
-  global_->set_training(false);
-  const std::int64_t n = test_batch_.x.dim(0);
-  const std::int64_t per = test_batch_.x.numel() / n;
-  std::size_t correct = 0;
-  for (std::int64_t begin = 0; begin < n; begin += kEvalBatch) {
-    const std::int64_t len = std::min(kEvalBatch, n - begin);
-    Shape shape = test_batch_.x.shape();
-    shape[0] = len;
-    Tensor xb(shape);
-    std::copy_n(
-        test_batch_.x.data().begin() + static_cast<std::ptrdiff_t>(begin * per),
-        len * per, xb.data().begin());
-    const Tensor logits = global_->forward(xb);
-    // Count correct predictions directly — reconstructing the count from
-    // the accuracy ratio can round off by one.
-    const auto preds = ops::argmax_rows(logits);
-    for (std::int64_t i = 0; i < len; ++i) {
-      if (preds[static_cast<std::size_t>(i)] ==
-          test_batch_.labels[static_cast<std::size_t>(begin + i)]) {
-        ++correct;
-      }
-    }
-  }
-  global_->set_training(true);
-  return static_cast<double>(correct) / static_cast<double>(n);
-}
-
-std::pair<std::vector<float>, double> FedAvgTrainer::local_update(
-    std::size_t client, Rng& rng, nn::Module& worker) {
-  nn::copy_state(*global_, worker);
-  worker.set_training(true);
-  nn::Sgd opt(worker, {config_.lr, config_.momentum, config_.weight_decay});
-  nn::CrossEntropyLoss loss_fn;
-  const auto& indices = parts_[client];
-  FHDNN_CHECK(!indices.empty(), "client " << client << " has no data");
-  double total_loss = 0.0;
-  std::size_t batches = 0;
-  for (int e = 0; e < config_.local_epochs; ++e) {
-    data::BatchIterator it(indices.size(), config_.batch_size, rng);
-    while (!it.done()) {
-      const auto local_idx = it.next();
-      std::vector<std::size_t> batch_idx;
-      batch_idx.reserve(local_idx.size());
-      for (const std::size_t i : local_idx) batch_idx.push_back(indices[i]);
-      const auto batch = train_.gather(batch_idx);
-      opt.zero_grad();
-      const Tensor logits = worker.forward(batch.x);
-      total_loss += loss_fn.forward(logits, batch.labels);
-      worker.backward(loss_fn.backward());
-      opt.step();
-      ++batches;
-    }
-  }
-  return {nn::get_state(worker),
-          batches ? total_loss / static_cast<double>(batches) : 0.0};
-}
+TrainingHistory FedAvgTrainer::run() { return engine_->run(); }
 
 RoundMetrics FedAvgTrainer::round(int round_index) {
-  Rng round_rng = root_rng_.fork("round-" + std::to_string(round_index));
-  Rng sample_rng = round_rng.fork("sample");
-  const auto participants = sampler_.sample(sample_rng);
-  const auto n_participants = static_cast<std::int64_t>(participants.size());
-
-  RoundMetrics metrics;
-  metrics.round = round_index;
-  metrics.clients = participants.size();
-
-  // Snapshot of the broadcast model; update-subsampling falls back to it.
-  const std::vector<float> broadcast_state =
-      config_.update_fraction < 1.0 ? nn::get_state(*global_)
-                                    : std::vector<float>{};
-
-  // Pre-draw delivery outcomes in participant order so the dropout stream
-  // never depends on client execution order.
-  std::vector<char> delivered_flag(participants.size(), 1);
-  Rng dropout_rng = round_rng.fork("dropout");
-  if (config_.dropout_prob > 0.0) {
-    for (auto& flag : delivered_flag) {
-      if (dropout_rng.bernoulli(config_.dropout_prob)) flag = 0;
-    }
-  }
-
-  // Client-parallel local updates. Each task draws only from its own named
-  // RNG fork and trains a private worker model; `global_` is read-only
-  // until the serial reduction below.
-  std::vector<ClientOutcome> outcomes(participants.size());
-  parallel::parallel_for(0, n_participants, 1,
-                         [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t idx = i0; idx < i1; ++idx) {
-      const std::size_t client = participants[static_cast<std::size_t>(idx)];
-      ClientOutcome& out = outcomes[static_cast<std::size_t>(idx)];
-      Rng client_rng = round_rng.fork("client-" + std::to_string(client));
-      auto worker = acquire_worker();
-      auto [state, loss] = local_update(client, client_rng, *worker);
-      release_worker(std::move(worker));
-      out.loss = loss;
-      if (!delivered_flag[static_cast<std::size_t>(idx)]) {
-        // Transmission failure: the client trained (and paid the compute),
-        // but its delivery is discarded — nothing reaches the server and no
-        // bytes are accounted.
-        continue;
-      }
-      // Update-subsampling compression: untransmitted scalars fall back to
-      // the broadcast global value at the server. Uplink accounting counts
-      // the scalars the Bernoulli mask actually transmitted, not the
-      // expected fraction.
-      std::uint64_t sent = state.size();
-      if (config_.update_fraction < 1.0) {
-        Rng mask_rng = client_rng.fork("mask");
-        sent = 0;
-        for (std::size_t i = 0; i < state.size(); ++i) {
-          if (mask_rng.bernoulli(config_.update_fraction)) {
-            ++sent;
-          } else {
-            state[i] = broadcast_state[i];
-          }
-        }
-      }
-      out.sent_scalars = sent;
-      if (uplink_ != nullptr) {
-        Rng chan_rng = client_rng.fork("channel");
-        out.stats = uplink_->apply(state, chan_rng);
-      }
-      out.state = std::move(state);
-    }
-  });
-
-  // Serial reduction in fixed participant order: aggregation stays
-  // bit-identical to the sequential schedule at any thread count.
-  std::vector<float> aggregate(static_cast<std::size_t>(state_scalars_), 0.0F);
-  double weight_total = 0.0;
-  double loss_total = 0.0;
-  std::size_t delivered = 0;
-  for (std::size_t idx = 0; idx < participants.size(); ++idx) {
-    if (!delivered_flag[idx]) continue;  // trained but never delivered
-    ++delivered;
-    const std::size_t client = participants[idx];
-    ClientOutcome& out = outcomes[idx];
-    loss_total += out.loss;
-    metrics.bytes_uplink += out.sent_scalars * sizeof(float);
-    if (uplink_ != nullptr) {
-      metrics.bits_on_air += out.stats.bits_on_air;
-      metrics.bit_flips += out.stats.bit_flips;
-      metrics.packets_lost += out.stats.packets_lost;
-    } else {
-      metrics.bits_on_air += out.sent_scalars * 32;
-    }
-    const double w = static_cast<double>(parts_[client].size());
-    for (std::size_t i = 0; i < out.state.size(); ++i) {
-      aggregate[i] += static_cast<float>(w) * out.state[i];
-    }
-    weight_total += w;
-  }
-  if (delivered > 0) {
-    FHDNN_CHECK(weight_total > 0.0, "no data among participants");
-    const float inv = static_cast<float>(1.0 / weight_total);
-    for (auto& v : aggregate) v *= inv;
-    nn::set_state(*global_, aggregate);
-  }
-  metrics.clients = delivered;
-
-  metrics.train_loss =
-      delivered ? loss_total / static_cast<double>(delivered) : 0.0;
-  if (round_index % std::max(1, config_.eval_every) == 0 ||
-      round_index == config_.rounds) {
-    metrics.test_accuracy = evaluate();
-  } else {
-    metrics.test_accuracy =
-        history_.empty() ? 0.0 : history_.rounds().back().test_accuracy;
-  }
-  return metrics;
+  return engine_->round(round_index);
 }
 
-TrainingHistory FedAvgTrainer::run() {
-  for (int r = 1; r <= config_.rounds; ++r) {
-    const RoundMetrics m = round(r);
-    history_.add(m);
-    log_debug() << "fedavg round " << r << " acc=" << m.test_accuracy
-                << " loss=" << m.train_loss;
-  }
-  return history_;
+double FedAvgTrainer::evaluate() { return protocol_->learner().evaluate(); }
+
+nn::Module& FedAvgTrainer::global_model() {
+  return protocol_->learner().global_model();
+}
+
+std::int64_t FedAvgTrainer::update_scalars() const {
+  return protocol_->learner().state_scalars();
 }
 
 }  // namespace fhdnn::fl

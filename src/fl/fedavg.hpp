@@ -1,26 +1,24 @@
 // Federated Averaging over CNN models (McMahan et al.) — the paper's
-// baseline. Supports an unreliable uplink: each participating client's
-// serialized model state is pushed through a channel::Channel before the
-// server averages, exactly the corruption model of paper §3.5.
-//
-// Client local updates run in parallel (util/parallel.hpp): every client's
-// randomness comes from a named fork of the round RNG, each task trains a
-// private worker model, and the server reduces the collected updates in
-// fixed participant order — so round results are bit-identical at every
-// FHDNN_THREADS setting.
+// baseline, expressed as a RoundEngine instantiation (fl/engine.hpp):
+//   * LocalLearner: E epochs of minibatch SGD from the broadcast state on a
+//     per-task worker model (pooled, one instance per concurrent client);
+//   * Transport: channel::FloatStateTransport — optional update
+//     subsampling, then the float32 channel path of paper §3.5 (a null
+//     channel is a perfect link);
+//   * Aggregator: example-count weighted averaging in fixed client order.
+// The engine owns sampling, pre-drawn dropout coins, the client-parallel
+// schedule, and per-round accounting, so results are bit-identical at
+// every FHDNN_THREADS setting (DESIGN.md §6).
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "channel/channel.hpp"
 #include "data/dataset.hpp"
 #include "data/partition.hpp"
-#include "fl/history.hpp"
-#include "fl/sampler.hpp"
+#include "fl/engine.hpp"
 #include "nn/module.hpp"
-#include "nn/optimizer.hpp"
 
 namespace fhdnn::fl {
 
@@ -51,6 +49,10 @@ struct FedAvgConfig {
   std::uint64_t seed = 1;
 };
 
+namespace detail {
+class FedAvgProtocol;
+}  // namespace detail
+
 class FedAvgTrainer {
  public:
   /// `parts` assigns training examples to clients (see data/partition.hpp);
@@ -59,6 +61,7 @@ class FedAvgTrainer {
   FedAvgTrainer(ModelFactory factory, const data::Dataset& train,
                 data::ClientIndices parts, const data::Dataset& test,
                 FedAvgConfig config, const channel::Channel* uplink = nullptr);
+  ~FedAvgTrainer();
 
   /// Run all configured rounds; returns the per-round history.
   TrainingHistory run();
@@ -69,41 +72,16 @@ class FedAvgTrainer {
   /// Accuracy of the current global model on the test set.
   double evaluate();
 
-  nn::Module& global_model() { return *global_; }
-  const TrainingHistory& history() const { return history_; }
-  std::int64_t update_scalars() const { return state_scalars_; }
+  nn::Module& global_model();
+  const TrainingHistory& history() const { return engine_->history(); }
+  std::int64_t update_scalars() const;
+
+  /// The engine driving the rounds (sampling / dropout / schedule state).
+  const RoundEngine& engine() const { return *engine_; }
 
  private:
-  /// Train `client` locally from the current global state into `worker`;
-  /// returns its post-training state and mean loss. Thread-safe given a
-  /// private `worker` and `rng`: it only reads `global_`, `train_`, and
-  /// `parts_`.
-  std::pair<std::vector<float>, double> local_update(std::size_t client,
-                                                     Rng& rng,
-                                                     nn::Module& worker);
-
-  /// Check out / return a local-training model instance. The pool grows to
-  /// one instance per concurrently-running client task; every instance is
-  /// fully overwritten by copy_state before use, so reuse is safe.
-  std::unique_ptr<nn::Module> acquire_worker();
-  void release_worker(std::unique_ptr<nn::Module> worker);
-
-  ModelFactory factory_;
-  const data::Dataset& train_;
-  data::ClientIndices parts_;
-  const data::Dataset& test_;
-  FedAvgConfig config_;
-  const channel::Channel* uplink_;
-
-  Rng root_rng_;
-  std::unique_ptr<nn::Module> global_;
-  std::vector<std::unique_ptr<nn::Module>> worker_pool_;
-  std::mutex worker_mu_;
-  std::size_t workers_created_ = 0;
-  std::int64_t state_scalars_ = 0;
-  ClientSampler sampler_;
-  TrainingHistory history_;
-  data::Dataset::Batch test_batch_;
+  std::unique_ptr<detail::FedAvgProtocol> protocol_;
+  std::unique_ptr<RoundEngine> engine_;
 };
 
 }  // namespace fhdnn::fl

@@ -1,178 +1,178 @@
 #include "fl/fedhd.hpp"
 
-#include <cmath>
+#include <utility>
 
+#include "channel/transport.hpp"
 #include "util/error.hpp"
-#include "util/log.hpp"
-#include "util/parallel.hpp"
 
 namespace fhdnn::fl {
 
+namespace detail {
+
+/// LocalLearner seam: one-shot bundle on first contact, then E epochs of
+/// HD refinement from the round's (possibly downlink-corrupted) broadcast.
+class FedHdLearner final : public LocalLearner<Tensor> {
+ public:
+  FedHdLearner(std::vector<HdClientData> clients, HdClientData test,
+               const FedHdConfig& config)
+      : clients_(std::move(clients)),
+        test_(std::move(test)),
+        config_(config),
+        global_(config.num_classes, config.hd_dim) {
+    FHDNN_CHECK(clients_.size() == config_.n_clients,
+                "have " << clients_.size() << " clients, config says "
+                        << config_.n_clients);
+    FHDNN_CHECK(config_.rounds > 0 && config_.local_epochs > 0,
+                "FedHd config rounds/epochs");
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      const auto& c = clients_[i];
+      FHDNN_CHECK(c.h.ndim() == 2 && c.h.dim(1) == config_.hd_dim,
+                  "client " << i << " hypervectors "
+                            << shape_to_string(c.h.shape()));
+      FHDNN_CHECK(c.h.dim(0) == static_cast<std::int64_t>(c.labels.size()) &&
+                      !c.labels.empty(),
+                  "client " << i << " label count");
+    }
+    FHDNN_CHECK(test_.h.ndim() == 2 && test_.h.dim(1) == config_.hd_dim &&
+                    !test_.labels.empty(),
+                "test set shape");
+  }
+
+  void begin_round(const Rng& round_rng) override {
+    global_empty_ = global_.prototypes().l2_norm() == 0.0;
+    // Broadcast: clients start from the (possibly corrupted) downlink copy.
+    broadcast_ = global_.prototypes();
+    if (config_.downlink.mode != channel::HdUplinkMode::Perfect &&
+        !global_empty_) {
+      Rng down_rng = round_rng.fork("downlink");
+      (void)channel::transmit_hd_model(broadcast_, config_.downlink, down_rng);
+    }
+  }
+
+  TrainResult train(std::size_t client, Rng& /*client_rng*/) override {
+    // HD refinement is deterministic given the data order; the client
+    // stream stays unused (the channel draws from its own named fork).
+    const auto& cdata = clients_[client];
+    hdc::HdClassifier local(config_.num_classes, config_.hd_dim);
+    local.set_prototypes(broadcast_);
+    if (global_empty_) {
+      local.bundle(cdata.h, cdata.labels);  // one-shot learning (§3.4.1)
+    }
+    std::int64_t updates = 0;
+    for (int e = 0; e < config_.local_epochs; ++e) {
+      updates = config_.adaptive_refine
+                    ? local.refine_epoch_adaptive(cdata.h, cdata.labels,
+                                                  config_.refine_lr)
+                    : local.refine_epoch(cdata.h, cdata.labels,
+                                         config_.refine_lr);
+    }
+    return {local.prototypes(),
+            static_cast<double>(updates) /
+                static_cast<double>(cdata.labels.size())};
+  }
+
+  double evaluate() override { return accuracy(); }
+
+  double accuracy() const { return global_.accuracy(test_.h, test_.labels); }
+
+  hdc::HdClassifier& global() { return global_; }
+  const hdc::HdClassifier& global() const { return global_; }
+
+ private:
+  std::vector<HdClientData> clients_;
+  HdClientData test_;
+  const FedHdConfig& config_;
+  hdc::HdClassifier global_;
+  bool global_empty_ = true;
+  Tensor broadcast_;
+};
+
+/// Aggregator seam: Eq. 1 bundling, serial in fixed participant order;
+/// optional division by the delivered count (see the file header).
+class FedHdAggregator final : public Aggregator<Tensor> {
+ public:
+  FedHdAggregator(FedHdLearner& learner, const FedHdConfig& config)
+      : learner_(learner), config_(config) {}
+
+  void begin_round() override {
+    aggregate_ = Tensor(Shape{config_.num_classes, config_.hd_dim});
+  }
+
+  void accumulate(std::size_t /*client*/, Tensor&& update) override {
+    aggregate_.axpy(1.0F, update);
+  }
+
+  void commit(std::size_t delivered) override {
+    if (config_.average_aggregation) {
+      aggregate_.scale(1.0F / static_cast<float>(delivered));
+    }
+    learner_.global().set_prototypes(std::move(aggregate_));
+  }
+
+ private:
+  FedHdLearner& learner_;
+  const FedHdConfig& config_;
+  Tensor aggregate_;
+};
+
+/// Owns the three seams and the adapter gluing them into a RoundProtocol.
+class FedHdProtocol {
+ public:
+  FedHdProtocol(std::vector<HdClientData> clients, HdClientData test,
+                FedHdConfig config)
+      : config_(std::move(config)),
+        transport_(config_.uplink),
+        learner_(std::move(clients), std::move(test), config_),
+        aggregator_(learner_, config_),
+        adapter_(learner_, transport_, aggregator_) {}
+
+  RoundProtocol& protocol() { return adapter_; }
+  FedHdLearner& learner() { return learner_; }
+  const FedHdLearner& learner() const { return learner_; }
+  const channel::HdModelTransport& transport() const { return transport_; }
+  const FedHdConfig& config() const { return config_; }
+
+ private:
+  FedHdConfig config_;
+  channel::HdModelTransport transport_;
+  FedHdLearner learner_;
+  FedHdAggregator aggregator_;
+  ProtocolAdapter<Tensor> adapter_;
+};
+
+}  // namespace detail
+
 FedHdTrainer::FedHdTrainer(std::vector<HdClientData> clients, HdClientData test,
                            FedHdConfig config)
-    : clients_(std::move(clients)),
-      test_(std::move(test)),
-      config_(config),
-      root_rng_(config.seed),
-      sampler_(config.n_clients, config.client_fraction),
-      global_(config.num_classes, config.hd_dim) {
-  FHDNN_CHECK(clients_.size() == config_.n_clients,
-              "have " << clients_.size() << " clients, config says "
-                      << config_.n_clients);
-  FHDNN_CHECK(config_.rounds > 0 && config_.local_epochs > 0,
-              "FedHd config rounds/epochs");
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
-    const auto& c = clients_[i];
-    FHDNN_CHECK(c.h.ndim() == 2 && c.h.dim(1) == config_.hd_dim,
-                "client " << i << " hypervectors "
-                          << shape_to_string(c.h.shape()));
-    FHDNN_CHECK(c.h.dim(0) == static_cast<std::int64_t>(c.labels.size()) &&
-                    !c.labels.empty(),
-                "client " << i << " label count");
-  }
-  FHDNN_CHECK(test_.h.ndim() == 2 && test_.h.dim(1) == config_.hd_dim &&
-                  !test_.labels.empty(),
-              "test set shape");
-}
+    : protocol_(std::make_unique<detail::FedHdProtocol>(
+          std::move(clients), std::move(test), config)),
+      engine_(std::make_unique<RoundEngine>(
+          EngineConfig{config.n_clients, config.client_fraction, config.rounds,
+                       config.eval_every, config.dropout_prob, config.seed,
+                       "fedhd"},
+          protocol_->protocol())) {}
 
-double FedHdTrainer::evaluate() const {
-  return global_.accuracy(test_.h, test_.labels);
-}
+FedHdTrainer::~FedHdTrainer() = default;
 
-std::uint64_t FedHdTrainer::update_bytes() const {
-  const auto scalars = static_cast<std::uint64_t>(config_.num_classes) *
-                       static_cast<std::uint64_t>(config_.hd_dim);
-  // Binary transport ships 1 bit/scalar, AGC-quantized models B bits,
-  // analog/float paths 32.
-  const bool digital =
-      config_.uplink.mode == channel::HdUplinkMode::BitErrors ||
-      config_.uplink.mode == channel::HdUplinkMode::Perfect;
-  std::uint64_t bits = 32;
-  if (digital && config_.uplink.binary_transport) {
-    bits = 1;
-  } else if (digital && config_.uplink.use_quantizer) {
-    bits = static_cast<std::uint64_t>(config_.uplink.quantizer_bits);
-  }
-  return (scalars * bits + 7) / 8;
-}
+TrainingHistory FedHdTrainer::run() { return engine_->run(); }
 
 RoundMetrics FedHdTrainer::round(int round_index) {
-  Rng round_rng = root_rng_.fork("round-" + std::to_string(round_index));
-  Rng sample_rng = round_rng.fork("sample");
-  const auto participants = sampler_.sample(sample_rng);
-
-  RoundMetrics metrics;
-  metrics.round = round_index;
-  metrics.clients = participants.size();
-
-  const bool global_empty = global_.prototypes().l2_norm() == 0.0;
-
-  // Broadcast: clients start from the (possibly corrupted) downlink copy.
-  Tensor broadcast = global_.prototypes();
-  if (config_.downlink.mode != channel::HdUplinkMode::Perfect &&
-      !global_empty) {
-    Rng down_rng = round_rng.fork("downlink");
-    (void)channel::transmit_hd_model(broadcast, config_.downlink, down_rng);
-  }
-
-  // Pre-draw delivery outcomes in participant order so the dropout stream
-  // never depends on client execution order.
-  std::vector<char> delivered_flag(participants.size(), 1);
-  Rng dropout_rng = round_rng.fork("dropout");
-  if (config_.dropout_prob > 0.0) {
-    for (auto& flag : delivered_flag) {
-      if (dropout_rng.bernoulli(config_.dropout_prob)) flag = 0;
-    }
-  }
-
-  // Client-parallel local refinement: each task owns a private classifier
-  // and draws only from named forks of the round RNG, so results are
-  // bit-identical at every thread count.
-  struct ClientOutcome {
-    Tensor transmitted;
-    double error = 0.0;
-    channel::HdUplinkStats stats;
-  };
-  std::vector<ClientOutcome> outcomes(participants.size());
-  parallel::parallel_for(
-      0, static_cast<std::int64_t>(participants.size()), 1,
-      [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t idx = i0; idx < i1; ++idx) {
-      const std::size_t client = participants[static_cast<std::size_t>(idx)];
-      ClientOutcome& out = outcomes[static_cast<std::size_t>(idx)];
-      const auto& cdata = clients_[client];
-      hdc::HdClassifier local(config_.num_classes, config_.hd_dim);
-      local.set_prototypes(broadcast);
-      if (global_empty) {
-        local.bundle(cdata.h, cdata.labels);  // one-shot learning (§3.4.1)
-      }
-      std::int64_t updates = 0;
-      for (int e = 0; e < config_.local_epochs; ++e) {
-        updates = config_.adaptive_refine
-                      ? local.refine_epoch_adaptive(cdata.h, cdata.labels,
-                                                    config_.refine_lr)
-                      : local.refine_epoch(cdata.h, cdata.labels,
-                                           config_.refine_lr);
-      }
-      out.error = static_cast<double>(updates) /
-                  static_cast<double>(cdata.labels.size());
-      if (!delivered_flag[static_cast<std::size_t>(idx)]) {
-        // Transmission failure: the client trained but its update never
-        // reaches the server; skip the uplink entirely.
-        continue;
-      }
-      // Uplink: possibly corrupt the local prototypes.
-      out.transmitted = local.prototypes();
-      Rng chan_rng = round_rng.fork("channel-" + std::to_string(client));
-      out.stats = channel::transmit_hd_model(out.transmitted, config_.uplink,
-                                             chan_rng);
-    }
-  });
-
-  // Serial reduction in fixed participant order (bit-identical aggregation).
-  Tensor aggregate(Shape{config_.num_classes, config_.hd_dim});
-  double error_total = 0.0;
-  std::size_t delivered = 0;
-  for (std::size_t idx = 0; idx < participants.size(); ++idx) {
-    if (!delivered_flag[idx]) continue;
-    ++delivered;
-    const ClientOutcome& out = outcomes[idx];
-    error_total += out.error;
-    metrics.bits_on_air += out.stats.bits_on_air;
-    metrics.bit_flips += out.stats.bit_flips;
-    metrics.packets_lost += out.stats.packets_lost;
-    metrics.bytes_uplink += update_bytes();
-    aggregate.axpy(1.0F, out.transmitted);
-  }
-
-  metrics.clients = delivered;
-  if (delivered > 0) {
-    if (config_.average_aggregation) {
-      aggregate.scale(1.0F / static_cast<float>(delivered));
-    }
-    global_.set_prototypes(std::move(aggregate));
-  }
-
-  metrics.train_loss =
-      delivered ? error_total / static_cast<double>(delivered) : 0.0;
-  if (round_index % std::max(1, config_.eval_every) == 0 ||
-      round_index == config_.rounds) {
-    metrics.test_accuracy = evaluate();
-  } else {
-    metrics.test_accuracy =
-        history_.empty() ? 0.0 : history_.rounds().back().test_accuracy;
-  }
-  return metrics;
+  return engine_->round(round_index);
 }
 
-TrainingHistory FedHdTrainer::run() {
-  for (int r = 1; r <= config_.rounds; ++r) {
-    const RoundMetrics m = round(r);
-    history_.add(m);
-    log_debug() << "fedhd round " << r << " acc=" << m.test_accuracy
-                << " local_err=" << m.train_loss;
-  }
-  return history_;
+double FedHdTrainer::evaluate() const { return protocol_->learner().accuracy(); }
+
+const hdc::HdClassifier& FedHdTrainer::global() const {
+  return protocol_->learner().global();
+}
+
+hdc::HdClassifier& FedHdTrainer::global() { return protocol_->learner().global(); }
+
+std::uint64_t FedHdTrainer::update_bytes() const {
+  const auto& cfg = protocol_->config();
+  return protocol_->transport().update_bytes(
+      static_cast<std::uint64_t>(cfg.num_classes) *
+      static_cast<std::uint64_t>(cfg.hd_dim));
 }
 
 }  // namespace fhdnn::fl

@@ -1,38 +1,32 @@
-// Federated bundling of HD models (paper §3.4.2).
-//
-// Each client holds hypervector-encoded local data (the frozen feature
-// extractor + random-projection encoder run once, upstream of this class).
-// One round:
-//   1. broadcast the global prototype matrix C_t (assumed error-free);
-//   2. each participant sets its local model to C_t and trains E epochs of
-//      HD refinement (plus the one-shot bundle on the very first contact,
-//      when the global model is still empty);
-//   3. each participant uploads its prototypes through the configured
-//      unreliable uplink (channel/hd_uplink.hpp);
-//   4. the server aggregates the local models (Eq. 1). The paper writes the
-//      aggregate as a plain sum; we divide by the participant count by
-//      default (average_aggregation = true) because repeated summing grows
-//      the prototype norm geometrically across rounds (overflowing float32
-//      in long runs) while changing nothing else: cosine inference is
-//      scale-invariant and the Eq. 4 SNR bundling gain is a ratio, identical
-//      under sum and mean. Set average_aggregation = false for the literal
-//      Eq. 1 behaviour in short runs.
-//
-// Steps 2–3 run client-parallel on the util/parallel.hpp pool: each
-// participant refines a private HdClassifier seeded from a named RNG fork
-// and dropout coins are pre-drawn, while step 4 reduces serially in client
-// order — so round results are bit-identical at any FHDNN_THREADS setting
-// (see DESIGN.md §6).
+// Federated bundling of HD models (paper §3.4.2), expressed as a
+// RoundEngine instantiation (fl/engine.hpp):
+//   * LocalLearner: set the local model to the round's broadcast prototype
+//     matrix C_t (optionally pushed once through a corrupting downlink),
+//     one-shot bundle on first contact while the global model is still
+//     empty, then E epochs of HD refinement;
+//   * Transport: channel::HdModelTransport — the §3.5 unreliable uplink
+//     (bit errors / packet loss / analog AWGN, binary or AGC-quantized
+//     payloads) with uniform byte/bit accounting;
+//   * Aggregator: serial fixed-order bundling (Eq. 1). The paper writes the
+//     aggregate as a plain sum; we divide by the participant count by
+//     default (average_aggregation = true) because repeated summing grows
+//     the prototype norm geometrically across rounds (overflowing float32
+//     in long runs) while changing nothing else: cosine inference is
+//     scale-invariant and the Eq. 4 SNR bundling gain is a ratio, identical
+//     under sum and mean. Set average_aggregation = false for the literal
+//     Eq. 1 behaviour in short runs.
+// The engine owns sampling, pre-drawn dropout coins, the client-parallel
+// schedule, and per-round accounting, so results are bit-identical at
+// every FHDNN_THREADS setting (DESIGN.md §6).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "channel/hd_uplink.hpp"
-#include "fl/history.hpp"
-#include "fl/sampler.hpp"
+#include "fl/engine.hpp"
 #include "hdc/classifier.hpp"
 #include "tensor/tensor.hpp"
-#include "util/rng.hpp"
 
 namespace fhdnn::fl {
 
@@ -67,31 +61,35 @@ struct FedHdConfig {
   channel::HdUplinkConfig downlink;  ///< defaults to a perfect channel
 };
 
+namespace detail {
+class FedHdProtocol;
+}  // namespace detail
+
 class FedHdTrainer {
  public:
   FedHdTrainer(std::vector<HdClientData> clients, HdClientData test,
                FedHdConfig config);
+  ~FedHdTrainer();
 
   TrainingHistory run();
   RoundMetrics round(int round_index);
   double evaluate() const;
 
-  const hdc::HdClassifier& global() const { return global_; }
-  hdc::HdClassifier& global() { return global_; }
-  const TrainingHistory& history() const { return history_; }
+  const hdc::HdClassifier& global() const;
+  hdc::HdClassifier& global();
+  const TrainingHistory& history() const { return engine_->history(); }
 
-  /// Uplink payload size per client per round, bytes (quantized size when
-  /// the AGC path is active).
+  /// Uplink payload size per client per round, bytes — delegated to the
+  /// transport so there is exactly one accounting rule (quantized size
+  /// when the AGC path is active, 1 bit/scalar for binary transport).
   std::uint64_t update_bytes() const;
 
+  /// The engine driving the rounds (sampling / dropout / schedule state).
+  const RoundEngine& engine() const { return *engine_; }
+
  private:
-  std::vector<HdClientData> clients_;
-  HdClientData test_;
-  FedHdConfig config_;
-  Rng root_rng_;
-  ClientSampler sampler_;
-  hdc::HdClassifier global_;
-  TrainingHistory history_;
+  std::unique_ptr<detail::FedHdProtocol> protocol_;
+  std::unique_ptr<RoundEngine> engine_;
 };
 
 }  // namespace fhdnn::fl

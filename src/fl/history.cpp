@@ -28,4 +28,22 @@ std::uint64_t TrainingHistory::total_uplink_bytes() const {
   return total;
 }
 
+double TrainingHistory::total_wall_seconds() const {
+  double total = 0.0;
+  for (const auto& m : rounds_) total += m.wall_seconds;
+  return total;
+}
+
+std::size_t TrainingHistory::total_sampled() const {
+  std::size_t total = 0;
+  for (const auto& m : rounds_) total += m.sampled;
+  return total;
+}
+
+std::size_t TrainingHistory::total_dropped() const {
+  std::size_t total = 0;
+  for (const auto& m : rounds_) total += m.dropped;
+  return total;
+}
+
 }  // namespace fhdnn::fl

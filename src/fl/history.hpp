@@ -11,11 +11,17 @@ struct RoundMetrics {
   std::int64_t round = 0;           ///< 1-based round index
   double test_accuracy = 0.0;       ///< global model on the held-out set
   double train_loss = 0.0;          ///< mean local loss (CNN) or error rate (HD)
-  std::size_t clients = 0;          ///< participants this round
+  std::size_t clients = 0;          ///< participants *delivered* this round
+  std::size_t sampled = 0;          ///< participants drawn by the sampler
+  std::size_t dropped = 0;          ///< sampled but failed to deliver
   std::uint64_t bytes_uplink = 0;   ///< total client->server payload bytes
   std::uint64_t bits_on_air = 0;    ///< channel-level bits transmitted
   std::uint64_t bit_flips = 0;      ///< corruption events (BSC)
   std::uint64_t packets_lost = 0;   ///< corruption events (packet channel)
+  /// Engine-measured wall-clock time of the round (local training +
+  /// transport + reduction + evaluation). The one RoundMetrics field that
+  /// is *not* covered by the bit-identical determinism contract.
+  double wall_seconds = 0.0;
 };
 
 class TrainingHistory {
@@ -36,6 +42,13 @@ class TrainingHistory {
 
   /// Total uplink traffic across all rounds, bytes.
   std::uint64_t total_uplink_bytes() const;
+
+  /// Total engine-measured wall-clock seconds across all rounds.
+  double total_wall_seconds() const;
+
+  /// Total participants sampled / dropped across all rounds.
+  std::size_t total_sampled() const;
+  std::size_t total_dropped() const;
 
  private:
   std::vector<RoundMetrics> rounds_;

@@ -23,4 +23,15 @@ std::vector<std::size_t> ClientSampler::sample(Rng& rng) const {
   return picks;
 }
 
+std::vector<char> draw_delivery_flags(std::size_t n_participants,
+                                      double dropout_prob, Rng& rng) {
+  std::vector<char> flags(n_participants, 1);
+  if (dropout_prob > 0.0) {
+    for (auto& flag : flags) {
+      if (rng.bernoulli(dropout_prob)) flag = 0;
+    }
+  }
+  return flags;
+}
+
 }  // namespace fhdnn::fl

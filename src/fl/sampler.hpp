@@ -25,4 +25,12 @@ class ClientSampler {
   std::size_t per_round_;
 };
 
+/// Pre-draw per-participant delivery coins in participant order: entry i is
+/// 0 when participant i fails to deliver its update (straggler / power loss
+/// / link outage). Drawing every coin serially before any client task runs
+/// keeps the dropout stream independent of client execution order — the
+/// engine's determinism contract (DESIGN.md §6).
+std::vector<char> draw_delivery_flags(std::size_t n_participants,
+                                      double dropout_prob, Rng& rng);
+
 }  // namespace fhdnn::fl

@@ -40,6 +40,29 @@ TEST(Sampler, DistinctSortedInRange) {
   }
 }
 
+TEST(Sampler, SameSeedSameParticipantsEveryRound) {
+  fl::ClientSampler s(40, 0.25);
+  Rng a(123);
+  Rng b(123);
+  for (int r = 1; r <= 10; ++r) {
+    Rng fa = a.fork("round-" + std::to_string(r)).fork("sample");
+    Rng fb = b.fork("round-" + std::to_string(r)).fork("sample");
+    EXPECT_EQ(s.sample(fa), s.sample(fb)) << "round " << r;
+  }
+}
+
+TEST(Sampler, DeliveryFlagsMatchTrainerDropoutCoins) {
+  // draw_delivery_flags is the engine's dropout primitive: coins are drawn
+  // serially in participant order from the round's "dropout" fork, so the
+  // outcome depends only on (seed, round, participant count).
+  Rng a(9);
+  Rng b(9);
+  Rng fa = a.fork("round-3").fork("dropout");
+  Rng fb = b.fork("round-3").fork("dropout");
+  EXPECT_EQ(fl::draw_delivery_flags(12, 0.35, fa),
+            fl::draw_delivery_flags(12, 0.35, fb));
+}
+
 TEST(Sampler, EventuallyCoversAllClients) {
   fl::ClientSampler s(10, 0.2);
   Rng rng(2);

@@ -239,10 +239,14 @@ void expect_identical_histories(const fl::TrainingHistory& a,
     EXPECT_EQ(ma.test_accuracy, mb.test_accuracy) << "round " << i;
     EXPECT_EQ(ma.train_loss, mb.train_loss) << "round " << i;
     EXPECT_EQ(ma.clients, mb.clients) << "round " << i;
+    EXPECT_EQ(ma.sampled, mb.sampled) << "round " << i;
+    EXPECT_EQ(ma.dropped, mb.dropped) << "round " << i;
     EXPECT_EQ(ma.bytes_uplink, mb.bytes_uplink) << "round " << i;
     EXPECT_EQ(ma.bits_on_air, mb.bits_on_air) << "round " << i;
     EXPECT_EQ(ma.bit_flips, mb.bit_flips) << "round " << i;
     EXPECT_EQ(ma.packets_lost, mb.packets_lost) << "round " << i;
+    // wall_seconds is intentionally not compared: it is the one
+    // RoundMetrics field outside the bit-identical contract.
   }
 }
 
