@@ -1,5 +1,6 @@
 #include "channel/channel.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "channel/bits.hpp"
@@ -7,9 +8,9 @@
 
 namespace fhdnn::channel {
 
-TransmitStats PerfectChannel::apply(std::vector<float>& payload,
-                                    Rng& /*rng*/) const {
-  TransmitStats stats;
+TransportStats PerfectChannel::apply(std::vector<float>& payload,
+                                     Rng& /*rng*/) const {
+  TransportStats stats;
   stats.payload_scalars = payload.size();
   stats.bits_on_air = payload.size() * 32;
   return stats;
@@ -20,8 +21,10 @@ AwgnChannel::AwgnChannel(double snr_db)
   FHDNN_CHECK(std::isfinite(snr_db), "AWGN snr_db " << snr_db);
 }
 
-TransmitStats AwgnChannel::apply(std::vector<float>& payload, Rng& rng) const {
-  TransmitStats stats;
+TransportStats AwgnChannel::apply_scaled(std::vector<float>& payload, Rng& rng,
+                                         double error_scale) const {
+  FHDNN_CHECK(error_scale > 0.0, "AWGN error_scale " << error_scale);
+  TransportStats stats;
   stats.payload_scalars = payload.size();
   // Uncoded analog transmission: one channel use per scalar; report the
   // equivalent digital size for accounting.
@@ -31,7 +34,8 @@ TransmitStats AwgnChannel::apply(std::vector<float>& payload, Rng& rng) const {
   for (const float v : payload) power += static_cast<double>(v) * v;
   power /= static_cast<double>(payload.size());
   if (power <= 0.0) return stats;  // silent payload: SNR undefined, no noise
-  const double sigma = std::sqrt(power / snr_linear_);
+  // A fault multiplier of m scales the noise power by m (SNR drops by m).
+  const double sigma = std::sqrt(power * error_scale / snr_linear_);
   double noise_power = 0.0;
   for (auto& v : payload) {
     const double n = rng.normal(0.0, sigma);
@@ -42,6 +46,10 @@ TransmitStats AwgnChannel::apply(std::vector<float>& payload, Rng& rng) const {
   return stats;
 }
 
+TransportStats AwgnChannel::apply(std::vector<float>& payload, Rng& rng) const {
+  return apply_scaled(payload, rng, 1.0);
+}
+
 std::string AwgnChannel::name() const {
   return "awgn(" + std::to_string(snr_db_) + "dB)";
 }
@@ -50,13 +58,21 @@ BitErrorChannel::BitErrorChannel(double bit_error_rate) : ber_(bit_error_rate) {
   FHDNN_CHECK(ber_ >= 0.0 && ber_ <= 1.0, "BER " << ber_);
 }
 
-TransmitStats BitErrorChannel::apply(std::vector<float>& payload,
-                                     Rng& rng) const {
-  TransmitStats stats;
+TransportStats BitErrorChannel::apply_scaled(std::vector<float>& payload,
+                                             Rng& rng,
+                                             double error_scale) const {
+  FHDNN_CHECK(error_scale >= 0.0, "BSC error_scale " << error_scale);
+  TransportStats stats;
   stats.payload_scalars = payload.size();
   stats.bits_on_air = payload.size() * 32;
-  stats.bit_flips = flip_float_bits(payload, ber_, rng);
+  stats.bit_flips = flip_float_bits(payload, std::min(1.0, ber_ * error_scale),
+                                    rng);
   return stats;
+}
+
+TransportStats BitErrorChannel::apply(std::vector<float>& payload,
+                                      Rng& rng) const {
+  return apply_scaled(payload, rng, 1.0);
 }
 
 std::string BitErrorChannel::name() const {
@@ -69,9 +85,12 @@ PacketLossChannel::PacketLossChannel(double loss_rate, std::size_t packet_bits)
   FHDNN_CHECK(packet_bits_ >= 32, "packet size " << packet_bits_ << " bits");
 }
 
-TransmitStats PacketLossChannel::apply(std::vector<float>& payload,
-                                       Rng& rng) const {
-  TransmitStats stats;
+TransportStats PacketLossChannel::apply_scaled(std::vector<float>& payload,
+                                               Rng& rng,
+                                               double error_scale) const {
+  FHDNN_CHECK(error_scale >= 0.0, "packet-loss error_scale " << error_scale);
+  const double loss = std::min(1.0, loss_rate_ * error_scale);
+  TransportStats stats;
   stats.payload_scalars = payload.size();
   stats.bits_on_air = payload.size() * 32;
   if (payload.empty()) return stats;
@@ -80,13 +99,18 @@ TransmitStats PacketLossChannel::apply(std::vector<float>& payload,
       (payload.size() + floats_per_packet - 1) / floats_per_packet;
   stats.packets_total = n_packets;
   for (std::size_t p = 0; p < n_packets; ++p) {
-    if (!rng.bernoulli(loss_rate_)) continue;
+    if (!rng.bernoulli(loss)) continue;
     ++stats.packets_lost;
     const std::size_t begin = p * floats_per_packet;
     const std::size_t end = std::min(payload.size(), begin + floats_per_packet);
     for (std::size_t i = begin; i < end; ++i) payload[i] = 0.0F;
   }
   return stats;
+}
+
+TransportStats PacketLossChannel::apply(std::vector<float>& payload,
+                                        Rng& rng) const {
+  return apply_scaled(payload, rng, 1.0);
 }
 
 std::string PacketLossChannel::name() const {

@@ -22,14 +22,22 @@
 
 namespace fhdnn::channel {
 
-/// Statistics of one transmission, for logging/asserting in experiments.
-struct TransmitStats {
-  std::size_t payload_scalars = 0;
-  std::size_t bits_on_air = 0;
-  std::size_t bit_flips = 0;       ///< BSC only
-  std::size_t packets_total = 0;   ///< packet channel only
-  std::size_t packets_lost = 0;    ///< packet channel only
-  double noise_power = 0.0;        ///< AWGN only (empirical per-element)
+/// Statistics of one delivery — the single accounting struct shared by
+/// Channel::apply (raw channel level) and Transport::transmit (payload
+/// level). A channel fills the air-interface counters; a transport adds the
+/// payload accounting on top; the ARQ decorator (channel/arq.hpp) adds the
+/// reliability counters.
+struct TransportStats {
+  std::uint64_t payload_scalars = 0;   ///< model scalars in the payload
+  std::uint64_t payload_bytes = 0;     ///< uplink payload charged to the client
+  std::uint64_t bits_on_air = 0;       ///< channel-level bits transmitted
+  std::uint64_t bit_flips = 0;         ///< corruption events (BSC)
+  std::uint64_t packets_total = 0;     ///< frames sent (packet channels / ARQ)
+  std::uint64_t packets_lost = 0;      ///< erasures (packet channels)
+  std::uint64_t retransmissions = 0;   ///< ARQ: frames sent again after NAK
+  std::uint64_t residual_errors = 0;   ///< ARQ: frames delivered corrupted
+  double backoff_seconds = 0.0;        ///< ARQ: simulated backoff + ACK wait
+  double noise_power = 0.0;            ///< AWGN only (empirical per-element)
 };
 
 /// A channel corrupts a float payload (one client's serialized model) in
@@ -37,14 +45,26 @@ struct TransmitStats {
 class Channel {
  public:
   virtual ~Channel() = default;
-  virtual TransmitStats apply(std::vector<float>& payload, Rng& rng) const = 0;
+  virtual TransportStats apply(std::vector<float>& payload, Rng& rng) const = 0;
+
+  /// Fault-model hook: like apply(), but with the channel's error parameter
+  /// (BER, loss rate, noise power) scaled by `error_scale` — the per-client
+  /// link-quality multiplier of fl::FaultModel. Channels without a tunable
+  /// error knob ignore the scale. apply(p, rng) and apply_scaled(p, rng, 1.0)
+  /// must consume the stream identically and produce identical results.
+  virtual TransportStats apply_scaled(std::vector<float>& payload, Rng& rng,
+                                      double error_scale) const {
+    (void)error_scale;
+    return apply(payload, rng);
+  }
+
   virtual std::string name() const = 0;
 };
 
 /// Error-free link (the broadcast/downlink assumption, and the baseline).
 class PerfectChannel final : public Channel {
  public:
-  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply(std::vector<float>& payload, Rng& rng) const override;
   std::string name() const override { return "perfect"; }
 };
 
@@ -54,7 +74,9 @@ class PerfectChannel final : public Channel {
 class AwgnChannel final : public Channel {
  public:
   explicit AwgnChannel(double snr_db);
-  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply_scaled(std::vector<float>& payload, Rng& rng,
+                              double error_scale) const override;
   std::string name() const override;
   double snr_db() const { return snr_db_; }
 
@@ -69,7 +91,9 @@ class AwgnChannel final : public Channel {
 class BitErrorChannel final : public Channel {
  public:
   explicit BitErrorChannel(double bit_error_rate);
-  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply_scaled(std::vector<float>& payload, Rng& rng,
+                              double error_scale) const override;
   std::string name() const override;
   double ber() const { return ber_; }
 
@@ -83,7 +107,9 @@ class BitErrorChannel final : public Channel {
 class PacketLossChannel final : public Channel {
  public:
   PacketLossChannel(double loss_rate, std::size_t packet_bits = 8192);
-  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply_scaled(std::vector<float>& payload, Rng& rng,
+                              double error_scale) const override;
   std::string name() const override;
   double loss_rate() const { return loss_rate_; }
   std::size_t packet_bits() const { return packet_bits_; }

@@ -25,9 +25,11 @@ double GilbertElliottChannel::average_loss_rate() const {
   return (1.0 - pi_bad) * params_.loss_good + pi_bad * params_.loss_bad;
 }
 
-TransmitStats GilbertElliottChannel::apply(std::vector<float>& payload,
-                                           Rng& rng) const {
-  TransmitStats stats;
+TransportStats GilbertElliottChannel::apply_scaled(std::vector<float>& payload,
+                                                   Rng& rng,
+                                                   double error_scale) const {
+  FHDNN_CHECK(error_scale >= 0.0, "GE error_scale " << error_scale);
+  TransportStats stats;
   stats.payload_scalars = payload.size();
   stats.bits_on_air = payload.size() * 32;
   if (payload.empty()) return stats;
@@ -40,7 +42,8 @@ TransmitStats GilbertElliottChannel::apply(std::vector<float>& payload,
                         (params_.p_good_to_bad + params_.p_bad_to_good);
   bool bad = rng.bernoulli(pi_bad);
   for (std::size_t p = 0; p < n_packets; ++p) {
-    const double loss = bad ? params_.loss_bad : params_.loss_good;
+    const double loss = std::min(
+        1.0, (bad ? params_.loss_bad : params_.loss_good) * error_scale);
     if (rng.bernoulli(loss)) {
       ++stats.packets_lost;
       const std::size_t begin = p * floats_per_packet;
@@ -52,6 +55,11 @@ TransmitStats GilbertElliottChannel::apply(std::vector<float>& payload,
               : rng.bernoulli(params_.p_good_to_bad);
   }
   return stats;
+}
+
+TransportStats GilbertElliottChannel::apply(std::vector<float>& payload,
+                                            Rng& rng) const {
+  return apply_scaled(payload, rng, 1.0);
 }
 
 std::string GilbertElliottChannel::name() const {
@@ -67,9 +75,11 @@ RayleighFadingChannel::RayleighFadingChannel(double avg_snr_db,
   FHDNN_CHECK(block_len_ >= 1, "Rayleigh block length");
 }
 
-TransmitStats RayleighFadingChannel::apply(std::vector<float>& payload,
-                                           Rng& rng) const {
-  TransmitStats stats;
+TransportStats RayleighFadingChannel::apply_scaled(std::vector<float>& payload,
+                                                   Rng& rng,
+                                                   double error_scale) const {
+  FHDNN_CHECK(error_scale > 0.0, "Rayleigh error_scale " << error_scale);
+  TransportStats stats;
   stats.payload_scalars = payload.size();
   stats.bits_on_air = payload.size() * 32;
   if (payload.empty()) return stats;
@@ -77,7 +87,7 @@ TransmitStats RayleighFadingChannel::apply(std::vector<float>& payload,
   for (const float v : payload) power += static_cast<double>(v) * v;
   power /= static_cast<double>(payload.size());
   if (power <= 0.0) return stats;
-  const double sigma = std::sqrt(power / snr_linear_);
+  const double sigma = std::sqrt(power * error_scale / snr_linear_);
   double noise_power = 0.0;
   for (std::size_t begin = 0; begin < payload.size(); begin += block_len_) {
     // |h|^2 ~ Exp(1): -log(U). Clamp away from zero to model the receiver
@@ -95,6 +105,11 @@ TransmitStats RayleighFadingChannel::apply(std::vector<float>& payload,
   }
   stats.noise_power = noise_power / static_cast<double>(payload.size());
   return stats;
+}
+
+TransportStats RayleighFadingChannel::apply(std::vector<float>& payload,
+                                            Rng& rng) const {
+  return apply_scaled(payload, rng, 1.0);
 }
 
 std::string RayleighFadingChannel::name() const {

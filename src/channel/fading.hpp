@@ -32,7 +32,9 @@ class GilbertElliottChannel final : public Channel {
 
   explicit GilbertElliottChannel(Params params);
 
-  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply_scaled(std::vector<float>& payload, Rng& rng,
+                              double error_scale) const override;
   std::string name() const override;
 
   /// Long-run average loss rate implied by the chain (stationary mix of the
@@ -51,7 +53,9 @@ class RayleighFadingChannel final : public Channel {
  public:
   RayleighFadingChannel(double avg_snr_db, std::size_t block_len = 256);
 
-  TransmitStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply(std::vector<float>& payload, Rng& rng) const override;
+  TransportStats apply_scaled(std::vector<float>& payload, Rng& rng,
+                              double error_scale) const override;
   std::string name() const override;
   double avg_snr_db() const { return avg_snr_db_; }
 

@@ -1,5 +1,7 @@
 #include "channel/hd_uplink.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "channel/bits.hpp"
@@ -12,14 +14,14 @@ namespace fhdnn::channel {
 namespace {
 
 /// Route the float-valued matrix through a float channel.
-HdUplinkStats apply_float_channel(Tensor& prototypes, const Channel& ch,
-                                  Rng& rng) {
+TransportStats apply_float_channel(Tensor& prototypes, const Channel& ch,
+                                   Rng& rng, double error_scale) {
   std::vector<float> payload(prototypes.data().begin(),
                              prototypes.data().end());
-  const TransmitStats s = ch.apply(payload, rng);
+  const TransportStats s = ch.apply_scaled(payload, rng, error_scale);
   auto dst = prototypes.data();
   for (std::size_t i = 0; i < payload.size(); ++i) dst[i] = payload[i];
-  HdUplinkStats out;
+  TransportStats out;
   out.bits_on_air = s.bits_on_air;
   out.bit_flips = s.bit_flips;
   out.packets_lost = s.packets_lost;
@@ -29,14 +31,16 @@ HdUplinkStats apply_float_channel(Tensor& prototypes, const Channel& ch,
 
 }  // namespace
 
-HdUplinkStats transmit_hd_model(Tensor& prototypes,
-                                const HdUplinkConfig& config, Rng& rng) {
+TransportStats transmit_hd_model(Tensor& prototypes,
+                                 const HdUplinkConfig& config, Rng& rng,
+                                 double error_scale) {
   FHDNN_CHECK(prototypes.ndim() == 2,
               "transmit_hd_model expects (K, d), got "
                   << shape_to_string(prototypes.shape()));
+  FHDNN_CHECK(error_scale > 0.0, "hd uplink error_scale " << error_scale);
   switch (config.mode) {
     case HdUplinkMode::Perfect: {
-      HdUplinkStats s;
+      TransportStats s;
       if (config.binary_transport) {
         prototypes = hdc::expand(hdc::binarize(prototypes));
       }
@@ -46,11 +50,11 @@ HdUplinkStats transmit_hd_model(Tensor& prototypes,
     }
     case HdUplinkMode::Awgn: {
       const AwgnChannel ch(config.snr_db);
-      return apply_float_channel(prototypes, ch, rng);
+      return apply_float_channel(prototypes, ch, rng, error_scale);
     }
     case HdUplinkMode::PacketLoss: {
       const PacketLossChannel ch(config.loss_rate, config.packet_bits);
-      return apply_float_channel(prototypes, ch, rng);
+      return apply_float_channel(prototypes, ch, rng, error_scale);
     }
     case HdUplinkMode::BurstLoss: {
       GilbertElliottChannel::Params p;
@@ -59,33 +63,34 @@ HdUplinkStats transmit_hd_model(Tensor& prototypes,
       p.loss_bad = config.burst_loss_bad;
       p.packet_bits = config.packet_bits;
       const GilbertElliottChannel ch(p);
-      return apply_float_channel(prototypes, ch, rng);
+      return apply_float_channel(prototypes, ch, rng, error_scale);
     }
     case HdUplinkMode::Rayleigh: {
       const RayleighFadingChannel ch(config.snr_db, config.fading_block_len);
-      return apply_float_channel(prototypes, ch, rng);
+      return apply_float_channel(prototypes, ch, rng, error_scale);
     }
     case HdUplinkMode::BitErrors: {
+      const double ber = std::min(1.0, config.ber * error_scale);
       if (config.binary_transport) {
         auto binary = hdc::binarize(prototypes);
-        HdUplinkStats s;
+        TransportStats s;
         s.bits_on_air = binary.payload_bits();
-        s.bit_flips = hdc::flip_binary_model_bits(binary, config.ber, rng);
+        s.bit_flips = hdc::flip_binary_model_bits(binary, ber, rng);
         prototypes = hdc::expand(binary);
         return s;
       }
       if (!config.use_quantizer) {
         // Ablation: raw IEEE-754 transmission, same as the CNN path.
         const BitErrorChannel ch(config.ber);
-        return apply_float_channel(prototypes, ch, rng);
+        return apply_float_channel(prototypes, ch, rng, error_scale);
       }
       const hdc::Quantizer quant(config.quantizer_bits);
       auto rows = quant.quantize_rows(prototypes);
-      HdUplinkStats s;
+      TransportStats s;
       for (auto& row : rows) {
         s.bits_on_air += row.values.size() *
                          static_cast<std::size_t>(config.quantizer_bits);
-        s.bit_flips += flip_quantized_bits(row, config.ber, rng);
+        s.bit_flips += flip_quantized_bits(row, ber, rng);
       }
       prototypes = quant.dequantize_rows(rows, prototypes.dim(1));
       return s;

@@ -48,18 +48,16 @@ struct HdUplinkConfig {
   std::size_t fading_block_len = 256;
 };
 
-struct HdUplinkStats {
-  std::size_t bits_on_air = 0;
-  std::size_t bit_flips = 0;
-  std::size_t packets_lost = 0;
-  std::size_t packets_total = 0;
-};
-
 /// Corrupt `prototypes` (K x d) in place according to `config`.
-/// Returns transmission statistics (bits_on_air reflects the B-bit integer
-/// encoding for digital modes with quantization, 32-bit floats otherwise).
-HdUplinkStats transmit_hd_model(Tensor& prototypes, const HdUplinkConfig& config,
-                                Rng& rng);
+/// Returns transmission statistics in the uniform channel::TransportStats
+/// (bits_on_air reflects the B-bit integer encoding for digital modes with
+/// quantization, 32-bit floats otherwise). `error_scale` is the fault
+/// model's per-client link-quality multiplier: BER/loss rates scale up by
+/// it, analog SNR scales down (1.0 = the configured link, bit-identical to
+/// the unscaled call).
+TransportStats transmit_hd_model(Tensor& prototypes,
+                                 const HdUplinkConfig& config, Rng& rng,
+                                 double error_scale = 1.0);
 
 /// Bits one model scalar costs on the uplink under `config` — the single
 /// accounting rule shared by transmit_hd_model's statistics and closed-form

@@ -26,6 +26,20 @@ double LteLinkModel::shannon_capacity_bps() const {
   return bandwidth_hz * std::log2(1.0 + snr_linear);
 }
 
+void LteLinkModel::validate() const {
+  FHDNN_CHECK(coded_rate_bps > 0.0 && uncoded_rate_bps > 0.0,
+              "link rates must be positive");
+  FHDNN_CHECK(shared_clients >= 1, "shared_clients must be >= 1");
+  const double capacity = shannon_capacity_bps();
+  FHDNN_CHECK(coded_rate_bps <= capacity,
+              "coded rate " << coded_rate_bps << " bps exceeds Shannon capacity "
+                            << capacity << " bps at " << snr_db << " dB");
+  FHDNN_CHECK(uncoded_rate_bps <= capacity,
+              "uncoded rate " << uncoded_rate_bps
+                              << " bps exceeds Shannon capacity " << capacity
+                              << " bps at " << snr_db << " dB");
+}
+
 std::uint64_t total_upload_bytes(std::uint64_t update_bytes,
                                  std::uint64_t rounds) {
   return update_bytes * rounds;

@@ -35,6 +35,10 @@ struct LteLinkModel {
   /// Shannon capacity (bits/s) of this link at the configured SNR — a
   /// sanity upper bound the configured rates must respect.
   double shannon_capacity_bps() const;
+
+  /// Throws when a configured rate is non-positive or exceeds the Shannon
+  /// capacity of the link — a physically impossible configuration.
+  void validate() const;
 };
 
 /// Bytes transmitted by one client over a whole training run:

@@ -6,6 +6,16 @@
 
 namespace fhdnn::channel {
 
+namespace {
+
+/// Per-client link multiplier lookup: missing table or missing entry = 1.0.
+double scale_for(const std::vector<double>* scales, std::size_t client) {
+  if (scales == nullptr || client >= scales->size()) return 1.0;
+  return (*scales)[client];
+}
+
+}  // namespace
+
 FloatStateTransport::FloatStateTransport(double update_fraction,
                                          const Channel* uplink)
     : update_fraction_(update_fraction), uplink_(uplink) {
@@ -14,7 +24,7 @@ FloatStateTransport::FloatStateTransport(double update_fraction,
 }
 
 TransportStats FloatStateTransport::transmit(std::vector<float>& update,
-                                             std::size_t /*client*/,
+                                             std::size_t client,
                                              Rng& client_rng,
                                              const Rng& round_rng) const {
   (void)round_rng;
@@ -23,8 +33,15 @@ TransportStats FloatStateTransport::transmit(std::vector<float>& update,
   // Bernoulli mask actually transmitted, not the expected fraction.
   std::uint64_t sent = update.size();
   if (update_fraction_ < 1.0) {
-    FHDNN_CHECK(broadcast_ != nullptr && broadcast_->size() == update.size(),
-                "subsampling transport needs the round's broadcast snapshot");
+    FHDNN_CHECK(broadcast_ != nullptr,
+                "FloatStateTransport: update_fraction "
+                    << update_fraction_
+                    << " < 1 requires the round's broadcast snapshot — call "
+                       "set_broadcast() before transmitting");
+    FHDNN_CHECK(broadcast_->size() == update.size(),
+                "FloatStateTransport: broadcast snapshot has "
+                    << broadcast_->size() << " scalars, update has "
+                    << update.size());
     Rng mask_rng = client_rng.fork("mask");
     sent = 0;
     for (std::size_t i = 0; i < update.size(); ++i) {
@@ -36,17 +53,15 @@ TransportStats FloatStateTransport::transmit(std::vector<float>& update,
     }
   }
   TransportStats stats;
-  stats.payload_bytes = sent * sizeof(float);
   if (uplink_ != nullptr) {
     Rng chan_rng = client_rng.fork("channel");
-    const TransmitStats s = uplink_->apply(update, chan_rng);
-    stats.bits_on_air = s.bits_on_air;
-    stats.bit_flips = s.bit_flips;
-    stats.packets_lost = s.packets_lost;
-    stats.packets_total = s.packets_total;
+    stats = uplink_->apply_scaled(update, chan_rng,
+                                  scale_for(error_scales_, client));
   } else {
     stats.bits_on_air = sent * 32;
   }
+  stats.payload_scalars = sent;
+  stats.payload_bytes = sent * sizeof(float);
   return stats;
 }
 
@@ -64,13 +79,10 @@ TransportStats HdModelTransport::transmit(Tensor& update, std::size_t client,
   (void)client_rng;
   Rng chan_rng = round_rng.fork("channel-" + std::to_string(client));
   const std::uint64_t scalars = static_cast<std::uint64_t>(update.numel());
-  const HdUplinkStats s = transmit_hd_model(update, config_, chan_rng);
-  TransportStats stats;
+  TransportStats stats = transmit_hd_model(update, config_, chan_rng,
+                                           scale_for(error_scales_, client));
+  stats.payload_scalars = scalars;
   stats.payload_bytes = hd_update_bytes(config_, scalars);
-  stats.bits_on_air = s.bits_on_air;
-  stats.bit_flips = s.bit_flips;
-  stats.packets_lost = s.packets_lost;
-  stats.packets_total = s.packets_total;
   return stats;
 }
 

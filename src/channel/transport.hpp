@@ -29,17 +29,10 @@
 
 namespace fhdnn::channel {
 
-/// Uniform per-delivery accounting every Transport fills.
-struct TransportStats {
-  std::uint64_t payload_bytes = 0;  ///< uplink payload charged to the client
-  std::uint64_t bits_on_air = 0;    ///< channel-level bits transmitted
-  std::uint64_t bit_flips = 0;      ///< corruption events (BSC)
-  std::uint64_t packets_lost = 0;   ///< erasures (packet channels)
-  std::uint64_t packets_total = 0;  ///< packets sent (packet channels)
-};
-
 /// Serializes one client update, pushes it through the (possibly
-/// unreliable) uplink in place, and accounts for the traffic.
+/// unreliable) uplink in place, and accounts for the traffic in the uniform
+/// channel::TransportStats (channel.hpp) — the same struct Channel::apply
+/// fills, so ARQ/reliability counters exist in exactly one place.
 template <typename Update>
 class Transport {
  public:
@@ -81,6 +74,13 @@ class FloatStateTransport final : public Transport<std::vector<float>> {
     broadcast_ = broadcast;
   }
 
+  /// Install the fault model's per-client link-quality multipliers (indexed
+  /// by client id; may be null or shorter than the client range — missing
+  /// entries mean 1.0). The vector must outlive the transmit calls.
+  void set_error_scales(const std::vector<double>* scales) {
+    error_scales_ = scales;
+  }
+
   TransportStats transmit(std::vector<float>& update, std::size_t client,
                           Rng& client_rng, const Rng& round_rng) const override;
   std::uint64_t update_bytes(std::uint64_t scalars) const override {
@@ -95,6 +95,7 @@ class FloatStateTransport final : public Transport<std::vector<float>> {
   double update_fraction_;
   const Channel* uplink_;
   const std::vector<float>* broadcast_ = nullptr;
+  const std::vector<double>* error_scales_ = nullptr;
 };
 
 /// HD prototype path: the (K, d) matrix goes through transmit_hd_model
@@ -105,6 +106,12 @@ class FloatStateTransport final : public Transport<std::vector<float>> {
 class HdModelTransport final : public Transport<Tensor> {
  public:
   explicit HdModelTransport(HdUplinkConfig config) : config_(config) {}
+
+  /// Fault model's per-client link multipliers; see
+  /// FloatStateTransport::set_error_scales.
+  void set_error_scales(const std::vector<double>* scales) {
+    error_scales_ = scales;
+  }
 
   TransportStats transmit(Tensor& update, std::size_t client, Rng& client_rng,
                           const Rng& round_rng) const override;
@@ -117,6 +124,7 @@ class HdModelTransport final : public Transport<Tensor> {
 
  private:
   HdUplinkConfig config_;
+  const std::vector<double>* error_scales_ = nullptr;
 };
 
 }  // namespace fhdnn::channel

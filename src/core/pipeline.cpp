@@ -59,6 +59,8 @@ fl::TrainingHistory run_fhdnn_on_encoded(const EncodedFederatedData& enc,
   cfg.eval_every = params.eval_every;
   cfg.seed = params.seed;
   cfg.uplink = uplink;
+  cfg.faults = params.faults;
+  cfg.deadline = params.deadline;
   fl::FedHdTrainer trainer(enc.clients, enc.test, cfg);
   return trainer.run();
 }
@@ -103,6 +105,8 @@ fl::TrainingHistory run_cnn_federated(const CnnParams& cnn,
   cfg.weight_decay = cnn.weight_decay;
   cfg.eval_every = params.eval_every;
   cfg.seed = params.seed;
+  cfg.faults = params.faults;
+  cfg.deadline = params.deadline;
 
   fl::FedAvgTrainer trainer(factory, train, parts, test, cfg, uplink);
   return trainer.run();

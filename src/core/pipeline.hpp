@@ -24,6 +24,10 @@ struct FederatedParams {
   int rounds = 20;
   std::uint64_t seed = 1;
   int eval_every = 1;
+  /// Robustness layers, applied identically to both pipelines (off by
+  /// default): per-client fault injection and deadline-based rounds.
+  fl::FaultConfig faults;
+  fl::DeadlineConfig deadline;
 };
 
 /// Hypervector-encoded federated data, ready for fl::FedHdTrainer. Produced

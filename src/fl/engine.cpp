@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -13,17 +15,42 @@ RoundEngine::RoundEngine(EngineConfig config, RoundProtocol& protocol)
     : config_(std::move(config)),
       protocol_(protocol),
       root_rng_(config_.seed),
-      sampler_(config_.n_clients, config_.client_fraction) {
+      sampler_(config_.n_clients, config_.client_fraction),
+      faults_(config_.faults, config_.n_clients, root_rng_.fork("faults")) {
   FHDNN_CHECK(config_.rounds > 0, "engine rounds " << config_.rounds);
   FHDNN_CHECK(config_.dropout_prob >= 0.0 && config_.dropout_prob < 1.0,
               "dropout_prob " << config_.dropout_prob);
+  if (config_.deadline.enabled) {
+    FHDNN_CHECK(config_.deadline.over_selection >= 0.0,
+                "deadline over_selection " << config_.deadline.over_selection);
+    FHDNN_CHECK(config_.deadline.deadline_factor > 0.0,
+                "deadline_factor " << config_.deadline.deadline_factor);
+    config_.deadline.timeline.link.validate();
+    timeline_.emplace(config_.deadline.timeline);
+  }
+}
+
+double RoundEngine::deadline_seconds() const {
+  if (!timeline_) return 0.0;
+  return config_.deadline.deadline_factor * timeline_->nominal_round_seconds();
 }
 
 RoundMetrics RoundEngine::round(int round_index) {
   const auto start = std::chrono::steady_clock::now();
   Rng round_rng = root_rng_.fork("round-" + std::to_string(round_index));
   Rng sample_rng = round_rng.fork("sample");
-  const auto participants = sampler_.sample(sample_rng);
+
+  // Deadline rounds over-select so late/faulty participants can be replaced
+  // by faster ones without shrinking the effective round size.
+  const bool deadline_on = timeline_.has_value();
+  const std::size_t target = sampler_.clients_per_round();
+  std::size_t draw = target;
+  if (deadline_on) {
+    draw = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(target) *
+                  (1.0 + config_.deadline.over_selection)));
+  }
+  const auto participants = sampler_.sample(sample_rng, draw);
   const std::size_t n = participants.size();
 
   RoundMetrics metrics;
@@ -35,10 +62,30 @@ RoundMetrics RoundEngine::round(int round_index) {
   protocol_.begin_round(round_rng, n);
 
   // Pre-draw delivery outcomes in participant order so the dropout stream
-  // never depends on client execution order.
+  // never depends on client execution order; fault-layer crashes and
+  // outage windows fold in as additional delivery failures (both are pure
+  // functions of (client, round), so the fold is order-independent too).
   Rng dropout_rng = round_rng.fork("dropout");
-  const auto delivered_flag =
+  auto delivered_flag =
       draw_delivery_flags(n, config_.dropout_prob, dropout_rng);
+  if (faults_.enabled()) {
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (delivered_flag[slot] &&
+          !faults_.available(participants[slot], round_index)) {
+        delivered_flag[slot] = 0;
+      }
+    }
+  }
+
+  // Deadline rounds: pre-draw per-slot compute jitter serially in slot
+  // order, same contract as the dropout coins.
+  std::vector<double> jitter;
+  if (deadline_on) {
+    Rng jitter_rng = round_rng.fork("jitter");
+    const double j = timeline_->config().compute_jitter;
+    jitter.resize(n, 1.0);
+    for (auto& factor : jitter) factor = 1.0 + jitter_rng.uniform(-j, j);
+  }
 
   // Client-parallel local updates + transport. Each task draws only from
   // named forks of the round stream; global state is read-only until the
@@ -54,25 +101,72 @@ RoundMetrics RoundEngine::round(int round_index) {
         }
       });
 
-  // Serial accounting + reduction in fixed participant order: aggregation
-  // stays bit-identical to the sequential schedule at any thread count.
+  // Deadline acceptance: simulate each delivery's duration from its
+  // measured transport stats (retransmitted bits lengthen the upload, ARQ
+  // backoff adds directly), then accept the first `target` finishers
+  // within the deadline, ties broken by slot — a deterministic order at
+  // any thread count. Late deliveries were on the air (traffic charged
+  // below) but never reach the aggregator.
+  std::vector<char> accepted = delivered_flag;
+  double simulated_seconds = 0.0;
+  if (deadline_on) {
+    const double deadline = deadline_seconds();
+    std::vector<std::pair<double, std::size_t>> finishers;
+    finishers.reserve(n);
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (!delivered_flag[slot]) continue;
+      finishers.emplace_back(
+          timeline_->client_round_seconds(reports[slot].stats,
+                                          faults_.slowdown(participants[slot]),
+                                          jitter[slot]),
+          slot);
+    }
+    std::sort(finishers.begin(), finishers.end());
+    std::fill(accepted.begin(), accepted.end(), 0);
+    std::size_t taken = 0;
+    double slowest_accepted = 0.0;
+    for (const auto& [seconds, slot] : finishers) {
+      if (taken < target && seconds <= deadline) {
+        accepted[slot] = 1;
+        slowest_accepted = seconds;
+        ++taken;
+      }
+    }
+    // The round ends the moment the server has its target count of
+    // updates; short rounds wait out the full deadline.
+    simulated_seconds = (taken == target) ? slowest_accepted : deadline;
+  }
+
+  // Serial accounting in fixed participant order. Traffic is charged for
+  // everything that went on the air (accepted or timed out); loss averages
+  // over the accepted participants only — they are the round's effective
+  // cohort.
   double loss_total = 0.0;
   std::size_t delivered = 0;
+  std::size_t accepted_n = 0;
   for (std::size_t slot = 0; slot < n; ++slot) {
     if (!delivered_flag[slot]) continue;
     ++delivered;
-    loss_total += reports[slot].loss;
-    metrics.bytes_uplink += reports[slot].stats.payload_bytes;
-    metrics.bits_on_air += reports[slot].stats.bits_on_air;
-    metrics.bit_flips += reports[slot].stats.bit_flips;
-    metrics.packets_lost += reports[slot].stats.packets_lost;
+    const auto& stats = reports[slot].stats;
+    metrics.bytes_uplink += stats.payload_bytes;
+    metrics.bits_on_air += stats.bits_on_air;
+    metrics.bit_flips += stats.bit_flips;
+    metrics.packets_lost += stats.packets_lost;
+    metrics.retransmissions += stats.retransmissions;
+    metrics.residual_errors += stats.residual_errors;
+    if (accepted[slot]) {
+      ++accepted_n;
+      loss_total += reports[slot].loss;
+    }
   }
-  protocol_.reduce(participants, delivered_flag);
+  protocol_.reduce(participants, accepted);
 
-  metrics.clients = delivered;
+  metrics.clients = accepted_n;
   metrics.dropped = n - delivered;
+  metrics.timed_out = delivered - accepted_n;
+  metrics.simulated_round_seconds = simulated_seconds;
   metrics.train_loss =
-      delivered ? loss_total / static_cast<double>(delivered) : 0.0;
+      accepted_n ? loss_total / static_cast<double>(accepted_n) : 0.0;
   if (round_index % std::max(1, config_.eval_every) == 0 ||
       round_index == config_.rounds) {
     metrics.test_accuracy = protocol_.evaluate();
@@ -91,8 +185,10 @@ TrainingHistory RoundEngine::run() {
     const RoundMetrics m = round(r);
     history_.add(m);
     log_debug() << config_.name << " round " << r << " acc=" << m.test_accuracy
-                << " loss=" << m.train_loss << " delivered=" << m.clients << "/"
-                << m.sampled << " wall=" << m.wall_seconds << "s";
+                << " loss=" << m.train_loss << " accepted=" << m.clients << "/"
+                << m.sampled << " (dropped=" << m.dropped
+                << " timed_out=" << m.timed_out << ") wall=" << m.wall_seconds
+                << "s";
   }
   return history_;
 }

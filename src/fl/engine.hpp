@@ -17,23 +17,39 @@
 // delivered / dropped counts, uplink traffic) — so both trainers report
 // identically through RoundMetrics.
 //
+// Two robustness layers ride on top of the plain dropout coin (ISSUE:
+// ARQ + faults + deadlines). A FaultModel (fl/faults.hpp, engine fork
+// "faults") injects per-client crashes, outage windows, stragglers, and
+// link-quality multipliers; a DeadlineConfig turns rounds deadline-based:
+// the engine over-selects participants, simulates each delivery's duration
+// from its measured transport stats via FlTimeline (ARQ retransmissions
+// and backoff included), and accepts only the first clients_per_round()
+// deliveries inside the deadline — late updates are discarded but their
+// traffic is charged (RoundMetrics::timed_out). Both layers are off by
+// default and change nothing when off.
+//
 // Determinism contract (DESIGN.md §6): every round forks a named stream
 // root.fork("round-<r>"), from which the engine forks "sample", "dropout",
-// and "client-<id>" per participant; seams fork their own named streams
-// from those ("mask", "channel", "channel-<id>", "downlink"). Forking
-// never perturbs the parent, coins are pre-drawn in participant order, and
-// the reduction is serial in participant order — histories are
-// bit-identical at every FHDNN_THREADS setting (wall_seconds excepted).
+// "jitter" (deadline rounds), and "client-<id>" per participant; seams
+// fork their own named streams from those ("mask", "channel",
+// "channel-<id>", "downlink"), and the fault layer draws only from forks
+// of root.fork("faults") that are pure in (client, round). Forking never
+// perturbs the parent, coins are pre-drawn in participant order, and the
+// reduction is serial in participant order — histories are bit-identical
+// at every FHDNN_THREADS setting (wall_seconds excepted).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "channel/transport.hpp"
+#include "fl/faults.hpp"
 #include "fl/history.hpp"
 #include "fl/sampler.hpp"
+#include "fl/timeline.hpp"
 #include "util/rng.hpp"
 
 namespace fhdnn::fl {
@@ -163,6 +179,26 @@ class ProtocolAdapter final : public RoundProtocol {
   std::vector<Update> outcomes_;
 };
 
+/// Deadline-based round policy (paper §4.4's timing model driving the
+/// acceptance decision instead of only post-hoc reporting). When enabled,
+/// the engine over-selects ceil(C*N*(1+over_selection)) participants,
+/// derives a per-round deadline from the FlTimeline nominal round duration
+/// (device compute + one configured-size LTE upload), simulates every
+/// delivered participant's round time from its *measured* transport stats
+/// (so ARQ retransmissions and backoff lengthen it), and accepts the first
+/// clients_per_round() deliveries that finish within the deadline. Later
+/// deliveries are discarded — their traffic stays charged, they count as
+/// RoundMetrics::timed_out — which is how a synchronous server degrades
+/// gracefully instead of stalling on stragglers and retransmit storms.
+struct DeadlineConfig {
+  bool enabled = false;
+  /// Device / LTE model the deadline and per-client times come from;
+  /// timeline.update_bits must be set when enabled.
+  TimelineConfig timeline;
+  double over_selection = 0.25;  ///< eps: extra participants sampled
+  double deadline_factor = 1.5;  ///< deadline = factor * nominal round time
+};
+
 /// Engine knobs shared by every federated protocol (paper notation).
 struct EngineConfig {
   std::size_t n_clients = 0;
@@ -172,6 +208,8 @@ struct EngineConfig {
   double dropout_prob = 0.0;     ///< per-participant delivery failure
   std::uint64_t seed = 1;
   std::string name = "engine";   ///< log prefix ("fedavg", "fedhd", ...)
+  FaultConfig faults;            ///< per-client fault injection (off by default)
+  DeadlineConfig deadline;       ///< deadline-based rounds (off by default)
 };
 
 /// The shared synchronous round loop. See the file header for the seam
@@ -191,11 +229,21 @@ class RoundEngine {
   const ClientSampler& sampler() const { return sampler_; }
   const EngineConfig& config() const { return config_; }
 
+  /// The per-client fault layer (disabled when config.faults is all-off).
+  /// Trainers install faults().error_scales() into their transports.
+  const FaultModel& faults() const { return faults_; }
+
+  /// Per-round acceptance deadline in simulated seconds; 0 when deadline
+  /// rounds are disabled.
+  double deadline_seconds() const;
+
  private:
   EngineConfig config_;
   RoundProtocol& protocol_;
   Rng root_rng_;
   ClientSampler sampler_;
+  FaultModel faults_;
+  std::optional<FlTimeline> timeline_;
   TrainingHistory history_;
 };
 

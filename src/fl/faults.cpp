@@ -1,0 +1,74 @@
+#include "fl/faults.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fhdnn::fl {
+
+FaultModel::FaultModel(FaultConfig config, std::size_t n_clients,
+                       const Rng& root)
+    : config_(config), root_(root.fork("fault-root")), enabled_(config.any()) {
+  FHDNN_CHECK(config_.crash_prob >= 0.0 && config_.crash_prob < 1.0,
+              "crash_prob " << config_.crash_prob);
+  FHDNN_CHECK(
+      config_.straggler_fraction >= 0.0 && config_.straggler_fraction <= 1.0,
+      "straggler_fraction " << config_.straggler_fraction);
+  FHDNN_CHECK(config_.straggler_slowdown >= 1.0,
+              "straggler_slowdown " << config_.straggler_slowdown);
+  FHDNN_CHECK(config_.outage_prob >= 0.0 && config_.outage_prob < 1.0,
+              "outage_prob " << config_.outage_prob);
+  FHDNN_CHECK(config_.outage_rounds >= 1,
+              "outage_rounds " << config_.outage_rounds);
+  FHDNN_CHECK(config_.error_multiplier_max >= 1.0,
+              "error_multiplier_max " << config_.error_multiplier_max);
+  slowdown_.reserve(n_clients);
+  error_scale_.reserve(n_clients);
+  // Static traits, drawn in client order from per-client named forks.
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    Rng traits = root_.fork("traits-" + std::to_string(c));
+    const bool straggler = traits.bernoulli(config_.straggler_fraction);
+    slowdown_.push_back(straggler ? config_.straggler_slowdown : 1.0);
+    error_scale_.push_back(config_.error_multiplier_max > 1.0
+                               ? traits.uniform(1.0,
+                                                config_.error_multiplier_max)
+                               : 1.0);
+  }
+}
+
+double FaultModel::slowdown(std::size_t client) const {
+  return client < slowdown_.size() ? slowdown_[client] : 1.0;
+}
+
+double FaultModel::error_scale(std::size_t client) const {
+  return client < error_scale_.size() ? error_scale_[client] : 1.0;
+}
+
+bool FaultModel::crashed(std::size_t client, int round) const {
+  if (!enabled_ || config_.crash_prob <= 0.0) return false;
+  Rng coin = root_.fork("crash-" + std::to_string(client) + "-" +
+                        std::to_string(round));
+  return coin.bernoulli(config_.crash_prob);
+}
+
+bool FaultModel::in_outage(std::size_t client, int round) const {
+  if (!enabled_ || config_.outage_prob <= 0.0) return false;
+  // In an outage at r iff one *started* in (r - outage_rounds, r]. Start
+  // coins are pure functions of (client, round), so the window membership
+  // test needs no per-round state.
+  const int first = round - config_.outage_rounds + 1;
+  for (int r0 = std::max(1, first); r0 <= round; ++r0) {
+    Rng coin = root_.fork("outage-" + std::to_string(client) + "-" +
+                          std::to_string(r0));
+    if (coin.bernoulli(config_.outage_prob)) return true;
+  }
+  return false;
+}
+
+bool FaultModel::available(std::size_t client, int round) const {
+  if (!enabled_) return true;
+  return !crashed(client, round) && !in_outage(client, round);
+}
+
+}  // namespace fhdnn::fl

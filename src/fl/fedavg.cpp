@@ -230,6 +230,7 @@ class FedAvgProtocol {
 
   RoundProtocol& protocol() { return adapter_; }
   FedAvgLearner& learner() { return learner_; }
+  channel::FloatStateTransport& transport() { return transport_; }
   const FedAvgConfig& config() const { return config_; }
 
  private:
@@ -251,8 +252,12 @@ FedAvgTrainer::FedAvgTrainer(ModelFactory factory, const data::Dataset& train,
       engine_(std::make_unique<RoundEngine>(
           EngineConfig{config.n_clients, config.client_fraction, config.rounds,
                        config.eval_every, config.dropout_prob, config.seed,
-                       "fedavg"},
-          protocol_->protocol())) {}
+                       "fedavg", config.faults, config.deadline},
+          protocol_->protocol())) {
+  // The engine's fault layer owns the per-client link-quality multipliers;
+  // the transport scales channel error rates by them per delivery.
+  protocol_->transport().set_error_scales(&engine_->faults().error_scales());
+}
 
 FedAvgTrainer::~FedAvgTrainer() = default;
 

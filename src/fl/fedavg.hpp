@@ -47,6 +47,12 @@ struct FedAvgConfig {
   /// 1.0 = full updates. Uplink byte accounting scales accordingly.
   double update_fraction = 1.0;
   std::uint64_t seed = 1;
+  /// Per-client fault injection (crashes, outages, stragglers, link-quality
+  /// multipliers) — fl/faults.hpp. All-off by default.
+  FaultConfig faults;
+  /// Deadline-based rounds with over-selection — fl/engine.hpp. Off by
+  /// default.
+  DeadlineConfig deadline;
 };
 
 namespace detail {

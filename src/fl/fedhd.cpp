@@ -129,6 +129,7 @@ class FedHdProtocol {
   RoundProtocol& protocol() { return adapter_; }
   FedHdLearner& learner() { return learner_; }
   const FedHdLearner& learner() const { return learner_; }
+  channel::HdModelTransport& transport() { return transport_; }
   const channel::HdModelTransport& transport() const { return transport_; }
   const FedHdConfig& config() const { return config_; }
 
@@ -149,8 +150,12 @@ FedHdTrainer::FedHdTrainer(std::vector<HdClientData> clients, HdClientData test,
       engine_(std::make_unique<RoundEngine>(
           EngineConfig{config.n_clients, config.client_fraction, config.rounds,
                        config.eval_every, config.dropout_prob, config.seed,
-                       "fedhd"},
-          protocol_->protocol())) {}
+                       "fedhd", config.faults, config.deadline},
+          protocol_->protocol())) {
+  // The engine's fault layer owns the per-client link-quality multipliers;
+  // the transport scales channel error rates by them per delivery.
+  protocol_->transport().set_error_scales(&engine_->faults().error_scales());
+}
 
 FedHdTrainer::~FedHdTrainer() = default;
 

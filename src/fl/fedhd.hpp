@@ -59,6 +59,12 @@ struct FedHdConfig {
   /// knob drops that assumption: each round the broadcast copy every
   /// participant starts from is pushed through this channel once.
   channel::HdUplinkConfig downlink;  ///< defaults to a perfect channel
+  /// Per-client fault injection (crashes, outages, stragglers, link-quality
+  /// multipliers) — fl/faults.hpp. All-off by default.
+  FaultConfig faults;
+  /// Deadline-based rounds with over-selection — fl/engine.hpp. Off by
+  /// default.
+  DeadlineConfig deadline;
 };
 
 namespace detail {

@@ -46,4 +46,34 @@ std::size_t TrainingHistory::total_dropped() const {
   return total;
 }
 
+std::size_t TrainingHistory::total_timed_out() const {
+  std::size_t total = 0;
+  for (const auto& m : rounds_) total += m.timed_out;
+  return total;
+}
+
+std::uint64_t TrainingHistory::total_bits_on_air() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds_) total += m.bits_on_air;
+  return total;
+}
+
+std::uint64_t TrainingHistory::total_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds_) total += m.retransmissions;
+  return total;
+}
+
+std::uint64_t TrainingHistory::total_residual_errors() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds_) total += m.residual_errors;
+  return total;
+}
+
+double TrainingHistory::total_simulated_seconds() const {
+  double total = 0.0;
+  for (const auto& m : rounds_) total += m.simulated_round_seconds;
+  return total;
+}
+
 }  // namespace fhdnn::fl

@@ -11,13 +11,21 @@ struct RoundMetrics {
   std::int64_t round = 0;           ///< 1-based round index
   double test_accuracy = 0.0;       ///< global model on the held-out set
   double train_loss = 0.0;          ///< mean local loss (CNN) or error rate (HD)
-  std::size_t clients = 0;          ///< participants *delivered* this round
+  std::size_t clients = 0;          ///< participants *accepted* this round
   std::size_t sampled = 0;          ///< participants drawn by the sampler
   std::size_t dropped = 0;          ///< sampled but failed to deliver
+  /// Delivered on the air but discarded by the round deadline (deadline
+  /// rounds only); clients + dropped + timed_out == sampled.
+  std::size_t timed_out = 0;
   std::uint64_t bytes_uplink = 0;   ///< total client->server payload bytes
   std::uint64_t bits_on_air = 0;    ///< channel-level bits transmitted
   std::uint64_t bit_flips = 0;      ///< corruption events (BSC)
   std::uint64_t packets_lost = 0;   ///< corruption events (packet channel)
+  std::uint64_t retransmissions = 0;  ///< ARQ frames retransmitted
+  std::uint64_t residual_errors = 0;  ///< ARQ frames delivered corrupted
+  /// Simulated duration of the round under the deadline model (device
+  /// compute + LTE upload + ARQ backoff); 0 when deadline rounds are off.
+  double simulated_round_seconds = 0.0;
   /// Engine-measured wall-clock time of the round (local training +
   /// transport + reduction + evaluation). The one RoundMetrics field that
   /// is *not* covered by the bit-identical determinism contract.
@@ -46,9 +54,19 @@ class TrainingHistory {
   /// Total engine-measured wall-clock seconds across all rounds.
   double total_wall_seconds() const;
 
-  /// Total participants sampled / dropped across all rounds.
+  /// Total participants sampled / dropped / deadline-rejected across all
+  /// rounds.
   std::size_t total_sampled() const;
   std::size_t total_dropped() const;
+  std::size_t total_timed_out() const;
+
+  /// Total channel-level traffic and ARQ reliability cost across all rounds.
+  std::uint64_t total_bits_on_air() const;
+  std::uint64_t total_retransmissions() const;
+  std::uint64_t total_residual_errors() const;
+
+  /// Total simulated campaign time under the deadline model, seconds.
+  double total_simulated_seconds() const;
 
  private:
   std::vector<RoundMetrics> rounds_;

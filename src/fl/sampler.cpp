@@ -18,7 +18,12 @@ ClientSampler::ClientSampler(std::size_t n_clients, double fraction)
 }
 
 std::vector<std::size_t> ClientSampler::sample(Rng& rng) const {
-  auto picks = rng.sample_without_replacement(n_clients_, per_round_);
+  return sample(rng, per_round_);
+}
+
+std::vector<std::size_t> ClientSampler::sample(Rng& rng, std::size_t k) const {
+  k = std::min(std::max<std::size_t>(1, k), n_clients_);
+  auto picks = rng.sample_without_replacement(n_clients_, k);
   std::sort(picks.begin(), picks.end());
   return picks;
 }

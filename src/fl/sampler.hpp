@@ -20,6 +20,12 @@ class ClientSampler {
   /// aggregation order).
   std::vector<std::size_t> sample(Rng& rng) const;
 
+  /// Same, but drawing `k` participants instead of clients_per_round() —
+  /// the engine's deadline rounds over-select with k = ceil(C*N*(1+eps)).
+  /// k is clamped to [1, n_clients]; k == clients_per_round() draws the
+  /// exact same stream as sample(rng).
+  std::vector<std::size_t> sample(Rng& rng, std::size_t k) const;
+
  private:
   std::size_t n_clients_;
   std::size_t per_round_;

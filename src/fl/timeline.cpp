@@ -10,17 +10,18 @@ FlTimeline::FlTimeline(TimelineConfig config) : config_(config) {
   FHDNN_CHECK(config_.update_bits > 0, "timeline needs update_bits");
   FHDNN_CHECK(config_.compute_jitter >= 0.0 && config_.compute_jitter < 1.0,
               "compute_jitter " << config_.compute_jitter);
+  const perf::CostEstimate base =
+      config_.fhdnn ? perf::fhdnn_local_training(config_.device,
+                                                 config_.workload)
+                    : perf::cnn_local_training(config_.device,
+                                               config_.workload);
+  base_compute_seconds_ = base.seconds;
 }
 
 std::vector<RoundTime> FlTimeline::simulate(int rounds,
                                             std::size_t participants,
                                             Rng& rng) const {
   FHDNN_CHECK(rounds > 0 && participants > 0, "timeline rounds/participants");
-  const perf::CostEstimate base =
-      config_.fhdnn ? perf::fhdnn_local_training(config_.device,
-                                                 config_.workload)
-                    : perf::cnn_local_training(config_.device,
-                                               config_.workload);
   const double upload =
       config_.link.upload_seconds(config_.update_bits, config_.fhdnn);
   std::vector<RoundTime> out;
@@ -30,7 +31,7 @@ std::vector<RoundTime> FlTimeline::simulate(int rounds,
     for (std::size_t p = 0; p < participants; ++p) {
       const double jitter =
           1.0 + rng.uniform(-config_.compute_jitter, config_.compute_jitter);
-      worst_compute = std::max(worst_compute, base.seconds * jitter);
+      worst_compute = std::max(worst_compute, base_compute_seconds_ * jitter);
     }
     RoundTime rt;
     rt.compute_seconds = worst_compute;
@@ -62,6 +63,24 @@ double FlTimeline::seconds_to_accuracy(
     if (history.rounds()[i].test_accuracy >= target) return elapsed;
   }
   return -1.0;
+}
+
+double FlTimeline::nominal_round_seconds() const {
+  return base_compute_seconds_ +
+         config_.link.upload_seconds(config_.update_bits, config_.fhdnn);
+}
+
+double FlTimeline::client_round_seconds(const channel::TransportStats& stats,
+                                        double slowdown,
+                                        double jitter_factor) const {
+  FHDNN_CHECK(slowdown >= 1.0, "client slowdown " << slowdown);
+  FHDNN_CHECK(jitter_factor > 0.0, "client jitter factor " << jitter_factor);
+  const double compute = base_compute_seconds_ * slowdown * jitter_factor;
+  const double upload =
+      stats.bits_on_air > 0
+          ? config_.link.upload_seconds(stats.bits_on_air, config_.fhdnn)
+          : 0.0;
+  return compute + upload + stats.backoff_seconds;
 }
 
 }  // namespace fhdnn::fl

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "channel/channel.hpp"
 #include "channel/lte.hpp"
 #include "fl/history.hpp"
 #include "perf/device_model.hpp"
@@ -55,10 +56,24 @@ class FlTimeline {
   double seconds_to_accuracy(const TrainingHistory& history, double target,
                              const std::vector<RoundTime>& rounds) const;
 
+  /// Nominal (jitter-free, healthy-client, retransmission-free) duration of
+  /// one round: base local compute + one configured-size upload. The
+  /// deadline of a deadline-based round derives from this.
+  double nominal_round_seconds() const;
+
+  /// Simulated duration of one client's round from its *measured* delivery:
+  /// base compute x slowdown x jitter, plus the LTE upload of the bits the
+  /// transport actually put on the air (retransmissions included — when
+  /// stats comes from an ARQ channel, every retransmitted frame lengthens
+  /// the upload), plus the ARQ backoff/ACK wait the delivery accumulated.
+  double client_round_seconds(const channel::TransportStats& stats,
+                              double slowdown, double jitter_factor) const;
+
   const TimelineConfig& config() const { return config_; }
 
  private:
   TimelineConfig config_;
+  double base_compute_seconds_ = 0.0;
 };
 
 }  // namespace fhdnn::fl

@@ -441,5 +441,29 @@ TEST(Transport, FloatStateTransportValidatesFractionAtConstruction) {
   EXPECT_THROW(channel::FloatStateTransport(1.5, nullptr), Error);
 }
 
+TEST(Transport, SubsamplingWithoutBroadcastFailsLoudly) {
+  // Regression: update_fraction < 1 needs the round's broadcast snapshot to
+  // fall back to for untransmitted scalars. Transmitting without
+  // set_broadcast used to be a silent nullptr hazard; it must throw with a
+  // message naming the missing call.
+  channel::FloatStateTransport transport(0.5, nullptr);
+  std::vector<float> update(32, 1.0F);
+  Rng client_rng(1);
+  const Rng round_rng(2);
+  try {
+    transport.transmit(update, 0, client_rng, round_rng);
+    FAIL() << "expected transmit without a broadcast snapshot to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("set_broadcast"), std::string::npos);
+  }
+  // With the snapshot installed (or with full updates) it works.
+  const std::vector<float> broadcast(32, 0.0F);
+  transport.set_broadcast(&broadcast);
+  EXPECT_NO_THROW(transport.transmit(update, 0, client_rng, round_rng));
+  channel::FloatStateTransport full(1.0, nullptr);
+  std::vector<float> update2(32, 1.0F);
+  EXPECT_NO_THROW(full.transmit(update2, 0, client_rng, round_rng));
+}
+
 }  // namespace
 }  // namespace fhdnn
