@@ -1,0 +1,167 @@
+// Allocation profile of a CNN training step (the zero-allocation claim).
+//
+// Runs warmup + measured training steps on the mini-ResNet and reports, per
+// step, the heap traffic seen by the counting allocator (alloc_spy) and the
+// wall time. The first warmup step pays every buffer and arena allocation —
+// that figure is what each step cost before the workspace/_into refactor.
+// Steady-state steps must allocate nothing; the reduction factor between the
+// two is the headline number. Also emits BENCH_memory.json for CI.
+//
+// Usage: micro_memory [--steps=N] [--warmup=N] [--batch=N] [--threads=N]
+//                     [--json=PATH]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/resnet.hpp"
+#include "util/alloc_spy.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/workspace.hpp"
+
+namespace {
+
+using fhdnn::Rng;
+using fhdnn::Shape;
+using fhdnn::Tensor;
+
+struct StepSample {
+  int step;
+  bool warmup;
+  double ms;
+  std::uint64_t bytes;      // heap bytes requested during the step
+  std::uint64_t new_calls;  // operator new calls during the step
+};
+
+/// One SGD training step, shaped exactly like fl::local_update's inner loop:
+/// arena reset at the batch boundary, forward, loss, backward, step.
+double training_step(fhdnn::nn::Sequential& model, fhdnn::nn::Sgd& opt,
+                     fhdnn::nn::CrossEntropyLoss& loss, const Tensor& x,
+                     const std::vector<std::int64_t>& labels) {
+  fhdnn::util::tls_workspace().reset();
+  opt.zero_grad();
+  const Tensor& logits = model.forward(x);
+  const double l = loss.forward(logits, labels);
+  model.backward(loss.backward());
+  opt.step();
+  return l;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fhdnn::bench::init();
+  fhdnn::CliFlags flags;
+  flags.define_int("steps", 20, "measured steady-state steps");
+  flags.define_int("warmup", 2, "warmup steps (first one grows all buffers)");
+  flags.define_int("batch", 8, "batch size");
+  flags.define_int("threads", 1, "thread-pool width");
+  flags.define_string("json", "BENCH_memory.json",
+                      "output path for the machine-readable summary");
+  if (!flags.parse(argc, argv)) return 0;
+  const int steps = static_cast<int>(flags.get_int("steps"));
+  const int warmup = std::max(1, static_cast<int>(flags.get_int("warmup")));
+  const std::int64_t batch = flags.get_int("batch");
+  const int threads = static_cast<int>(flags.get_int("threads"));
+  const std::string json_path = flags.get_string("json");
+
+  fhdnn::parallel::set_num_threads(threads);
+  fhdnn::print_banner(std::cout, "micro: training-step allocation profile");
+  fhdnn::bench::print_config_line(
+      "mini_resnet(base=4) on (batch,1,16,16); warmup=" +
+      std::to_string(warmup) + " steps=" + std::to_string(steps) +
+      " batch=" + std::to_string(batch) +
+      " threads=" + std::to_string(threads));
+
+  Rng rng(17);
+  auto model = fhdnn::nn::make_mini_resnet(1, 10, 4, rng);
+  fhdnn::nn::Sgd opt(*model, {.lr = 0.01F, .momentum = 0.9F});
+  fhdnn::nn::CrossEntropyLoss loss;
+  const Tensor x = Tensor::randn(Shape{batch, 1, 16, 16}, rng);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(batch));
+  for (auto& l : labels) l = rng.randint(0, 9);
+
+  std::vector<StepSample> samples;
+  for (int s = 0; s < warmup + steps; ++s) {
+    const auto before = fhdnn::util::alloc_spy_snapshot();
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)training_step(*model, opt, loss, x, labels);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    const auto after = fhdnn::util::alloc_spy_snapshot();
+    samples.push_back({s, s < warmup, ms, after.bytes - before.bytes,
+                       after.count - before.count});
+  }
+
+  const StepSample& first = samples.front();  // pays every allocation
+  std::uint64_t steady_bytes_max = 0;
+  std::uint64_t steady_calls_max = 0;
+  std::vector<double> steady_ms;
+  for (const auto& s : samples) {
+    if (s.warmup) continue;
+    steady_bytes_max = std::max(steady_bytes_max, s.bytes);
+    steady_calls_max = std::max(steady_calls_max, s.new_calls);
+    steady_ms.push_back(s.ms);
+  }
+  std::sort(steady_ms.begin(), steady_ms.end());
+  const double steady_median_ms = steady_ms[steady_ms.size() / 2];
+  const double reduction =
+      static_cast<double>(first.bytes) /
+      static_cast<double>(std::max<std::uint64_t>(steady_bytes_max, 1));
+  const auto& ws = fhdnn::util::tls_workspace().stats();
+
+  fhdnn::TextTable table({"phase", "steps", "bytes/step", "new_calls/step",
+                          "median_ms"});
+  table.add_row({"warmup_first", "1", fhdnn::TextTable::cell(first.bytes),
+                 fhdnn::TextTable::cell(first.new_calls),
+                 fhdnn::TextTable::cell(first.ms)});
+  table.add_row({"steady_state", fhdnn::TextTable::cell(steps),
+                 fhdnn::TextTable::cell(steady_bytes_max),
+                 fhdnn::TextTable::cell(steady_calls_max),
+                 fhdnn::TextTable::cell(steady_median_ms)});
+  table.print(std::cout);
+  std::cout << "reduction: " << reduction
+            << "x bytes/step (warmup first step vs steady-state max)\n"
+            << "arena: high_water=" << ws.high_water_bytes
+            << "B capacity=" << ws.capacity_bytes
+            << "B heap_allocations=" << ws.heap_allocations << "\n\n";
+
+  fhdnn::CsvWriter csv(std::cout,
+                       {"step", "phase", "ms", "bytes", "new_calls"});
+  for (const auto& s : samples) {
+    csv.add(s.step)
+        .add(s.warmup ? "warmup" : "steady")
+        .add(s.ms)
+        .add(static_cast<std::size_t>(s.bytes))
+        .add(static_cast<std::size_t>(s.new_calls))
+        .end_row();
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"micro_memory\",\n"
+       << "  \"model\": \"mini_resnet_base4\",\n"
+       << "  \"batch\": " << batch << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"warmup_steps\": " << warmup << ",\n"
+       << "  \"measured_steps\": " << steps << ",\n"
+       << "  \"first_step_bytes\": " << first.bytes << ",\n"
+       << "  \"first_step_ms\": " << first.ms << ",\n"
+       << "  \"steady_bytes_per_step_max\": " << steady_bytes_max << ",\n"
+       << "  \"steady_new_calls_per_step_max\": " << steady_calls_max << ",\n"
+       << "  \"steady_step_ms_median\": " << steady_median_ms << ",\n"
+       << "  \"bytes_reduction_factor\": " << reduction << ",\n"
+       << "  \"arena_high_water_bytes\": " << ws.high_water_bytes << ",\n"
+       << "  \"arena_capacity_bytes\": " << ws.capacity_bytes << ",\n"
+       << "  \"arena_heap_allocations\": " << ws.heap_allocations << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "core/fhdnn.hpp"
 
 #include "channel/hd_uplink.hpp"
+#include "tensor/view.hpp"
 #include "util/error.hpp"
+#include "util/workspace.hpp"
 
 namespace fhdnn::core {
 
@@ -41,7 +43,16 @@ void FhdnnModel::calibrate(const Tensor& images) {
 }
 
 Tensor FhdnnModel::encode_images(const Tensor& images) const {
-  return encoder_.encode(extractor_.extract(images));
+  // Stage the intermediate features in the thread's arena — only the
+  // returned hypervectors own heap storage.
+  util::Workspace& ws = util::tls_workspace();
+  const util::Workspace::Scope scope(ws);
+  const std::int64_t n = images.dim(0);
+  TensorView z(ws.floats(n * config_.feature_dim), {n, config_.feature_dim});
+  extractor_.extract_into(images, z);
+  Tensor h(Shape{n, config_.hd_dim});
+  encoder_.encode_into(z, h);
+  return h;
 }
 
 fl::HdClientData FhdnnModel::encode_dataset(const data::Dataset& ds) const {

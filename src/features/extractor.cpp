@@ -54,21 +54,8 @@ FrozenFeatureExtractor::FrozenFeatureExtractor(Config config)
   scale_ = Tensor::ones(Shape{config_.output_dim});
 }
 
-Tensor FrozenFeatureExtractor::forward_raw(const Tensor& images) const {
-  FHDNN_CHECK(images.ndim() == 4 && images.dim(1) == config_.in_channels &&
-                  images.dim(2) == config_.image_hw &&
-                  images.dim(3) == config_.image_hw,
-              "extractor expects (N," << config_.in_channels << ","
-                                      << config_.image_hw << ","
-                                      << config_.image_hw << "), got "
-                                      << shape_to_string(images.shape()));
-  const Tensor flat = trunk_->forward(images);  // (N, trunk_out_dim)
-  Tensor z = ops::linear_forward(flat, expansion_, expansion_bias_);
-  for (auto& v : z.data()) v = std::tanh(v);
-  return z;
-}
-
-Tensor FrozenFeatureExtractor::extract(const Tensor& images) const {
+void FrozenFeatureExtractor::extract_into(const Tensor& images,
+                                          TensorView out) const {
   FHDNN_CHECK(images.ndim() == 4 && images.dim(1) == config_.in_channels &&
                   images.dim(2) == config_.image_hw &&
                   images.dim(3) == config_.image_hw,
@@ -77,26 +64,35 @@ Tensor FrozenFeatureExtractor::extract(const Tensor& images) const {
                                     << config_.image_hw << "), got "
                                     << shape_to_string(images.shape()));
   const std::int64_t n = images.dim(0);
-  Tensor out(Shape{n, config_.output_dim});
+  FHDNN_CHECK(out.ndim() == 2 && out.dim(0) == n &&
+                  out.dim(1) == config_.output_dim,
+              "extract output shape " << out.shape_string());
   for (std::int64_t begin = 0; begin < n; begin += kExtractBatch) {
     const std::int64_t len = std::min(kExtractBatch, n - begin);
-    Tensor batch(Shape{len, config_.in_channels, config_.image_hw,
-                       config_.image_hw});
-    const std::int64_t per = batch.numel() / len;
+    batch_.ensure_shape({len, config_.in_channels, config_.image_hw,
+                         config_.image_hw});
+    const std::int64_t per = batch_.numel() / len;
     std::copy_n(images.data().begin() + static_cast<std::ptrdiff_t>(begin * per),
-                len * per, batch.data().begin());
-    Tensor z = forward_raw(batch);
+                len * per, batch_.data().begin());
+    const Tensor& flat = trunk_->forward(batch_);  // (len, trunk_out_dim)
+    z_.ensure_shape({len, config_.output_dim});
+    ops::linear_forward_into(flat, expansion_, expansion_bias_, z_);
+    for (auto& v : z_.data()) v = std::tanh(v);
     if (standardized_) {
       for (std::int64_t i = 0; i < len; ++i) {
         for (std::int64_t j = 0; j < config_.output_dim; ++j) {
-          z(i, j) = (z(i, j) - mean_(j)) * scale_(j);
+          z_(i, j) = (z_(i, j) - mean_(j)) * scale_(j);
         }
       }
     }
-    std::copy_n(z.data().begin(), len * config_.output_dim,
-                out.data().begin() +
-                    static_cast<std::ptrdiff_t>(begin * config_.output_dim));
+    std::copy_n(z_.data().begin(), len * config_.output_dim,
+                out.data() + begin * config_.output_dim);
   }
+}
+
+Tensor FrozenFeatureExtractor::extract(const Tensor& images) const {
+  Tensor out(Shape{images.dim(0), config_.output_dim});
+  extract_into(images, out);
   return out;
 }
 

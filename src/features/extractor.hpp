@@ -26,6 +26,7 @@
 
 #include "nn/module.hpp"
 #include "tensor/tensor.hpp"
+#include "tensor/view.hpp"
 
 namespace fhdnn::features {
 
@@ -42,8 +43,11 @@ class FrozenFeatureExtractor {
   explicit FrozenFeatureExtractor(Config config);
 
   /// (N, C, H, W) -> (N, output_dim). Runs in inference mode; never updates
-  /// any state. Batches internally to bound peak memory.
+  /// any state. Batches internally to bound peak memory. The `_into` form
+  /// writes into a caller-owned (N, output_dim) buffer and — together with
+  /// the reused internal batch scratch — is allocation-free at steady state.
   Tensor extract(const Tensor& images) const;
+  void extract_into(const Tensor& images, TensorView out) const;
 
   /// Fit the output standardization (per-dimension mean/scale) on a
   /// calibration batch, then freeze it. May be called at most once.
@@ -58,12 +62,12 @@ class FrozenFeatureExtractor {
   std::uint64_t macs_per_image() const;
 
  private:
-  Tensor forward_raw(const Tensor& images) const;
-
   Config config_;
   // Mutable because nn::Module::forward caches activations; logically const
-  // for a frozen extractor.
+  // for a frozen extractor. batch_/z_ are reused per-minibatch scratch.
   mutable std::unique_ptr<nn::Sequential> trunk_;
+  mutable Tensor batch_;
+  mutable Tensor z_;
   Tensor expansion_;  // (output_dim, trunk_out_dim) frozen random matrix
   Tensor expansion_bias_;  // (output_dim)
   Tensor mean_;   // (output_dim) standardization mean

@@ -8,6 +8,7 @@
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
+#include "util/workspace.hpp"
 
 namespace fhdnn::fl {
 
@@ -94,6 +95,9 @@ RoundMetrics RoundEngine::round(int round_index) {
   parallel::parallel_for(
       0, static_cast<std::int64_t>(n), 1,
       [&](std::int64_t i0, std::int64_t i1) {
+        // Coalesce this worker's arena into one block before the batch of
+        // clients; scratch is then bump-allocated with no heap traffic.
+        util::tls_workspace().reset();
         for (std::int64_t i = i0; i < i1; ++i) {
           const auto slot = static_cast<std::size_t>(i);
           reports[slot] = protocol_.run_client(

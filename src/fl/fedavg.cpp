@@ -11,6 +11,7 @@
 #include "nn/serialize.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
+#include "util/workspace.hpp"
 
 namespace fhdnn::fl {
 
@@ -84,7 +85,7 @@ class FedAvgLearner final : public LocalLearner<std::vector<float>> {
       std::copy_n(test_batch_.x.data().begin() +
                       static_cast<std::ptrdiff_t>(begin * per),
                   len * per, xb.data().begin());
-      const Tensor logits = global_->forward(xb);
+      const Tensor& logits = global_->forward(xb);
       // Count correct predictions directly — reconstructing the count from
       // the accuracy ratio can round off by one.
       const auto preds = ops::argmax_rows(logits);
@@ -153,8 +154,11 @@ class FedAvgLearner final : public LocalLearner<std::vector<float>> {
         batch_idx.reserve(local_idx.size());
         for (const std::size_t i : local_idx) batch_idx.push_back(indices[i]);
         const auto batch = train_.gather(batch_idx);
+        // Steady-state contract: after the first batch at this shape the
+        // arena is warm and the whole step below allocates nothing.
+        util::tls_workspace().reset();
         opt.zero_grad();
-        const Tensor logits = worker.forward(batch.x);
+        const Tensor& logits = worker.forward(batch.x);
         total_loss += loss_fn.forward(logits, batch.labels);
         worker.backward(loss_fn.backward());
         opt.step();

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "tensor/tensor.hpp"
+#include "tensor/view.hpp"
 #include "util/rng.hpp"
 
 namespace fhdnn::hdc {
@@ -32,14 +33,20 @@ class RandomProjectionEncoder {
 
   /// sign(Phi z). Input (n) or batched (N, n); output matches: (d) or (N, d).
   /// Elements are exactly +1 or -1 (sign(0) := +1, per the paper).
+  /// The `_into` forms write into a caller-owned buffer of matching numel
+  /// and allocate nothing (1-d inputs are viewed as one-row matrices
+  /// instead of reshaped copies — same bytes, same result).
   Tensor encode(const Tensor& z) const;
+  void encode_into(ConstTensorView z, TensorView h) const;
 
   /// Phi z without the sign (same shapes as encode).
   Tensor encode_linear(const Tensor& z) const;
+  void encode_linear_into(ConstTensorView z, TensorView h) const;
 
   /// Least-squares readout (n/d) Phi^T h of a (d) or (N, d) hypervector;
   /// inverse of encode_linear in expectation.
   Tensor reconstruct(const Tensor& h) const;
+  void reconstruct_into(ConstTensorView h, TensorView z) const;
 
   /// Read-only access to the projection matrix (d x n).
   const Tensor& projection() const { return phi_; }

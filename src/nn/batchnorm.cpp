@@ -18,18 +18,21 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
   FHDNN_CHECK(channels > 0, "BatchNorm2d channels " << channels);
 }
 
-Tensor BatchNorm2d::forward(const Tensor& x) {
+const Tensor& BatchNorm2d::forward(const Tensor& x) {
   FHDNN_CHECK(x.ndim() == 4 && x.dim(1) == channels_,
               "BatchNorm2d expects (N," << channels_ << ",H,W), got "
                                         << shape_to_string(x.shape()));
   const std::int64_t n = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
   const std::int64_t per_chan = n * h * w;
   cached_shape_ = x.shape();
-  Tensor y(x.shape());
+  y_.ensure_shape(x.shape());
+  Tensor& y = y_;
 
   if (training_) {
-    cached_xhat_ = Tensor(x.shape());
-    cached_inv_std_ = Tensor(Shape{c});
+    // Every element of both caches is overwritten below, so resizing in
+    // place (instead of fresh zeroed tensors) changes no arithmetic.
+    cached_xhat_.ensure_shape(x.shape());
+    cached_inv_std_.ensure_shape({c});
     // Channels are fully independent (stats, running buffers, and the
     // output slice), so the channel loop parallelizes deterministically.
     parallel::parallel_for(0, c, parallel::grain_for(3 * per_chan),
@@ -89,7 +92,7 @@ Tensor BatchNorm2d::forward(const Tensor& x) {
   return y;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+const Tensor& BatchNorm2d::backward(const Tensor& grad_out) {
   FHDNN_CHECK(training_, "BatchNorm2d backward requires training mode");
   FHDNN_CHECK(grad_out.shape() == cached_shape_,
               "BatchNorm2d backward grad shape "
@@ -97,7 +100,8 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const std::int64_t n = cached_shape_[0], c = channels_, h = cached_shape_[2],
                      w = cached_shape_[3];
   const double m = static_cast<double>(n * h * w);
-  Tensor gx(cached_shape_);
+  gx_.ensure_shape(cached_shape_);
+  Tensor& gx = gx_;
   parallel::parallel_for(0, c,
                          parallel::grain_for(4 * static_cast<std::int64_t>(m)),
                          [&](std::int64_t c0, std::int64_t c1) {

@@ -16,8 +16,8 @@ class BatchNorm2d : public Module {
   explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5F,
                        float momentum = 0.1F);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> buffers() override {
     return {&running_mean_, &running_var_};
@@ -38,10 +38,12 @@ class BatchNorm2d : public Module {
   Tensor running_mean_;  // (C)
   Tensor running_var_;   // (C), initialized to 1
 
-  // Backward cache (training mode).
+  // Backward cache (training mode) and reused output buffers.
   Tensor cached_xhat_;     // normalized input
   Tensor cached_inv_std_;  // (C)
   Shape cached_shape_;
+  Tensor y_;
+  Tensor gx_;
 };
 
 }  // namespace fhdnn::nn

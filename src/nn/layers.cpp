@@ -1,9 +1,11 @@
 #include "nn/layers.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
+#include "util/workspace.hpp"
 
 namespace fhdnn::nn {
 
@@ -31,22 +33,32 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
               "Linear(" << in_features << ", " << out_features << ")");
 }
 
-Tensor Linear::forward(const Tensor& x) {
+const Tensor& Linear::forward(const Tensor& x) {
   FHDNN_CHECK(x.ndim() == 2 && x.dim(1) == in_,
               "Linear expects (N, " << in_ << "), got "
                                     << shape_to_string(x.shape()));
   cached_input_ = x;
-  return ops::linear_forward(x, weight_.value, bias_.value);
+  y_.ensure_shape({x.dim(0), out_});
+  ops::linear_forward_into(x, weight_.value, bias_.value, y_);
+  return y_;
 }
 
-Tensor Linear::backward(const Tensor& grad_out) {
+const Tensor& Linear::backward(const Tensor& grad_out) {
   FHDNN_CHECK(grad_out.ndim() == 2 && grad_out.dim(1) == out_ &&
                   grad_out.dim(0) == cached_input_.dim(0),
               "Linear backward grad shape " << shape_to_string(grad_out.shape()));
   // dW = g^T x, db = sum_rows(g), dx = g W
-  weight_.grad.axpy(1.0F, ops::matmul_at(grad_out, cached_input_));
-  bias_.grad.axpy(1.0F, ops::sum_rows(grad_out));
-  return ops::matmul(grad_out, weight_.value);
+  util::Workspace& ws = util::tls_workspace();
+  const util::Workspace::Scope scope(ws);
+  TensorView gw(ws.floats(out_ * in_), {out_, in_});
+  ops::matmul_at_into(grad_out, cached_input_, gw);
+  ops::accumulate(weight_.grad, gw);
+  TensorView gb(ws.floats(out_), {out_});
+  ops::sum_rows_into(grad_out, gb);
+  ops::accumulate(bias_.grad, gb);
+  gx_.ensure_shape({grad_out.dim(0), in_});
+  ops::matmul_into(grad_out, weight_.value, gx_);
+  return gx_;
 }
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
@@ -61,57 +73,91 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
               "Conv2d spec invalid");
 }
 
-Tensor Conv2d::forward(const Tensor& x) {
+const Tensor& Conv2d::forward(const Tensor& x) {
+  FHDNN_CHECK(x.ndim() == 4, "Conv2d expects (N,C,H,W), got "
+                                 << shape_to_string(x.shape()));
   cached_input_ = x;
-  return ops::conv2d_forward(x, weight_.value, bias_.value, spec_);
+  y_.ensure_shape({x.dim(0), spec_.out_channels, spec_.out_size(x.dim(2)),
+                   spec_.out_size(x.dim(3))});
+  ops::conv2d_forward_into(x, weight_.value, bias_.value, spec_, y_,
+                           util::tls_workspace());
+  return y_;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_out) {
-  auto grads = ops::conv2d_backward(grad_out, cached_input_, weight_.value,
-                                    spec_);
-  weight_.grad.axpy(1.0F, grads.grad_weight);
-  bias_.grad.axpy(1.0F, grads.grad_bias);
-  return std::move(grads.grad_input);
+const Tensor& Conv2d::backward(const Tensor& grad_out) {
+  util::Workspace& ws = util::tls_workspace();
+  const util::Workspace::Scope scope(ws);
+  TensorView gw(ws.floats(weight_.value.numel()),
+                {spec_.out_channels, spec_.in_channels, spec_.kernel,
+                 spec_.kernel});
+  TensorView gb(ws.floats(spec_.out_channels), {spec_.out_channels});
+  gx_.ensure_shape(cached_input_.shape());
+  ops::conv2d_backward_into(grad_out, cached_input_, weight_.value, spec_, gx_,
+                            gw, gb, ws);
+  ops::accumulate(weight_.grad, gw);
+  ops::accumulate(bias_.grad, gb);
+  return gx_;
 }
 
-Tensor ReLU::forward(const Tensor& x) {
+const Tensor& ReLU::forward(const Tensor& x) {
   cached_input_ = x;
-  return ops::relu(x);
+  y_.ensure_shape(x.shape());
+  ops::relu_into(x, y_);
+  return y_;
 }
 
-Tensor ReLU::backward(const Tensor& grad_out) {
-  return ops::relu_backward(grad_out, cached_input_);
+const Tensor& ReLU::backward(const Tensor& grad_out) {
+  gx_.ensure_shape(cached_input_.shape());
+  ops::relu_backward_into(grad_out, cached_input_, gx_);
+  return gx_;
 }
 
-Tensor MaxPool2d::forward(const Tensor& x) {
+const Tensor& MaxPool2d::forward(const Tensor& x) {
+  FHDNN_CHECK(x.ndim() == 4, "MaxPool2d expects (N,C,H,W), got "
+                                 << shape_to_string(x.shape()));
   cached_shape_ = x.shape();
-  auto res = ops::maxpool2d_forward(x, kernel_);
-  cached_argmax_ = std::move(res.argmax);
-  return std::move(res.output);
+  y_.ensure_shape({x.dim(0), x.dim(1), x.dim(2) / kernel_, x.dim(3) / kernel_});
+  cached_argmax_.resize(static_cast<std::size_t>(y_.numel()));
+  ops::maxpool2d_forward_into(x, kernel_, y_, cached_argmax_);
+  return y_;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_out) {
-  return ops::maxpool2d_backward(grad_out, cached_argmax_, cached_shape_);
+const Tensor& MaxPool2d::backward(const Tensor& grad_out) {
+  gx_.ensure_shape(cached_shape_);
+  ops::maxpool2d_backward_into(grad_out, cached_argmax_, gx_);
+  return gx_;
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& x) {
+const Tensor& GlobalAvgPool::forward(const Tensor& x) {
+  FHDNN_CHECK(x.ndim() == 4, "GlobalAvgPool expects (N,C,H,W), got "
+                                 << shape_to_string(x.shape()));
   cached_shape_ = x.shape();
-  return ops::global_avgpool_forward(x);
+  y_.ensure_shape({x.dim(0), x.dim(1)});
+  ops::global_avgpool_forward_into(x, y_);
+  return y_;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
-  return ops::global_avgpool_backward(grad_out, cached_shape_);
+const Tensor& GlobalAvgPool::backward(const Tensor& grad_out) {
+  gx_.ensure_shape(cached_shape_);
+  ops::global_avgpool_backward_into(grad_out, gx_);
+  return gx_;
 }
 
-Tensor Flatten::forward(const Tensor& x) {
+const Tensor& Flatten::forward(const Tensor& x) {
   FHDNN_CHECK(x.ndim() >= 2, "Flatten expects batched input");
   cached_shape_ = x.shape();
   const std::int64_t n = x.dim(0);
-  return x.reshaped(Shape{n, x.numel() / n});
+  y_.ensure_shape({n, x.numel() / n});
+  const auto src = x.data();
+  std::copy(src.begin(), src.end(), y_.data().begin());
+  return y_;
 }
 
-Tensor Flatten::backward(const Tensor& grad_out) {
-  return grad_out.reshaped(cached_shape_);
+const Tensor& Flatten::backward(const Tensor& grad_out) {
+  gx_.ensure_shape(cached_shape_);
+  const auto src = grad_out.data();
+  std::copy(src.begin(), src.end(), gx_.data().begin());
+  return gx_;
 }
 
 std::unique_ptr<Linear> make_linear(std::int64_t in, std::int64_t out,

@@ -1,5 +1,10 @@
 // Concrete layers: Linear, Conv2d, ReLU, MaxPool2d, GlobalAvgPool, Flatten.
 // BatchNorm2d lives in nn/batchnorm.hpp.
+//
+// Each layer owns its output buffer `y_` and input-gradient buffer `gx_`,
+// resized in place with Tensor::ensure_shape — after the first step at a
+// given batch shape, forward/backward touch no heap. Workspace scratch for
+// the matmul/conv kernels comes from the calling thread's arena.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +21,8 @@ class Linear : public Module {
  public:
   Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Linear"; }
 
@@ -32,6 +37,8 @@ class Linear : public Module {
   Parameter weight_;  // (out, in)
   Parameter bias_;    // (out)
   Tensor cached_input_;
+  Tensor y_;
+  Tensor gx_;
 };
 
 /// 2-d convolution (square kernel) with Kaiming-normal init.
@@ -41,8 +48,8 @@ class Conv2d : public Module {
          std::int64_t kernel, std::int64_t stride, std::int64_t padding,
          Rng& rng);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Conv2d"; }
 
@@ -54,17 +61,21 @@ class Conv2d : public Module {
   Parameter weight_;  // (oc, ic, k, k)
   Parameter bias_;    // (oc)
   Tensor cached_input_;
+  Tensor y_;
+  Tensor gx_;
 };
 
 /// Elementwise ReLU.
 class ReLU : public Module {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::string name() const override { return "ReLU"; }
 
  private:
   Tensor cached_input_;
+  Tensor y_;
+  Tensor gx_;
 };
 
 /// Non-overlapping max pooling (stride == kernel).
@@ -72,36 +83,42 @@ class MaxPool2d : public Module {
  public:
   explicit MaxPool2d(std::int64_t kernel) : kernel_(kernel) {}
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::string name() const override { return "MaxPool2d"; }
 
  private:
   std::int64_t kernel_;
   Shape cached_shape_;
   std::vector<std::int64_t> cached_argmax_;
+  Tensor y_;
+  Tensor gx_;
 };
 
 /// (N, C, H, W) -> (N, C) global average pool.
 class GlobalAvgPool : public Module {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::string name() const override { return "GlobalAvgPool"; }
 
  private:
   Shape cached_shape_;
+  Tensor y_;
+  Tensor gx_;
 };
 
 /// (N, ...) -> (N, prod(...)).
 class Flatten : public Module {
  public:
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::string name() const override { return "Flatten"; }
 
  private:
   Shape cached_shape_;
+  Tensor y_;
+  Tensor gx_;
 };
 
 /// Helpers for building Sequential models tersely.

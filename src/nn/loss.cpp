@@ -13,7 +13,8 @@ double CrossEntropyLoss::forward(const Tensor& logits,
   const std::int64_t n = logits.dim(0), c = logits.dim(1);
   FHDNN_CHECK(static_cast<std::int64_t>(labels.size()) == n,
               "CrossEntropy labels size " << labels.size() << " != batch " << n);
-  cached_probs_ = ops::softmax_rows(logits);
+  cached_probs_.ensure_shape(logits.shape());
+  ops::softmax_rows_into(logits, cached_probs_);
   cached_labels_ = labels;
   double loss = 0.0;
   for (std::int64_t i = 0; i < n; ++i) {
@@ -24,15 +25,15 @@ double CrossEntropyLoss::forward(const Tensor& logits,
   return loss / static_cast<double>(n);
 }
 
-Tensor CrossEntropyLoss::backward() const {
+const Tensor& CrossEntropyLoss::backward() {
   FHDNN_CHECK(cached_probs_.numel() > 1, "backward before forward");
   const std::int64_t n = cached_probs_.dim(0);
-  Tensor g = cached_probs_;
+  grad_ = cached_probs_;
   for (std::int64_t i = 0; i < n; ++i) {
-    g(i, cached_labels_[static_cast<std::size_t>(i)]) -= 1.0F;
+    grad_(i, cached_labels_[static_cast<std::size_t>(i)]) -= 1.0F;
   }
-  g.scale(1.0F / static_cast<float>(n));
-  return g;
+  grad_.scale(1.0F / static_cast<float>(n));
+  return grad_;
 }
 
 double accuracy(const Tensor& logits, const std::vector<std::int64_t>& labels) {

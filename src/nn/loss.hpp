@@ -17,12 +17,14 @@ class CrossEntropyLoss {
   /// logits: (N, classes); labels: N entries in [0, classes).
   double forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
 
-  /// Gradient w.r.t. logits for the last forward() call.
-  Tensor backward() const;
+  /// Gradient w.r.t. logits for the last forward() call. Returns a
+  /// reference to a reused internal buffer, valid until the next call.
+  const Tensor& backward();
 
  private:
   Tensor cached_probs_;
   std::vector<std::int64_t> cached_labels_;
+  Tensor grad_;
 };
 
 /// Fraction of rows whose argmax equals the label.

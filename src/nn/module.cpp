@@ -20,18 +20,20 @@ Sequential& Sequential::add(std::unique_ptr<Module> layer) {
   return *this;
 }
 
-Tensor Sequential::forward(const Tensor& x) {
-  Tensor h = x;
-  for (auto& layer : layers_) h = layer->forward(h);
-  return h;
+const Tensor& Sequential::forward(const Tensor& x) {
+  // Chain by reference — each layer reads its predecessor's output buffer
+  // directly, so the container adds no copies or allocations.
+  const Tensor* h = &x;
+  for (auto& layer : layers_) h = &layer->forward(*h);
+  return *h;
 }
 
-Tensor Sequential::backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
+const Tensor& Sequential::backward(const Tensor& grad_out) {
+  const Tensor* g = &grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    g = &(*it)->backward(*g);
   }
-  return g;
+  return *g;
 }
 
 std::vector<Parameter*> Sequential::parameters() {

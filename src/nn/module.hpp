@@ -4,6 +4,12 @@
 // whatever the backward pass needs (no autograd tape). Layers expose their
 // learnable state as `Parameter`s (value + gradient) so optimizers and the
 // federated-learning layer can traverse a model generically.
+//
+// forward()/backward() return `const Tensor&` — a reference to a buffer the
+// layer owns and reuses across calls (sized with Tensor::ensure_shape), so a
+// steady-state training step performs no heap allocation. The reference is
+// valid until the next forward()/backward() on the same module; callers that
+// need the value to outlive that bind it to a `Tensor` by value.
 #pragma once
 
 #include <memory>
@@ -30,13 +36,15 @@ class Module {
  public:
   virtual ~Module() = default;
 
-  /// Compute outputs; caches activations needed by backward().
-  virtual Tensor forward(const Tensor& x) = 0;
+  /// Compute outputs; caches activations needed by backward(). The returned
+  /// reference points at a module-owned buffer reused by later calls.
+  virtual const Tensor& forward(const Tensor& x) = 0;
 
   /// Propagate gradients. Must be called after forward() with an upstream
   /// gradient matching forward's output shape; accumulates into parameter
-  /// grads and returns the gradient w.r.t. the input.
-  virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// grads and returns the gradient w.r.t. the input (same buffer-reuse
+  /// contract as forward()).
+  virtual const Tensor& backward(const Tensor& grad_out) = 0;
 
   /// All learnable parameters (depth-first for containers).
   virtual std::vector<Parameter*> parameters() { return {}; }
@@ -70,8 +78,8 @@ class Sequential : public Module {
   /// Append a layer; returns *this for chaining.
   Sequential& add(std::unique_ptr<Module> layer);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::vector<Tensor*> buffers() override;
   void set_training(bool training) override;

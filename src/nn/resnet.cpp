@@ -19,27 +19,33 @@ ResidualBlock::ResidualBlock(std::int64_t in_channels,
   }
 }
 
-Tensor ResidualBlock::forward(const Tensor& x) {
-  Tensor main = bn2_.forward(
+const Tensor& ResidualBlock::forward(const Tensor& x) {
+  const Tensor& main = bn2_.forward(
       conv2_.forward(relu1_.forward(bn1_.forward(conv1_.forward(x)))));
-  Tensor skip = proj_conv_ ? proj_bn_->forward(proj_conv_->forward(x)) : x;
-  cached_sum_ = ops::add(main, skip);
-  return ops::relu(cached_sum_);
+  const Tensor& skip =
+      proj_conv_ ? proj_bn_->forward(proj_conv_->forward(x)) : x;
+  cached_sum_.ensure_shape(main.shape());
+  ops::add_into(main, skip, cached_sum_);
+  y_.ensure_shape(main.shape());
+  ops::relu_into(cached_sum_, y_);
+  return y_;
 }
 
-Tensor ResidualBlock::backward(const Tensor& grad_out) {
+const Tensor& ResidualBlock::backward(const Tensor& grad_out) {
   // Through the output ReLU.
-  const Tensor g_sum = ops::relu_backward(grad_out, cached_sum_);
-  // Main path.
-  Tensor g_in = conv1_.backward(bn1_.backward(
-      relu1_.backward(conv2_.backward(bn2_.backward(g_sum)))));
+  g_sum_.ensure_shape(cached_sum_.shape());
+  ops::relu_backward_into(grad_out, cached_sum_, g_sum_);
+  // Main path. The chain's result lives in conv1_'s buffer; copy it into
+  // ours so the skip-path accumulation doesn't clobber conv1_'s state.
+  gx_ = conv1_.backward(bn1_.backward(
+      relu1_.backward(conv2_.backward(bn2_.backward(g_sum_)))));
   // Skip path.
   if (proj_conv_) {
-    g_in.axpy(1.0F, proj_conv_->backward(proj_bn_->backward(g_sum)));
+    gx_.axpy(1.0F, proj_conv_->backward(proj_bn_->backward(g_sum_)));
   } else {
-    g_in.axpy(1.0F, g_sum);
+    gx_.axpy(1.0F, g_sum_);
   }
-  return g_in;
+  return gx_;
 }
 
 std::vector<Parameter*> ResidualBlock::parameters() {

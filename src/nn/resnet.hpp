@@ -27,8 +27,8 @@ class ResidualBlock : public Module {
   ResidualBlock(std::int64_t in_channels, std::int64_t out_channels,
                 std::int64_t stride, Rng& rng);
 
-  Tensor forward(const Tensor& x) override;
-  Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::vector<Tensor*> buffers() override;
   void set_training(bool training) override;
@@ -46,6 +46,9 @@ class ResidualBlock : public Module {
   std::unique_ptr<BatchNorm2d> proj_bn_;
 
   Tensor cached_sum_;  // pre-activation of the output ReLU
+  Tensor g_sum_;       // grad through the output ReLU
+  Tensor y_;
+  Tensor gx_;
 };
 
 /// 3-stage residual classifier for (C, H, W) inputs.

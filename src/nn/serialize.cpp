@@ -60,6 +60,7 @@ void save_state(Module& model, const std::string& path) {
 void load_state(Module& model, const std::string& path) {
   const Tensor t = io::load_tensor(path);
   FHDNN_CHECK(t.ndim() == 1, "checkpoint '" << path << "' is not a flat state");
+  t.assert_invariant();
   set_state(model, t.vec());
 }
 

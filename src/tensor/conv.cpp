@@ -7,19 +7,20 @@
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/workspace.hpp"
 
 namespace fhdnn::ops {
 
 namespace {
 
-void check_nchw(const Tensor& x, const char* op) {
+void check_nchw(ConstTensorView x, const char* op) {
   FHDNN_CHECK(x.ndim() == 4, op << " expects (N,C,H,W), got "
-                                << shape_to_string(x.shape()));
+                                << x.shape_string());
 }
 
 }  // namespace
 
-Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
+void im2col_into(ConstTensorView x, const Conv2dSpec& spec, TensorView cols) {
   check_nchw(x, "im2col");
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   FHDNN_CHECK(c == spec.in_channels, "im2col channels " << c << " != spec "
@@ -27,10 +28,14 @@ Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
   const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
   FHDNN_CHECK(oh > 0 && ow > 0, "conv output collapsed to zero");
   const std::int64_t k = spec.kernel;
-  Tensor cols(Shape{n * oh * ow, c * k * k});
-  const float* px = x.data().data();
-  float* pc = cols.data().data();
   const std::int64_t row_len = c * k * k;
+  FHDNN_CHECK(cols.ndim() == 2 && cols.dim(0) == n * oh * ow &&
+                  cols.dim(1) == row_len,
+              "im2col output shape " << cols.shape_string());
+  FHDNN_CHECK(!views_overlap(cols, x),
+              "im2col output must not alias the input");
+  const float* px = x.data();
+  float* pc = cols.data();
   // One chunk owns a contiguous span of output rows (each row is one
   // (image, oy, ox) patch), so the parallel fill is race-free.
   parallel::parallel_for(0, n * oh * ow, parallel::grain_for(row_len),
@@ -55,20 +60,35 @@ Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
       }
     }
   });
+}
+
+Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
+  check_nchw(x, "im2col");
+  const std::int64_t h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
+  FHDNN_CHECK(oh > 0 && ow > 0, "conv output collapsed to zero");
+  Tensor cols(Shape{x.dim(0) * oh * ow,
+                    spec.in_channels * spec.kernel * spec.kernel});
+  im2col_into(x, spec, cols);
   return cols;
 }
 
-Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::int64_t n,
-              std::int64_t h, std::int64_t w) {
+void col2im_into(ConstTensorView cols, const Conv2dSpec& spec, std::int64_t n,
+                 std::int64_t h, std::int64_t w, TensorView x) {
   const std::int64_t c = spec.in_channels;
   const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
   const std::int64_t k = spec.kernel;
   FHDNN_CHECK(cols.ndim() == 2 && cols.dim(0) == n * oh * ow &&
                   cols.dim(1) == c * k * k,
-              "col2im shape " << shape_to_string(cols.shape()));
-  Tensor x(Shape{n, c, h, w});
-  const float* pc = cols.data().data();
-  float* px = x.data().data();
+              "col2im shape " << cols.shape_string());
+  FHDNN_CHECK(x.ndim() == 4 && x.dim(0) == n && x.dim(1) == c &&
+                  x.dim(2) == h && x.dim(3) == w,
+              "col2im output shape " << x.shape_string());
+  FHDNN_CHECK(!views_overlap(x, cols),
+              "col2im output must not alias the input");
+  std::fill(x.data(), x.data() + x.numel(), 0.0F);
+  const float* pc = cols.data();
+  float* px = x.data();
   const std::int64_t row_len = c * k * k;
   // Patches overlap within one image, so the accumulation is parallel over
   // images only — each image's scatter region is disjoint.
@@ -96,112 +116,166 @@ Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::int64_t n,
     }
   }
   });
+}
+
+Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::int64_t n,
+              std::int64_t h, std::int64_t w) {
+  Tensor x(Shape{n, spec.in_channels, h, w});
+  col2im_into(cols, spec, n, h, w, x);
   return x;
 }
 
-Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
-                      const Conv2dSpec& spec) {
+void conv2d_forward_into(ConstTensorView x, ConstTensorView weight,
+                         ConstTensorView bias, const Conv2dSpec& spec,
+                         TensorView y, util::Workspace& ws) {
   check_nchw(x, "conv2d");
   FHDNN_CHECK(weight.ndim() == 4 && weight.dim(0) == spec.out_channels &&
                   weight.dim(1) == spec.in_channels &&
                   weight.dim(2) == spec.kernel && weight.dim(3) == spec.kernel,
-              "conv2d weight shape " << shape_to_string(weight.shape()));
+              "conv2d weight shape " << weight.shape_string());
   FHDNN_CHECK(bias.ndim() == 1 && bias.dim(0) == spec.out_channels,
-              "conv2d bias shape " << shape_to_string(bias.shape()));
+              "conv2d bias shape " << bias.shape_string());
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
-  const Tensor cols = im2col(x, spec);  // (n*oh*ow, ic*k*k)
-  const Tensor wmat = weight.reshaped(
-      Shape{spec.out_channels, spec.in_channels * spec.kernel * spec.kernel});
-  // (n*oh*ow, oc)
-  Tensor out_rows = matmul_bt(cols, wmat);
+  const std::int64_t oc = spec.out_channels;
+  const std::int64_t ckk = spec.in_channels * spec.kernel * spec.kernel;
+  FHDNN_CHECK(y.ndim() == 4 && y.dim(0) == n && y.dim(1) == oc &&
+                  y.dim(2) == oh && y.dim(3) == ow,
+              "conv2d output shape " << y.shape_string());
+  const util::Workspace::Scope scope(ws);
+  TensorView cols(ws.floats(n * oh * ow * ckk), {n * oh * ow, ckk});
+  im2col_into(x, spec, cols);
+  // The (OC, IC, k, k) weight viewed as its (OC, IC*k*k) matrix — same
+  // bytes, no reshape copy.
+  const ConstTensorView wmat(weight.data(), {oc, ckk});
+  TensorView out_rows(ws.floats(n * oh * ow * oc), {n * oh * ow, oc});
+  ops::matmul_bt_into(cols, wmat, out_rows);
   // Rearrange to (n, oc, oh, ow) and add bias; each image is private.
-  Tensor y(Shape{n, spec.out_channels, oh, ow});
+  const float* prow = out_rows.data();
+  const float* pb = bias.data();
+  float* py = y.data();
   parallel::parallel_for(
-      0, n, parallel::grain_for(spec.out_channels * oh * ow),
+      0, n, parallel::grain_for(oc * oh * ow),
       [&](std::int64_t n0, std::int64_t n1) {
     for (std::int64_t in = n0; in < n1; ++in) {
       for (std::int64_t oy = 0; oy < oh; ++oy) {
         for (std::int64_t ox = 0; ox < ow; ++ox) {
           const std::int64_t r = (in * oh + oy) * ow + ox;
-          for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
-            y(in, oc, oy, ox) = out_rows(r, oc) + bias(oc);
+          for (std::int64_t c = 0; c < oc; ++c) {
+            py[((in * oc + c) * oh + oy) * ow + ox] = prow[r * oc + c] + pb[c];
           }
         }
       }
     }
   });
+}
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec) {
+  check_nchw(x, "conv2d");
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  Tensor y(Shape{n, spec.out_channels, spec.out_size(h), spec.out_size(w)});
+  conv2d_forward_into(x, weight, bias, spec, y, util::tls_workspace());
   return y;
 }
 
-Conv2dGrads conv2d_backward(const Tensor& grad_out, const Tensor& x,
-                            const Tensor& weight, const Conv2dSpec& spec) {
+void conv2d_backward_into(ConstTensorView grad_out, ConstTensorView x,
+                          ConstTensorView weight, const Conv2dSpec& spec,
+                          TensorView grad_input, TensorView grad_weight,
+                          TensorView grad_bias, util::Workspace& ws) {
   check_nchw(grad_out, "conv2d_backward");
   check_nchw(x, "conv2d_backward");
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
-  FHDNN_CHECK(grad_out.dim(0) == n && grad_out.dim(1) == spec.out_channels &&
+  const std::int64_t oc = spec.out_channels;
+  const std::int64_t ckk = spec.in_channels * spec.kernel * spec.kernel;
+  FHDNN_CHECK(grad_out.dim(0) == n && grad_out.dim(1) == oc &&
                   grad_out.dim(2) == oh && grad_out.dim(3) == ow,
-              "conv2d_backward grad shape " << shape_to_string(grad_out.shape()));
+              "conv2d_backward grad shape " << grad_out.shape_string());
+  FHDNN_CHECK(grad_weight.numel() == weight.numel(),
+              "conv2d_backward grad_weight shape "
+                  << grad_weight.shape_string());
+  FHDNN_CHECK(grad_bias.numel() == oc, "conv2d_backward grad_bias shape "
+                                           << grad_bias.shape_string());
+  const util::Workspace::Scope scope(ws);
 
   // grad_out as rows: (n*oh*ow, oc); row blocks per image are disjoint.
-  Tensor grows(Shape{n * oh * ow, spec.out_channels});
+  TensorView grows(ws.floats(n * oh * ow * oc), {n * oh * ow, oc});
+  const float* pg = grad_out.data();
+  float* pgr = grows.data();
   parallel::parallel_for(
-      0, n, parallel::grain_for(spec.out_channels * oh * ow),
+      0, n, parallel::grain_for(oc * oh * ow),
       [&](std::int64_t n0, std::int64_t n1) {
     for (std::int64_t in = n0; in < n1; ++in) {
-      for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
+      for (std::int64_t c = 0; c < oc; ++c) {
         for (std::int64_t oy = 0; oy < oh; ++oy) {
           for (std::int64_t ox = 0; ox < ow; ++ox) {
-            grows((in * oh + oy) * ow + ox, oc) = grad_out(in, oc, oy, ox);
+            pgr[((in * oh + oy) * ow + ox) * oc + c] =
+                pg[((in * oc + c) * oh + oy) * ow + ox];
           }
         }
       }
     }
   });
 
-  const Tensor cols = im2col(x, spec);  // (n*oh*ow, ic*k*k)
-  // grad_wmat = grows^T * cols : (oc, ic*k*k)
-  Tensor grad_wmat = matmul_at(grows, cols);
-  Conv2dGrads grads;
-  grads.grad_weight = grad_wmat.reshaped(weight.shape());
+  TensorView cols(ws.floats(n * oh * ow * ckk), {n * oh * ow, ckk});
+  im2col_into(x, spec, cols);
+  // grad_wmat = grows^T * cols : (oc, ic*k*k), written through a 2-d view
+  // of the caller's (OC, IC, k, k) buffer.
+  ops::matmul_at_into(grows, cols, TensorView(grad_weight.data(), {oc, ckk}));
 
-  grads.grad_bias = Tensor(Shape{spec.out_channels});
-  for (std::int64_t r = 0; r < grows.dim(0); ++r) {
-    for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
-      grads.grad_bias(oc) += grows(r, oc);
-    }
+  std::fill(grad_bias.data(), grad_bias.data() + oc, 0.0F);
+  float* pgb = grad_bias.data();
+  const std::int64_t rows = n * oh * ow;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < oc; ++c) pgb[c] += pgr[r * oc + c];
   }
 
   // grad_cols = grows * wmat : (n*oh*ow, ic*k*k); then fold back.
-  const Tensor wmat = weight.reshaped(
-      Shape{spec.out_channels, spec.in_channels * spec.kernel * spec.kernel});
-  const Tensor grad_cols = matmul(grows, wmat);
-  grads.grad_input = col2im(grad_cols, spec, n, h, w);
+  const ConstTensorView wmat(weight.data(), {oc, ckk});
+  TensorView grad_cols(ws.floats(n * oh * ow * ckk), {n * oh * ow, ckk});
+  ops::matmul_into(grows, wmat, grad_cols);
+  col2im_into(grad_cols, spec, n, h, w, grad_input);
+}
+
+Conv2dGrads conv2d_backward(const Tensor& grad_out, const Tensor& x,
+                            const Tensor& weight, const Conv2dSpec& spec) {
+  check_nchw(x, "conv2d_backward");
+  Conv2dGrads grads;
+  grads.grad_input = Tensor(x.shape());
+  grads.grad_weight = Tensor(weight.shape());
+  grads.grad_bias = Tensor(Shape{spec.out_channels});
+  conv2d_backward_into(grad_out, x, weight, spec, grads.grad_input,
+                       grads.grad_weight, grads.grad_bias,
+                       util::tls_workspace());
   return grads;
 }
 
-MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel) {
+void maxpool2d_forward_into(ConstTensorView x, std::int64_t kernel,
+                            TensorView out, std::span<std::int64_t> argmax) {
   check_nchw(x, "maxpool2d");
   FHDNN_CHECK(kernel >= 1, "pool kernel " << kernel);
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   FHDNN_CHECK(h % kernel == 0 && w % kernel == 0,
               "maxpool2d requires H,W divisible by kernel; got "
-                  << shape_to_string(x.shape()) << " kernel " << kernel);
+                  << x.shape_string() << " kernel " << kernel);
   const std::int64_t oh = h / kernel, ow = w / kernel;
-  MaxPoolResult res{Tensor(Shape{n, c, oh, ow}), {}};
-  res.argmax.resize(static_cast<std::size_t>(res.output.numel()));
-  const float* px = x.data().data();
+  FHDNN_CHECK(out.ndim() == 4 && out.dim(0) == n && out.dim(1) == c &&
+                  out.dim(2) == oh && out.dim(3) == ow,
+              "maxpool2d output shape " << out.shape_string());
+  FHDNN_CHECK(static_cast<std::int64_t>(argmax.size()) == out.numel(),
+              "maxpool2d argmax size " << argmax.size());
+  const float* px = x.data();
+  float* po = out.data();
+  std::int64_t* pam = argmax.data();
   // Parallel over (image, channel) planes; each plane writes a private
   // slice of output and argmax.
   parallel::parallel_for(0, n * c, parallel::grain_for(h * w),
                          [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t plane = p0; plane < p1; ++plane) {
-      const std::int64_t in = plane / c;
-      const std::int64_t ic = plane % c;
       const float* chan = px + plane * h * w;
       const std::int64_t chan_base = plane * h * w;
-      std::size_t out_i = static_cast<std::size_t>(plane * oh * ow);
+      std::int64_t out_i = plane * oh * ow;
       for (std::int64_t oy = 0; oy < oh; ++oy) {
         for (std::int64_t ox = 0; ox < ow; ++ox) {
           float best = -std::numeric_limits<float>::infinity();
@@ -217,64 +291,103 @@ MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel) {
               }
             }
           }
-          res.output(in, ic, oy, ox) = best;
-          res.argmax[out_i++] = best_idx;
+          po[out_i] = best;
+          pam[out_i] = best_idx;
+          ++out_i;
         }
       }
     }
   });
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel) {
+  check_nchw(x, "maxpool2d");
+  FHDNN_CHECK(kernel >= 1, "pool kernel " << kernel);
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  FHDNN_CHECK(h % kernel == 0 && w % kernel == 0,
+              "maxpool2d requires H,W divisible by kernel; got "
+                  << shape_to_string(x.shape()) << " kernel " << kernel);
+  MaxPoolResult res{Tensor(Shape{n, c, h / kernel, w / kernel}), {}};
+  res.argmax.resize(static_cast<std::size_t>(res.output.numel()));
+  maxpool2d_forward_into(x, kernel, res.output, res.argmax);
   return res;
+}
+
+void maxpool2d_backward_into(ConstTensorView grad_out,
+                             std::span<const std::int64_t> argmax,
+                             TensorView gx) {
+  FHDNN_CHECK(static_cast<std::int64_t>(argmax.size()) == grad_out.numel(),
+              "maxpool backward argmax size mismatch");
+  std::fill(gx.data(), gx.data() + gx.numel(), 0.0F);
+  const float* pg = grad_out.data();
+  float* px = gx.data();
+  const std::int64_t total = gx.numel();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    const std::int64_t idx = argmax[i];
+    FHDNN_CHECK(idx >= 0 && idx < total,
+                "maxpool backward argmax " << idx << " out of range " << total);
+    px[idx] += pg[i];
+  }
 }
 
 Tensor maxpool2d_backward(const Tensor& grad_out,
                           const std::vector<std::int64_t>& argmax,
                           const Shape& input_shape) {
-  FHDNN_CHECK(static_cast<std::int64_t>(argmax.size()) == grad_out.numel(),
-              "maxpool backward argmax size mismatch");
   Tensor gx(input_shape);
-  auto gd = grad_out.data();
-  for (std::size_t i = 0; i < argmax.size(); ++i) {
-    gx.at(argmax[i]) += gd[i];
-  }
+  maxpool2d_backward_into(grad_out, argmax, gx);
   return gx;
+}
+
+void global_avgpool_forward_into(ConstTensorView x, TensorView y) {
+  check_nchw(x, "global_avgpool");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  FHDNN_CHECK(y.ndim() == 2 && y.dim(0) == n && y.dim(1) == c,
+              "global_avgpool output shape " << y.shape_string());
+  const float* px = x.data();
+  float* py = y.data();
+  const float inv = 1.0F / static_cast<float>(h * w);
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float* chan = px + (in * c + ic) * h * w;
+      double s = 0.0;
+      for (std::int64_t i = 0; i < h * w; ++i) s += chan[i];
+      py[in * c + ic] = static_cast<float>(s) * inv;
+    }
+  }
 }
 
 Tensor global_avgpool_forward(const Tensor& x) {
   check_nchw(x, "global_avgpool");
-  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
-  Tensor y(Shape{n, c});
+  Tensor y(Shape{x.dim(0), x.dim(1)});
+  global_avgpool_forward_into(x, y);
+  return y;
+}
+
+void global_avgpool_backward_into(ConstTensorView grad_out, TensorView gx) {
+  check_nchw(gx, "global_avgpool_backward");
+  const std::int64_t n = gx.dim(0), c = gx.dim(1), h = gx.dim(2),
+                     w = gx.dim(3);
+  FHDNN_CHECK(grad_out.ndim() == 2 && grad_out.dim(0) == n &&
+                  grad_out.dim(1) == c,
+              "global_avgpool_backward grad shape "
+                  << grad_out.shape_string());
+  const float* pg = grad_out.data();
+  float* px = gx.data();
   const float inv = 1.0F / static_cast<float>(h * w);
   for (std::int64_t in = 0; in < n; ++in) {
     for (std::int64_t ic = 0; ic < c; ++ic) {
-      double s = 0.0;
-      for (std::int64_t iy = 0; iy < h; ++iy) {
-        for (std::int64_t ix = 0; ix < w; ++ix) s += x(in, ic, iy, ix);
-      }
-      y(in, ic) = static_cast<float>(s) * inv;
+      const float g = pg[in * c + ic] * inv;
+      float* chan = px + (in * c + ic) * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) chan[i] = g;
     }
   }
-  return y;
 }
 
 Tensor global_avgpool_backward(const Tensor& grad_out,
                                const Shape& input_shape) {
   FHDNN_CHECK(input_shape.size() == 4, "global_avgpool_backward input shape");
-  const std::int64_t n = input_shape[0], c = input_shape[1],
-                     h = input_shape[2], w = input_shape[3];
-  FHDNN_CHECK(grad_out.ndim() == 2 && grad_out.dim(0) == n &&
-                  grad_out.dim(1) == c,
-              "global_avgpool_backward grad shape "
-                  << shape_to_string(grad_out.shape()));
   Tensor gx(input_shape);
-  const float inv = 1.0F / static_cast<float>(h * w);
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t ic = 0; ic < c; ++ic) {
-      const float g = grad_out(in, ic) * inv;
-      for (std::int64_t iy = 0; iy < h; ++iy) {
-        for (std::int64_t ix = 0; ix < w; ++ix) gx(in, ic, iy, ix) = g;
-      }
-    }
-  }
+  global_avgpool_backward_into(grad_out, gx);
   return gx;
 }
 

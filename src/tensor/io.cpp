@@ -61,6 +61,7 @@ Tensor load_tensor(const std::string& path) {
   is.read(reinterpret_cast<char*>(t.data().data()),
           static_cast<std::streamsize>(t.data().size() * sizeof(float)));
   FHDNN_CHECK(static_cast<bool>(is), "truncated tensor data in '" << path << "'");
+  t.assert_invariant();
   return t;
 }
 

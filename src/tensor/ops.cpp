@@ -16,53 +16,107 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
                                   << shape_to_string(b.shape()));
 }
 
-void check_2d(const Tensor& a, const char* op) {
+void check_2d(ConstTensorView a, const char* op) {
   FHDNN_CHECK(a.ndim() == 2, op << " expects a 2-d tensor, got "
-                                << shape_to_string(a.shape()));
+                                << a.shape_string());
+}
+
+void check_same_dims(ConstTensorView a, ConstTensorView b, const char* op) {
+  bool same = a.ndim() == b.ndim();
+  for (std::int64_t i = 0; same && i < a.ndim(); ++i) {
+    same = a.dim(i) == b.dim(i);
+  }
+  FHDNN_CHECK(same, op << " shape mismatch: " << a.shape_string() << " vs "
+                       << b.shape_string());
+}
+
+void check_no_alias(TensorView out, ConstTensorView in, const char* op) {
+  FHDNN_CHECK(!views_overlap(out, in),
+              op << " output must not alias an input");
 }
 
 }  // namespace
 
+void add_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  check_same_dims(a, b, "add");
+  check_same_dims(a, out, "add");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+}
+
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
-  Tensor c = a;
-  c.axpy(1.0F, b);
+  Tensor c(a.shape());
+  add_into(a, b, c);
   return c;
+}
+
+void sub_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  check_same_dims(a, b, "sub");
+  check_same_dims(a, out, "sub");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
-  Tensor c = a;
-  c.axpy(-1.0F, b);
+  Tensor c(a.shape());
+  sub_into(a, b, c);
   return c;
+}
+
+void mul_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  check_same_dims(a, b, "mul");
+  check_same_dims(a, out, "mul");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
-  Tensor c = a;
-  auto cd = c.data();
-  auto bd = b.data();
-  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] *= bd[i];
+  Tensor c(a.shape());
+  mul_into(a, b, c);
   return c;
+}
+
+void scale_into(ConstTensorView a, float alpha, TensorView out) {
+  check_same_dims(a, out, "scale");
+  const float* pa = a.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * alpha;
 }
 
 Tensor scale(const Tensor& a, float alpha) {
-  Tensor c = a;
-  c.scale(alpha);
+  Tensor c(a.shape());
+  scale_into(a, alpha, c);
   return c;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  check_2d(a, "matmul");
-  check_2d(b, "matmul");
-  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  FHDNN_CHECK(b.dim(0) == k, "matmul inner dims: " << shape_to_string(a.shape())
-                                                   << " x "
-                                                   << shape_to_string(b.shape()));
-  Tensor c(Shape{m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
+void accumulate(TensorView y, ConstTensorView x) {
+  FHDNN_CHECK(y.numel() == x.numel(),
+              "accumulate numel mismatch: " << y.shape_string() << " vs "
+                                            << x.shape_string());
+  float* py = y.data();
+  const float* px = x.data();
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) py[i] += px[i];
+}
+
+namespace {
+
+/// c += a * b, ikj order. Callers must pre-zero c for a plain product.
+void matmul_accumulate(const float* pa, const float* pb, float* pc,
+                       std::int64_t m, std::int64_t k, std::int64_t n) {
   // ikj order: unit-stride inner loop over both b and c rows. Each output
   // row is owned by exactly one chunk, so the parallel schedule is
   // bit-identical to the serial one. No zero-skip: 0 * Inf and 0 * NaN must
@@ -79,20 +133,51 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       }
     }
   });
+}
+
+}  // namespace
+
+void matmul_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  check_2d(a, "matmul");
+  check_2d(b, "matmul");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FHDNN_CHECK(b.dim(0) == k, "matmul inner dims: " << a.shape_string() << " x "
+                                                   << b.shape_string());
+  FHDNN_CHECK(out.ndim() == 2 && out.dim(0) == m && out.dim(1) == n,
+              "matmul output shape " << out.shape_string());
+  check_no_alias(out, a, "matmul");
+  check_no_alias(out, b, "matmul");
+  std::fill(out.data(), out.data() + out.numel(), 0.0F);
+  matmul_accumulate(a.data(), b.data(), out.data(), m, k, n);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul");
+  check_2d(b, "matmul");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FHDNN_CHECK(b.dim(0) == k, "matmul inner dims: " << shape_to_string(a.shape())
+                                                   << " x "
+                                                   << shape_to_string(b.shape()));
+  Tensor c(Shape{m, n});  // zero-initialized
+  matmul_accumulate(a.data().data(), b.data().data(), c.data().data(), m, k, n);
   return c;
 }
 
-Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+void matmul_bt_into(ConstTensorView a, ConstTensorView b, TensorView out) {
   check_2d(a, "matmul_bt");
   check_2d(b, "matmul_bt");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  FHDNN_CHECK(b.dim(1) == k,
-              "matmul_bt inner dims: " << shape_to_string(a.shape()) << " x "
-                                       << shape_to_string(b.shape()) << "^T");
-  Tensor c(Shape{m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
+  FHDNN_CHECK(b.dim(1) == k, "matmul_bt inner dims: " << a.shape_string()
+                                                      << " x "
+                                                      << b.shape_string()
+                                                      << "^T");
+  FHDNN_CHECK(out.ndim() == 2 && out.dim(0) == m && out.dim(1) == n,
+              "matmul_bt output shape " << out.shape_string());
+  check_no_alias(out, a, "matmul_bt");
+  check_no_alias(out, b, "matmul_bt");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
   parallel::parallel_for(0, m, parallel::grain_for(k * n),
                          [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
@@ -108,20 +193,31 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
       }
     }
   });
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul_bt");
+  check_2d(b, "matmul_bt");
+  Tensor c(Shape{a.dim(0), b.dim(0)});
+  matmul_bt_into(a, b, c);
   return c;
 }
 
-Tensor matmul_at(const Tensor& a, const Tensor& b) {
+void matmul_at_into(ConstTensorView a, ConstTensorView b, TensorView out) {
   check_2d(a, "matmul_at");
   check_2d(b, "matmul_at");
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  FHDNN_CHECK(b.dim(0) == k,
-              "matmul_at inner dims: " << shape_to_string(a.shape()) << "^T x "
-                                       << shape_to_string(b.shape()));
-  Tensor c(Shape{m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
+  FHDNN_CHECK(b.dim(0) == k, "matmul_at inner dims: " << a.shape_string()
+                                                      << "^T x "
+                                                      << b.shape_string());
+  FHDNN_CHECK(out.ndim() == 2 && out.dim(0) == m && out.dim(1) == n,
+              "matmul_at output shape " << out.shape_string());
+  check_no_alias(out, a, "matmul_at");
+  check_no_alias(out, b, "matmul_at");
+  std::fill(out.data(), out.data() + out.numel(), 0.0F);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
   // i-outer so each output row is owned by one chunk; the per-element
   // accumulation order (kk ascending) matches the serial kk-outer loop, so
   // results are bit-identical. No zero-skip (IEEE NaN/Inf propagation).
@@ -136,33 +232,62 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
       }
     }
   });
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  check_2d(a, "matmul_at");
+  check_2d(b, "matmul_at");
+  Tensor c(Shape{a.dim(1), b.dim(1)});
+  matmul_at_into(a, b, c);
   return c;
+}
+
+void transpose_into(ConstTensorView a, TensorView out) {
+  check_2d(a, "transpose");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  FHDNN_CHECK(out.ndim() == 2 && out.dim(0) == n && out.dim(1) == m,
+              "transpose output shape " << out.shape_string());
+  check_no_alias(out, a, "transpose");
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
 }
 
 Tensor transpose(const Tensor& a) {
   check_2d(a, "transpose");
-  const std::int64_t m = a.dim(0), n = a.dim(1);
-  Tensor t(Shape{n, m});
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) t(j, i) = a(i, j);
-  }
+  Tensor t(Shape{a.dim(1), a.dim(0)});
+  transpose_into(a, t);
   return t;
+}
+
+void linear_forward_into(ConstTensorView x, ConstTensorView weight,
+                         ConstTensorView bias, TensorView out) {
+  check_2d(x, "linear_forward");
+  check_2d(weight, "linear_forward");
+  FHDNN_CHECK(bias.ndim() == 1 && bias.dim(0) == weight.dim(0),
+              "linear bias shape " << bias.shape_string());
+  check_no_alias(out, bias, "linear_forward");
+  matmul_bt_into(x, weight, out);
+  const std::int64_t n = out.dim(0), cols = out.dim(1);
+  float* py = out.data();
+  const float* pb = bias.data();
+  parallel::parallel_for(0, n, parallel::grain_for(cols),
+                         [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* row = py + i * cols;
+      for (std::int64_t j = 0; j < cols; ++j) row[j] += pb[j];
+    }
+  });
 }
 
 Tensor linear_forward(const Tensor& x, const Tensor& weight,
                       const Tensor& bias) {
   check_2d(x, "linear_forward");
   check_2d(weight, "linear_forward");
-  FHDNN_CHECK(bias.ndim() == 1 && bias.dim(0) == weight.dim(0),
-              "linear bias shape " << shape_to_string(bias.shape()));
-  Tensor y = matmul_bt(x, weight);
-  const std::int64_t n = y.dim(0), out = y.dim(1);
-  parallel::parallel_for(0, n, parallel::grain_for(out),
-                         [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      for (std::int64_t j = 0; j < out; ++j) y(i, j) += bias(j);
-    }
-  });
+  Tensor y(Shape{x.dim(0), weight.dim(0)});
+  linear_forward_into(x, weight, bias, y);
   return y;
 }
 
@@ -184,35 +309,57 @@ std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
   return out;
 }
 
-Tensor softmax_rows(const Tensor& logits) {
+void softmax_rows_into(ConstTensorView logits, TensorView out) {
   check_2d(logits, "softmax_rows");
+  check_same_dims(logits, out, "softmax_rows");
   const std::int64_t n = logits.dim(0), c = logits.dim(1);
-  Tensor p(logits.shape());
+  const float* pl = logits.data();
+  float* pp = out.data();
   parallel::parallel_for(0, n, parallel::grain_for(4 * c),
                          [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
-      float mx = logits(i, 0);
-      for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, logits(i, j));
+      const float* lrow = pl + i * c;
+      float* prow = pp + i * c;
+      float mx = lrow[0];
+      for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, lrow[j]);
       double z = 0.0;
       for (std::int64_t j = 0; j < c; ++j) {
-        const float e = std::exp(logits(i, j) - mx);
-        p(i, j) = e;
+        const float e = std::exp(lrow[j] - mx);
+        prow[j] = e;
         z += e;
       }
       const float inv = static_cast<float>(1.0 / z);
-      for (std::int64_t j = 0; j < c; ++j) p(i, j) *= inv;
+      for (std::int64_t j = 0; j < c; ++j) prow[j] *= inv;
     }
   });
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  check_2d(logits, "softmax_rows");
+  Tensor p(logits.shape());
+  softmax_rows_into(logits, p);
   return p;
+}
+
+void sum_rows_into(ConstTensorView a, TensorView out) {
+  check_2d(a, "sum_rows");
+  const std::int64_t n = a.dim(0), c = a.dim(1);
+  FHDNN_CHECK(out.ndim() == 1 && out.dim(0) == c,
+              "sum_rows output shape " << out.shape_string());
+  check_no_alias(out, a, "sum_rows");
+  std::fill(out.data(), out.data() + out.numel(), 0.0F);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = pa + i * c;
+    for (std::int64_t j = 0; j < c; ++j) po[j] += row[j];
+  }
 }
 
 Tensor sum_rows(const Tensor& a) {
   check_2d(a, "sum_rows");
-  const std::int64_t n = a.dim(0), c = a.dim(1);
-  Tensor out(Shape{c});
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t j = 0; j < c; ++j) out(j) += a(i, j);
-  }
+  Tensor out(Shape{a.dim(1)});
+  sum_rows_into(a, out);
   return out;
 }
 
@@ -234,34 +381,43 @@ double cosine_similarity(const Tensor& a, const Tensor& b) {
   return dot(a, b) / (na * nb);
 }
 
+void relu_into(ConstTensorView x, TensorView out) {
+  FHDNN_CHECK(x.numel() == out.numel(),
+              "relu output shape " << out.shape_string());
+  const float* px = x.data();
+  float* po = out.data();
+  parallel::parallel_for(0, x.numel(), parallel::grain_for(1),
+                         [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) po[i] = std::max(px[i], 0.0F);
+  });
+}
+
 Tensor relu(const Tensor& x) {
-  Tensor y = x;
-  auto yd = y.data();
-  parallel::parallel_for(0, static_cast<std::int64_t>(yd.size()),
-                         parallel::grain_for(1),
+  Tensor y(x.shape());
+  relu_into(x, y);
+  return y;
+}
+
+void relu_backward_into(ConstTensorView grad_out, ConstTensorView x,
+                        TensorView out) {
+  check_same_dims(grad_out, x, "relu_backward");
+  FHDNN_CHECK(grad_out.numel() == out.numel(),
+              "relu_backward output shape " << out.shape_string());
+  const float* pg = grad_out.data();
+  const float* px = x.data();
+  float* po = out.data();
+  parallel::parallel_for(0, grad_out.numel(), parallel::grain_for(1),
                          [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
-      yd[static_cast<std::size_t>(i)] =
-          std::max(yd[static_cast<std::size_t>(i)], 0.0F);
+      po[i] = px[i] <= 0.0F ? 0.0F : pg[i];
     }
   });
-  return y;
 }
 
 Tensor relu_backward(const Tensor& grad_out, const Tensor& x) {
   FHDNN_CHECK(grad_out.same_shape(x), "relu_backward shape mismatch");
-  Tensor g = grad_out;
-  auto gd = g.data();
-  auto xd = x.data();
-  parallel::parallel_for(0, static_cast<std::int64_t>(gd.size()),
-                         parallel::grain_for(1),
-                         [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      if (xd[static_cast<std::size_t>(i)] <= 0.0F) {
-        gd[static_cast<std::size_t>(i)] = 0.0F;
-      }
-    }
-  });
+  Tensor g(grad_out.shape());
+  relu_backward_into(grad_out, x, g);
   return g;
 }
 

@@ -3,49 +3,84 @@
 // Conventions: 2-d tensors are (rows, cols) row-major; batched activations
 // are (N, features) or (N, C, H, W). Functions validate shapes and throw
 // fhdnn::Error on mismatch.
+//
+// Every heavy kernel exists in two forms:
+//   * an explicit-output `_into` variant taking non-owning views — the
+//     allocation-free primitive (outputs come from a caller-owned Tensor
+//     buffer or a util::Workspace arena);
+//   * a value-returning wrapper that allocates the result and delegates to
+//     the `_into` core, preserved so call sites migrate incrementally.
+// Both run the same loops in the same order with the same parallel grain,
+// so results are bit-identical between the two forms and across thread
+// counts (see util/parallel.hpp).
+//
+// Aliasing: elementwise `_into` kernels (add/sub/mul/scale/relu family,
+// softmax_rows) read each element before writing it and therefore accept
+// out aliasing an input. The matmul family, transpose, and sum_rows read
+// inputs after writing out and CHECK that out does not overlap an input.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "tensor/view.hpp"
 
 namespace fhdnn::ops {
 
 /// c = a + b (elementwise, same shape).
 Tensor add(const Tensor& a, const Tensor& b);
+void add_into(ConstTensorView a, ConstTensorView b, TensorView out);
 /// c = a - b.
 Tensor sub(const Tensor& a, const Tensor& b);
+void sub_into(ConstTensorView a, ConstTensorView b, TensorView out);
 /// c = a * b (Hadamard).
 Tensor mul(const Tensor& a, const Tensor& b);
+void mul_into(ConstTensorView a, ConstTensorView b, TensorView out);
 /// c = a * alpha.
 Tensor scale(const Tensor& a, float alpha);
+void scale_into(ConstTensorView a, float alpha, TensorView out);
+
+/// y += x elementwise (same numel). The parameter-gradient accumulation
+/// primitive; bit-identical to Tensor::axpy(1.0F, x).
+void accumulate(TensorView y, ConstTensorView x);
 
 /// Matrix product of a (m x k) and b (k x n) -> (m x n). Cache-blocked ikj
 /// loop order; the NN layers route all their heavy lifting through here.
+/// The `_into` form zero-fills out first (the accumulation identity).
 Tensor matmul(const Tensor& a, const Tensor& b);
+void matmul_into(ConstTensorView a, ConstTensorView b, TensorView out);
 
 /// Matrix product with b transposed: a (m x k) * b^T where b is (n x k).
 Tensor matmul_bt(const Tensor& a, const Tensor& b);
+void matmul_bt_into(ConstTensorView a, ConstTensorView b, TensorView out);
 
 /// Matrix product with a transposed: a^T * b where a is (k x m), b is (k x n).
+/// The `_into` form zero-fills out first.
 Tensor matmul_at(const Tensor& a, const Tensor& b);
+void matmul_at_into(ConstTensorView a, ConstTensorView b, TensorView out);
 
 /// Transpose of a 2-d tensor.
 Tensor transpose(const Tensor& a);
+void transpose_into(ConstTensorView a, TensorView out);
 
 /// y = x * W^T + bias for batched rows: x (N x in), W (out x in), bias (out).
 Tensor linear_forward(const Tensor& x, const Tensor& weight,
                       const Tensor& bias);
+void linear_forward_into(ConstTensorView x, ConstTensorView weight,
+                         ConstTensorView bias, TensorView out);
 
 /// Row-wise argmax of a 2-d tensor -> one index per row.
 std::vector<std::int64_t> argmax_rows(const Tensor& logits);
 
 /// Row-wise softmax of a 2-d tensor (numerically stabilized).
 Tensor softmax_rows(const Tensor& logits);
+void softmax_rows_into(ConstTensorView logits, TensorView out);
 
 /// Sum over dimension 0 of a 2-d tensor -> 1-d of size cols.
+/// The `_into` form zero-fills out first.
 Tensor sum_rows(const Tensor& a);
+void sum_rows_into(ConstTensorView a, TensorView out);
 
 /// Dot product of two 1-d tensors (or equal-numel tensors, flattened).
 double dot(const Tensor& a, const Tensor& b);
@@ -55,7 +90,10 @@ double cosine_similarity(const Tensor& a, const Tensor& b);
 
 /// Elementwise ReLU (out of place) and its mask-based backward.
 Tensor relu(const Tensor& x);
+void relu_into(ConstTensorView x, TensorView out);
 /// grad_in = grad_out where x > 0 else 0.
 Tensor relu_backward(const Tensor& grad_out, const Tensor& x);
+void relu_backward_into(ConstTensorView grad_out, ConstTensorView x,
+                        TensorView out);
 
 }  // namespace fhdnn::ops

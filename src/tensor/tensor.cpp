@@ -14,7 +14,11 @@ std::int64_t shape_numel(const Shape& shape) {
   std::int64_t n = 1;
   for (const auto d : shape) {
     FHDNN_CHECK(d > 0, "shape dim " << d << " must be positive");
-    n *= d;
+    std::int64_t next = 0;
+    FHDNN_CHECK(!__builtin_mul_overflow(n, d, &next),
+                "shape " << shape_to_string(shape)
+                         << " element count overflows int64");
+    n = next;
   }
   return n;
 }
@@ -79,18 +83,27 @@ std::int64_t Tensor::dim(std::int64_t i) const {
 }
 
 float& Tensor::at(std::int64_t i) {
+#ifndef NDEBUG
+  assert_invariant();
+#endif
   FHDNN_CHECK(i >= 0 && i < numel(), "flat index " << i << " out of range "
                                                    << numel());
   return data_[static_cast<std::size_t>(i)];
 }
 
 float Tensor::at(std::int64_t i) const {
+#ifndef NDEBUG
+  assert_invariant();
+#endif
   FHDNN_CHECK(i >= 0 && i < numel(), "flat index " << i << " out of range "
                                                    << numel());
   return data_[static_cast<std::size_t>(i)];
 }
 
 std::int64_t Tensor::flat_index(std::span<const std::int64_t> idx) const {
+#ifndef NDEBUG
+  assert_invariant();
+#endif
   FHDNN_CHECK(static_cast<std::int64_t>(idx.size()) == ndim(),
               "indexing " << shape_to_string(shape_) << " with " << idx.size()
                           << " indices");
@@ -152,6 +165,28 @@ Tensor Tensor::reshaped(Shape new_shape) const {
               "cannot reshape " << shape_to_string(shape_) << " to "
                                 << shape_to_string(new_shape));
   return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::ensure_shape(std::initializer_list<std::int64_t> dims) {
+  if (shape_.size() == dims.size() &&
+      std::equal(shape_.begin(), shape_.end(), dims.begin())) {
+    return;
+  }
+  shape_.assign(dims.begin(), dims.end());
+  data_.resize(static_cast<std::size_t>(shape_numel(shape_)));
+}
+
+void Tensor::ensure_shape(const Shape& shape) {
+  if (shape_ == shape) return;
+  shape_ = shape;
+  data_.resize(static_cast<std::size_t>(shape_numel(shape_)));
+}
+
+void Tensor::assert_invariant() const {
+  FHDNN_CHECK(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_),
+              "tensor invariant broken: shape " << shape_to_string(shape_)
+                                                << " vs " << data_.size()
+                                                << " elements");
 }
 
 void Tensor::fill(float value) {

@@ -16,7 +16,8 @@ namespace fhdnn {
 
 using Shape = std::vector<std::int64_t>;
 
-/// Number of elements implied by a shape (1 for the empty shape).
+/// Number of elements implied by a shape (1 for the empty shape). Throws
+/// fhdnn::Error on non-positive dims and on int64 overflow of the product.
 std::int64_t shape_numel(const Shape& shape);
 
 /// "[2, 3, 4]" style rendering for diagnostics.
@@ -76,6 +77,20 @@ class Tensor {
 
   /// Return a tensor with the same data and a new shape (numel must match).
   Tensor reshaped(Shape new_shape) const;
+
+  /// Resize this tensor's buffer to the given shape, reusing existing
+  /// capacity when possible (no heap traffic once capacity suffices —
+  /// layers use this for their steady-state output/cache buffers).
+  /// Contents are unspecified after a shape change and untouched when the
+  /// shape already matches.
+  void ensure_shape(std::initializer_list<std::int64_t> dims);
+  void ensure_shape(const Shape& shape);
+
+  /// Check the shape↔data invariant (`data_.size() == shape_numel(shape_)`)
+  /// and throw fhdnn::Error if it is broken. `vec()` hands out the raw
+  /// vector for serialization layers, which could resize it behind the
+  /// shape's back — deserialization paths call this after touching it.
+  void assert_invariant() const;
 
   /// In-place fills.
   void fill(float value);

@@ -1,0 +1,149 @@
+// Non-owning tensor views over contiguous row-major float storage.
+//
+// `TensorView` / `ConstTensorView` are the explicit-output ("_into") kernel
+// currency: a raw pointer plus an inline fixed-capacity shape. They hold the
+// dims in a `std::array` rather than a `Shape` (std::vector) on purpose —
+// constructing or copying a view must never touch the heap, or the
+// zero-allocation steady-state contract (DESIGN.md §9) would leak right back
+// in at every kernel call.
+//
+// Views alias; they do not own. The caller guarantees the backing storage
+// (a Tensor or a Workspace block) outlives the view. Kernels that cannot
+// tolerate aliased inputs/outputs (the matmul family, im2col/col2im) check
+// for pointer-range overlap and throw.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+
+#include "tensor/tensor.hpp"
+#include "util/error.hpp"
+
+namespace fhdnn {
+
+/// Views carry at most 4 dims — the library's (N, C, H, W) ceiling.
+inline constexpr std::int64_t kMaxViewDims = 4;
+
+namespace detail {
+
+/// Inline shape for views: fixed-capacity dims + ndim + cached numel.
+struct ViewDims {
+  std::array<std::int64_t, kMaxViewDims> d{};
+  std::int64_t n = 0;
+  std::int64_t numel = 1;
+};
+
+template <typename It>
+ViewDims make_view_dims(It begin, It end) {
+  ViewDims out;
+  for (It it = begin; it != end; ++it) {
+    FHDNN_CHECK(out.n < kMaxViewDims,
+                "tensor view supports at most " << kMaxViewDims << " dims");
+    FHDNN_CHECK(*it > 0, "view dim " << *it << " must be positive");
+    out.d[static_cast<std::size_t>(out.n++)] = *it;
+    out.numel *= *it;
+  }
+  return out;
+}
+
+inline ViewDims make_view_dims(std::initializer_list<std::int64_t> dims) {
+  return make_view_dims(dims.begin(), dims.end());
+}
+
+inline ViewDims make_view_dims(const Shape& shape) {
+  return make_view_dims(shape.begin(), shape.end());
+}
+
+inline std::string view_dims_to_string(const ViewDims& dims) {
+  std::ostringstream os;
+  os << '[';
+  for (std::int64_t i = 0; i < dims.n; ++i) {
+    if (i) os << ", ";
+    os << dims.d[static_cast<std::size_t>(i)];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Read-only non-owning view of contiguous row-major float data.
+class ConstTensorView {
+ public:
+  ConstTensorView(const float* data, std::initializer_list<std::int64_t> dims)
+      : data_(data), dims_(detail::make_view_dims(dims)) {}
+
+  ConstTensorView(const float* data, const detail::ViewDims& dims)
+      : data_(data), dims_(dims) {}
+
+  /// Implicit: a Tensor is viewable wherever a view is expected.
+  ConstTensorView(const Tensor& t)  // NOLINT(google-explicit-constructor)
+      : data_(t.data().data()), dims_(detail::make_view_dims(t.shape())) {}
+
+  const float* data() const { return data_; }
+  std::int64_t ndim() const { return dims_.n; }
+  std::int64_t numel() const { return dims_.numel; }
+  std::int64_t dim(std::int64_t i) const {
+    FHDNN_CHECK(i >= 0 && i < dims_.n,
+                "view dim " << i << " out of range " << dims_.n);
+    return dims_.d[static_cast<std::size_t>(i)];
+  }
+  const detail::ViewDims& dims() const { return dims_; }
+  std::string shape_string() const {
+    return detail::view_dims_to_string(dims_);
+  }
+
+ private:
+  const float* data_;
+  detail::ViewDims dims_;
+};
+
+/// Mutable non-owning view of contiguous row-major float data.
+class TensorView {
+ public:
+  TensorView(float* data, std::initializer_list<std::int64_t> dims)
+      : data_(data), dims_(detail::make_view_dims(dims)) {}
+
+  TensorView(float* data, const detail::ViewDims& dims)
+      : data_(data), dims_(dims) {}
+
+  /// Implicit: a mutable Tensor is viewable wherever an output is expected.
+  TensorView(Tensor& t)  // NOLINT(google-explicit-constructor)
+      : data_(t.data().data()), dims_(detail::make_view_dims(t.shape())) {}
+
+  operator ConstTensorView() const {  // NOLINT(google-explicit-constructor)
+    return {data_, dims_};
+  }
+
+  float* data() const { return data_; }
+  std::int64_t ndim() const { return dims_.n; }
+  std::int64_t numel() const { return dims_.numel; }
+  std::int64_t dim(std::int64_t i) const {
+    FHDNN_CHECK(i >= 0 && i < dims_.n,
+                "view dim " << i << " out of range " << dims_.n);
+    return dims_.d[static_cast<std::size_t>(i)];
+  }
+  const detail::ViewDims& dims() const { return dims_; }
+  std::string shape_string() const {
+    return detail::view_dims_to_string(dims_);
+  }
+
+ private:
+  float* data_;
+  detail::ViewDims dims_;
+};
+
+/// True when the two views' element ranges intersect. Used by kernels whose
+/// loops read inputs after writing outputs and therefore forbid aliasing.
+inline bool views_overlap(ConstTensorView a, ConstTensorView b) {
+  const float* a0 = a.data();
+  const float* a1 = a.data() + a.numel();
+  const float* b0 = b.data();
+  const float* b1 = b.data() + b.numel();
+  return a0 < b1 && b0 < a1;
+}
+
+}  // namespace fhdnn

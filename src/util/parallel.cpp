@@ -44,7 +44,7 @@ struct Job {
   std::int64_t grain = 1;
   std::int64_t end = 0;
   std::int64_t nchunks = 0;
-  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  const ChunkFn* fn = nullptr;
   std::atomic<std::int64_t> next_chunk{0};
   std::atomic<int> helper_slots{0};  ///< workers allowed beyond the caller
   std::mutex error_mu;
@@ -167,7 +167,7 @@ std::int64_t grain_for(std::int64_t work_per_item, std::int64_t min_work) {
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+                  ChunkFn fn) {
   if (end <= begin) return;
   FHDNN_CHECK(grain >= 1, "parallel_for grain " << grain);
   const std::int64_t n = end - begin;

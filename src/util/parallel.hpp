@@ -24,12 +24,40 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 namespace fhdnn::parallel {
 
 /// Hard ceiling on pool size (a backstop, far above any sane setting).
 inline constexpr int kMaxThreads = 256;
+
+/// Non-owning reference to a `void(chunk_begin, chunk_end)` callable.
+/// Replaces std::function in the dispatch path: kernel lambdas capture more
+/// than the small-buffer optimization holds, so std::function would heap-
+/// allocate on every parallel_for call — a per-step leak in the otherwise
+/// allocation-free steady state (DESIGN.md §9). The referenced callable
+/// must outlive the parallel_for call (always true for the lambda-argument
+/// idiom every call site uses: a temporary lives to the end of the full
+/// expression).
+class ChunkFn {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, ChunkFn>>>
+  ChunkFn(F&& f)  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* ctx, std::int64_t b, std::int64_t e) {
+          (*static_cast<std::remove_reference_t<F>*>(ctx))(b, e);
+        }) {}
+
+  void operator()(std::int64_t b, std::int64_t e) const { call_(ctx_, b, e); }
+
+ private:
+  void* ctx_;
+  void (*call_)(void*, std::int64_t, std::int64_t);
+};
 
 /// Configured thread count. Initialized on first use from `FHDNN_THREADS`
 /// (falling back to std::thread::hardware_concurrency()); always >= 1.
@@ -46,7 +74,7 @@ void set_num_threads(int n);
 /// caller is already inside a parallel region. The first exception thrown
 /// by any chunk is rethrown on the calling thread after all chunks stop.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+                  ChunkFn fn);
 
 /// True while the current thread executes inside a parallel_for body —
 /// nested parallel_for calls from such a context run inline.

@@ -1,0 +1,461 @@
+// Memory-architecture tests (DESIGN.md §9): workspace arena behaviour,
+// bitwise equivalence of every `_into` kernel with its value-returning
+// wrapper, view aliasing policy, and the zero-allocation steady state of a
+// full CNN training step and HD encode. This target links
+// util/alloc_spy.cpp, so operator new/delete are counted process-wide.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "features/extractor.hpp"
+#include "hdc/encoder.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/resnet.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/view.hpp"
+#include "util/alloc_spy.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/workspace.hpp"
+
+// Sanitizers interpose the allocator and allocate internally; allocation
+// counts are meaningless there, so the strict steady-state tests skip.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FHDNN_SANITIZED 1
+#endif
+#if !defined(FHDNN_SANITIZED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define FHDNN_SANITIZED 1
+#endif
+#endif
+#ifndef FHDNN_SANITIZED
+#define FHDNN_SANITIZED 0
+#endif
+
+#define SKIP_IF_SANITIZED()                                               \
+  if (FHDNN_SANITIZED) {                                                  \
+    GTEST_SKIP() << "allocation counting is unreliable under sanitizers"; \
+  }
+
+namespace fhdnn {
+namespace {
+
+void expect_bits_eq(std::span<const float> a, std::span<const float> b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << "bitwise mismatch between _into kernel and wrapper";
+}
+
+// ---------------------------------------------------------------------------
+// Workspace arena
+// ---------------------------------------------------------------------------
+
+TEST(Workspace, ScopeRewindsAndStatsTrack) {
+  util::Workspace ws;
+  {
+    const util::Workspace::Scope scope(ws);
+    float* a = ws.floats(100);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 16, 0U);
+    std::int64_t* idx = ws.indices(50);
+    ASSERT_NE(idx, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(idx) % 16, 0U);
+    // The ranges are usable end to end.
+    for (int i = 0; i < 100; ++i) a[i] = static_cast<float>(i);
+    for (int i = 0; i < 50; ++i) idx[i] = i;
+    EXPECT_GE(ws.stats().bytes_in_use, 100 * sizeof(float) + 50 * 8);
+  }
+  EXPECT_EQ(ws.stats().bytes_in_use, 0U);
+  EXPECT_EQ(ws.stats().alloc_calls, 2U);
+  EXPECT_GE(ws.stats().high_water_bytes, 100 * sizeof(float) + 50 * 8);
+}
+
+TEST(Workspace, NestedScopesRewindToTheirMark) {
+  util::Workspace ws;
+  const util::Workspace::Scope outer(ws);
+  (void)ws.floats(10);
+  const std::uint64_t at_outer = ws.stats().bytes_in_use;
+  {
+    const util::Workspace::Scope inner(ws);
+    (void)ws.floats(1000);
+    EXPECT_GT(ws.stats().bytes_in_use, at_outer);
+  }
+  EXPECT_EQ(ws.stats().bytes_in_use, at_outer);
+}
+
+TEST(Workspace, SteadyStateStopsGrowing) {
+  util::Workspace ws;
+  auto step = [&ws] {
+    const util::Workspace::Scope scope(ws);
+    (void)ws.floats(3000);
+    (void)ws.indices(500);
+    const util::Workspace::Scope inner(ws);
+    (void)ws.floats(20000);
+  };
+  step();  // warmup grows the arena
+  ws.reset();
+  const auto warm = ws.stats();
+  for (int i = 0; i < 5; ++i) step();
+  const auto steady = ws.stats();
+  EXPECT_EQ(steady.heap_allocations, warm.heap_allocations);
+  EXPECT_EQ(steady.capacity_bytes, warm.capacity_bytes);
+  EXPECT_EQ(steady.high_water_bytes, warm.high_water_bytes);
+}
+
+TEST(Workspace, ResetCoalescesFragmentedGrowthIntoOneBlock) {
+  util::Workspace ws;
+  {
+    const util::Workspace::Scope scope(ws);
+    (void)ws.floats(20'000);  // 80 KB: first block
+    (void)ws.floats(60'000);  // 240 KB: forces a second block
+  }
+  const auto grown = ws.stats();
+  EXPECT_GE(grown.heap_allocations, 2U);
+  ws.reset();
+  const auto coalesced = ws.stats();
+  // One more backing allocation to merge, then the full former capacity is
+  // available contiguously and repeating the pattern allocates nothing.
+  EXPECT_EQ(coalesced.heap_allocations, grown.heap_allocations + 1);
+  EXPECT_GE(coalesced.capacity_bytes, grown.high_water_bytes);
+  {
+    const util::Workspace::Scope scope(ws);
+    (void)ws.floats(20'000);
+    (void)ws.floats(60'000);
+  }
+  EXPECT_EQ(ws.stats().heap_allocations, coalesced.heap_allocations);
+}
+
+TEST(Workspace, TlsWorkspaceIsPerThread) {
+  util::Workspace* main_ws = &util::tls_workspace();
+  util::Workspace* other_ws = nullptr;
+  std::thread t([&other_ws] { other_ws = &util::tls_workspace(); });
+  t.join();
+  ASSERT_NE(other_ws, nullptr);
+  EXPECT_NE(main_ws, other_ws);
+  // Same thread, same arena.
+  EXPECT_EQ(main_ws, &util::tls_workspace());
+}
+
+// ---------------------------------------------------------------------------
+// _into kernels are bit-identical to their wrappers
+// ---------------------------------------------------------------------------
+
+TEST(IntoKernels, ElementwiseMatchWrappers) {
+  Rng rng(101);
+  const Tensor a = Tensor::randn(Shape{7, 13}, rng);
+  const Tensor b = Tensor::randn(Shape{7, 13}, rng);
+  Tensor out(Shape{7, 13});
+
+  ops::add_into(a, b, out);
+  expect_bits_eq(out.data(), ops::add(a, b).data());
+  ops::sub_into(a, b, out);
+  expect_bits_eq(out.data(), ops::sub(a, b).data());
+  ops::mul_into(a, b, out);
+  expect_bits_eq(out.data(), ops::mul(a, b).data());
+  ops::scale_into(a, 0.37F, out);
+  expect_bits_eq(out.data(), ops::scale(a, 0.37F).data());
+  ops::relu_into(a, out);
+  expect_bits_eq(out.data(), ops::relu(a).data());
+  ops::relu_backward_into(b, a, out);
+  expect_bits_eq(out.data(), ops::relu_backward(b, a).data());
+  ops::softmax_rows_into(a, out);
+  expect_bits_eq(out.data(), ops::softmax_rows(a).data());
+
+  // accumulate == axpy(1.0F, ·)
+  Tensor acc_a = a;
+  Tensor acc_b = a;
+  ops::accumulate(acc_a, b);
+  acc_b.axpy(1.0F, b);
+  expect_bits_eq(acc_a.data(), acc_b.data());
+}
+
+TEST(IntoKernels, MatmulFamilyMatchesWrappers) {
+  Rng rng(202);
+  const Tensor a = Tensor::randn(Shape{7, 5}, rng);
+  const Tensor b = Tensor::randn(Shape{5, 9}, rng);
+  const Tensor bt = Tensor::randn(Shape{9, 5}, rng);
+  const Tensor at = Tensor::randn(Shape{5, 7}, rng);
+  const Tensor bias = Tensor::randn(Shape{9}, rng);
+
+  Tensor out(Shape{7, 9});
+  ops::matmul_into(a, b, out);
+  expect_bits_eq(out.data(), ops::matmul(a, b).data());
+  ops::matmul_bt_into(a, bt, out);
+  expect_bits_eq(out.data(), ops::matmul_bt(a, bt).data());
+  ops::matmul_at_into(at, b, out);
+  expect_bits_eq(out.data(), ops::matmul_at(at, b).data());
+  ops::linear_forward_into(a, bt, bias, out);
+  expect_bits_eq(out.data(), ops::linear_forward(a, bt, bias).data());
+
+  Tensor tr(Shape{5, 7});
+  ops::transpose_into(a, tr);
+  expect_bits_eq(tr.data(), ops::transpose(a).data());
+
+  Tensor rows(Shape{5});
+  ops::sum_rows_into(a, rows);
+  expect_bits_eq(rows.data(), ops::sum_rows(a).data());
+}
+
+TEST(IntoKernels, ConvFamilyMatchesWrappers) {
+  Rng rng(303);
+  const ops::Conv2dSpec spec{3, 4, 3, 1, 1};
+  const Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+  const Tensor w = Tensor::randn(Shape{4, 3, 3, 3}, rng);
+  const Tensor bias = Tensor::randn(Shape{4}, rng);
+  util::Workspace ws;
+
+  const Tensor cols_ref = ops::im2col(x, spec);
+  Tensor cols(cols_ref.shape());
+  ops::im2col_into(x, spec, cols);
+  expect_bits_eq(cols.data(), cols_ref.data());
+
+  const Tensor img_ref = ops::col2im(cols_ref, spec, 2, 8, 8);
+  Tensor img(img_ref.shape());
+  ops::col2im_into(cols_ref, spec, 2, 8, 8, img);
+  expect_bits_eq(img.data(), img_ref.data());
+
+  const Tensor y_ref = ops::conv2d_forward(x, w, bias, spec);
+  Tensor y(y_ref.shape());
+  ops::conv2d_forward_into(x, w, bias, spec, y, ws);
+  expect_bits_eq(y.data(), y_ref.data());
+
+  Rng grng(304);
+  const Tensor gout = Tensor::randn(y_ref.shape(), grng);
+  const auto grads_ref = ops::conv2d_backward(gout, x, w, spec);
+  Tensor gi(x.shape());
+  Tensor gw(w.shape());
+  Tensor gb(Shape{4});
+  ops::conv2d_backward_into(gout, x, w, spec, gi, gw, gb, ws);
+  expect_bits_eq(gi.data(), grads_ref.grad_input.data());
+  expect_bits_eq(gw.data(), grads_ref.grad_weight.data());
+  expect_bits_eq(gb.data(), grads_ref.grad_bias.data());
+}
+
+TEST(IntoKernels, PoolingMatchesWrappers) {
+  Rng rng(405);
+  const Tensor x = Tensor::randn(Shape{2, 3, 8, 8}, rng);
+
+  const auto pooled_ref = ops::maxpool2d_forward(x, 2);
+  Tensor pooled(pooled_ref.output.shape());
+  std::vector<std::int64_t> argmax(
+      static_cast<std::size_t>(pooled.numel()));
+  ops::maxpool2d_forward_into(x, 2, pooled, argmax);
+  expect_bits_eq(pooled.data(), pooled_ref.output.data());
+  EXPECT_EQ(argmax, pooled_ref.argmax);
+
+  const Tensor gout = Tensor::randn(pooled_ref.output.shape(), rng);
+  const Tensor gx_ref =
+      ops::maxpool2d_backward(gout, pooled_ref.argmax, x.shape());
+  Tensor gx(x.shape());
+  ops::maxpool2d_backward_into(gout, pooled_ref.argmax, gx);
+  expect_bits_eq(gx.data(), gx_ref.data());
+
+  const Tensor gap_ref = ops::global_avgpool_forward(x);
+  Tensor gap(gap_ref.shape());
+  ops::global_avgpool_forward_into(x, gap);
+  expect_bits_eq(gap.data(), gap_ref.data());
+
+  const Tensor ggout = Tensor::randn(gap_ref.shape(), rng);
+  const Tensor ggx_ref = ops::global_avgpool_backward(ggout, x.shape());
+  Tensor ggx(x.shape());
+  ops::global_avgpool_backward_into(ggout, ggx);
+  expect_bits_eq(ggx.data(), ggx_ref.data());
+}
+
+TEST(IntoKernels, EncoderMatchesWrappers) {
+  Rng rng(506);
+  Rng enc_rng = rng.fork("enc");
+  const hdc::RandomProjectionEncoder enc(16, 64, enc_rng);
+  const Tensor z = Tensor::randn(Shape{5, 16}, rng);
+
+  Tensor h(Shape{5, 64});
+  enc.encode_linear_into(z, h);
+  expect_bits_eq(h.data(), enc.encode_linear(z).data());
+  enc.encode_into(z, h);
+  expect_bits_eq(h.data(), enc.encode(z).data());
+
+  Tensor zr(Shape{5, 16});
+  enc.reconstruct_into(h, zr);
+  expect_bits_eq(zr.data(), enc.reconstruct(h).data());
+
+  // 1-d (single vector) forms go through the same path.
+  const Tensor z1 = Tensor::randn(Shape{16}, rng);
+  Tensor h1(Shape{64});
+  enc.encode_into(z1, h1);
+  expect_bits_eq(h1.data(), enc.encode(z1).data());
+}
+
+// ---------------------------------------------------------------------------
+// Aliasing policy
+// ---------------------------------------------------------------------------
+
+TEST(ViewAliasing, ElementwiseKernelsAcceptOutAliasingInput) {
+  Rng rng(607);
+  const Tensor a0 = Tensor::randn(Shape{6, 6}, rng);
+  const Tensor b = Tensor::randn(Shape{6, 6}, rng);
+
+  Tensor a = a0;
+  ops::add_into(a, b, a);
+  expect_bits_eq(a.data(), ops::add(a0, b).data());
+
+  a = a0;
+  ops::scale_into(a, -2.5F, a);
+  expect_bits_eq(a.data(), ops::scale(a0, -2.5F).data());
+
+  a = a0;
+  ops::relu_into(a, a);
+  expect_bits_eq(a.data(), ops::relu(a0).data());
+
+  a = a0;
+  ops::softmax_rows_into(a, a);
+  expect_bits_eq(a.data(), ops::softmax_rows(a0).data());
+}
+
+TEST(ViewAliasing, ReadAfterWriteKernelsRejectOverlap) {
+  Tensor a(Shape{4, 4});
+  Tensor b(Shape{4, 4});
+  EXPECT_THROW(ops::matmul_into(a, b, a), Error);
+  EXPECT_THROW(ops::matmul_bt_into(a, b, b), Error);
+  EXPECT_THROW(ops::matmul_at_into(a, b, a), Error);
+  EXPECT_THROW(ops::transpose_into(a, a), Error);
+
+  const TensorView row_of_a(a.data().data(), {4});
+  EXPECT_THROW(ops::sum_rows_into(a, row_of_a), Error);
+
+  const ops::Conv2dSpec spec{1, 1, 3, 1, 1};
+  Tensor buf(Shape{160});  // both views live inside one allocation
+  float* p = buf.data().data();
+  const ConstTensorView img(p, {1, 1, 4, 4});
+  const TensorView cols_over_img(p, {16, 9});
+  EXPECT_THROW(ops::im2col_into(img, spec, cols_over_img), Error);
+}
+
+TEST(ViewAliasing, OverlapDetectionIsExact) {
+  Tensor t(Shape{10});
+  float* p = t.data().data();
+  EXPECT_TRUE(views_overlap(TensorView(p, {10}), TensorView(p + 5, {5})));
+  EXPECT_FALSE(views_overlap(TensorView(p, {5}), TensorView(p + 5, {5})));
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One full supervised training step on `net` (forward, loss, backward,
+/// SGD). Exactly what fl::FedAvg runs per minibatch.
+void training_step(nn::Module& net, nn::CrossEntropyLoss& loss, nn::Sgd& opt,
+                   const Tensor& x, const std::vector<std::int64_t>& labels) {
+  util::tls_workspace().reset();
+  opt.zero_grad();
+  const Tensor& logits = net.forward(x);
+  (void)loss.forward(logits, labels);
+  net.backward(loss.backward());
+  opt.step();
+}
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : saved_(parallel::num_threads()) {
+    parallel::set_num_threads(n);
+  }
+  ~ThreadCountGuard() { parallel::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+void expect_cnn_step_allocation_free(int threads) {
+  const ThreadCountGuard guard(threads);
+  Rng rng(808);
+  auto net = nn::make_mini_resnet(1, 10, 4, rng);
+  nn::CrossEntropyLoss loss;
+  nn::Sgd opt(*net, {0.05F, 0.9F, 0.0F});
+  Rng data_rng(809);
+  const Tensor x = Tensor::randn(Shape{8, 1, 16, 16}, data_rng);
+  std::vector<std::int64_t> labels(8);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::int64_t>(i) % 10;
+  }
+
+  // Warmup: grows layer buffers, the arena, and (threaded) the pool.
+  training_step(*net, loss, opt, x, labels);
+  training_step(*net, loss, opt, x, labels);
+
+  const auto ws_warm = util::tls_workspace().stats();
+  const auto spy0 = util::alloc_spy_snapshot();
+  for (int i = 0; i < 3; ++i) training_step(*net, loss, opt, x, labels);
+  const auto spy1 = util::alloc_spy_snapshot();
+  const auto ws_steady = util::tls_workspace().stats();
+
+  EXPECT_EQ(spy1.count - spy0.count, 0U)
+      << "steady-state training step allocated "
+      << (spy1.bytes - spy0.bytes) << " bytes in "
+      << (spy1.count - spy0.count) << " calls";
+  EXPECT_EQ(ws_steady.heap_allocations, ws_warm.heap_allocations);
+  EXPECT_EQ(ws_steady.high_water_bytes, ws_warm.high_water_bytes);
+}
+
+}  // namespace
+
+TEST(ZeroAlloc, CnnTrainingStepSerial) {
+  SKIP_IF_SANITIZED();
+  expect_cnn_step_allocation_free(1);
+}
+
+TEST(ZeroAlloc, CnnTrainingStepFourThreads) {
+  SKIP_IF_SANITIZED();
+  expect_cnn_step_allocation_free(4);
+}
+
+TEST(ZeroAlloc, HdEncodeSteadyState) {
+  SKIP_IF_SANITIZED();
+  Rng rng(910);
+  Rng enc_rng = rng.fork("enc");
+  const hdc::RandomProjectionEncoder enc(64, 1024, enc_rng);
+  const Tensor z = Tensor::randn(Shape{16, 64}, rng);
+  Tensor h(Shape{16, 1024});
+  Tensor zr(Shape{16, 64});
+  enc.encode_into(z, h);  // warmup (pool spawn, if any)
+  enc.reconstruct_into(h, zr);
+
+  const auto spy0 = util::alloc_spy_snapshot();
+  for (int i = 0; i < 5; ++i) {
+    enc.encode_into(z, h);
+    enc.reconstruct_into(h, zr);
+  }
+  const auto spy1 = util::alloc_spy_snapshot();
+  EXPECT_EQ(spy1.count - spy0.count, 0U);
+}
+
+TEST(ZeroAlloc, FeatureExtractSteadyState) {
+  SKIP_IF_SANITIZED();
+  features::FrozenFeatureExtractor::Config cfg;
+  cfg.in_channels = 1;
+  cfg.image_hw = 16;
+  cfg.conv_width = 4;
+  cfg.output_dim = 32;
+  const features::FrozenFeatureExtractor ext(cfg);
+  Rng rng(911);
+  const Tensor imgs = Tensor::randn(Shape{8, 1, 16, 16}, rng);
+  Tensor out(Shape{8, 32});
+  util::tls_workspace().reset();
+  ext.extract_into(imgs, out);  // warmup
+  ext.extract_into(imgs, out);
+
+  const auto spy0 = util::alloc_spy_snapshot();
+  for (int i = 0; i < 3; ++i) ext.extract_into(imgs, out);
+  const auto spy1 = util::alloc_spy_snapshot();
+  EXPECT_EQ(spy1.count - spy0.count, 0U);
+}
+
+}  // namespace
+}  // namespace fhdnn

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
@@ -17,6 +18,16 @@ TEST(Shape, Numel) {
   EXPECT_EQ(shape_numel({2, 3, 4}), 24);
   EXPECT_THROW(shape_numel({2, 0}), Error);
   EXPECT_THROW(shape_numel({-1}), Error);
+}
+
+TEST(Shape, NumelOverflowThrows) {
+  // 2^31 * 2^31 * 4 overflows int64; the multiply must be checked, not wrap.
+  const std::int64_t big = std::int64_t{1} << 31;
+  EXPECT_THROW(shape_numel({big, big, 4}), Error);
+  EXPECT_THROW(shape_numel({std::numeric_limits<std::int64_t>::max(), 2}),
+               Error);
+  // Near-limit but representable products are fine.
+  EXPECT_EQ(shape_numel({big, 2}), big * 2);
 }
 
 TEST(Shape, ToString) {
@@ -124,6 +135,35 @@ TEST(Tensor, AxpyAndScale) {
   EXPECT_EQ(a(0), 1.5F);
   Tensor c(Shape{2});
   EXPECT_THROW(a.axpy(1.0F, c), Error);
+}
+
+TEST(Tensor, EnsureShapeReusesCapacityAndChecksDims) {
+  Tensor t(Shape{4, 8});
+  const float* before = t.data().data();
+  t.ensure_shape({8, 2});  // smaller: must reuse the existing buffer
+  EXPECT_EQ(t.shape(), (Shape{8, 2}));
+  EXPECT_EQ(t.numel(), 16);
+  EXPECT_EQ(t.data().data(), before);
+  t.ensure_shape(Shape{4, 8});  // back to the original size: still no growth
+  EXPECT_EQ(t.data().data(), before);
+  // Same shape is a no-op that preserves contents.
+  t.fill(3.0F);
+  t.ensure_shape({4, 8});
+  EXPECT_EQ(t.at(0), 3.0F);
+  // Invalid dims go through shape_numel's checks.
+  EXPECT_THROW(t.ensure_shape({0, 3}), Error);
+  EXPECT_THROW(t.ensure_shape({-2}), Error);
+}
+
+TEST(Tensor, AssertInvariantDetectsResizedBuffer) {
+  Tensor t(Shape{2, 3});
+  t.assert_invariant();  // healthy tensor passes
+  // vec() exposes the raw vector for serialization; resizing it behind the
+  // shape's back breaks the invariant that assert_invariant guards.
+  t.vec().resize(5);
+  EXPECT_THROW(t.assert_invariant(), Error);
+  t.vec().resize(6);
+  t.assert_invariant();
 }
 
 // ---------------------------------------------------------------- ops
