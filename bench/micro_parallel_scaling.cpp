@@ -106,6 +106,8 @@ int main(int argc, char** argv) {
       "reps=" + std::to_string(reps) +
       " max_threads=" + std::to_string(max_threads) +
       " hw_concurrency=" +
+      // Reporting only — hardware_concurrency() spawns nothing.
+      // fhdnn-lint: allow(raw-thread)
       std::to_string(std::thread::hardware_concurrency()));
 
   std::vector<int> thread_counts;

@@ -46,6 +46,8 @@ class FrozenFeatureExtractor {
   /// any state. Batches internally to bound peak memory. The `_into` form
   /// writes into a caller-owned (N, output_dim) buffer and — together with
   /// the reused internal batch scratch — is allocation-free at steady state.
+  /// Aliasing: out must not overlap images (rows are staged through the
+  /// extractor's CNN before the copy-out).
   Tensor extract(const Tensor& images) const;
   void extract_into(const Tensor& images, TensorView out) const;
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
@@ -18,6 +19,9 @@ RoundEngine::RoundEngine(EngineConfig config, RoundProtocol& protocol)
       root_rng_(config_.seed),
       sampler_(config_.n_clients, config_.client_fraction),
       faults_(config_.faults, config_.n_clients, root_rng_.fork("faults")) {
+  // Contract builds refuse to start training in an FP environment that
+  // cannot reproduce the golden histories (FTZ/DAZ/non-nearest rounding).
+  util::checked_startup();
   FHDNN_CHECK(config_.rounds > 0, "engine rounds " << config_.rounds);
   FHDNN_CHECK(config_.dropout_prob >= 0.0 && config_.dropout_prob < 1.0,
               "dropout_prob " << config_.dropout_prob);
@@ -102,6 +106,12 @@ RoundMetrics RoundEngine::round(int round_index) {
           const auto slot = static_cast<std::size_t>(i);
           reports[slot] = protocol_.run_client(
               slot, participants[slot], round_rng, delivered_flag[slot] != 0);
+          // Client boundary: every kernel/layer Scope opened while running
+          // this client must have closed again (DESIGN.md §9/§10).
+          FHDNN_CHECKED_ASSERT(
+              util::tls_workspace().scope_depth() == 0,
+              "workspace Scope leaked across client " << participants[slot]
+                                                      << " boundary");
         }
       });
 

@@ -10,6 +10,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/workspace.hpp"
 
@@ -163,6 +164,11 @@ class FedAvgLearner final : public LocalLearner<std::vector<float>> {
         worker.backward(loss_fn.backward());
         opt.step();
         ++batches;
+        // Batch boundary: forward/backward/step must leave no Scope open
+        // (the reset() above would throw next iteration, but catching it
+        // here points at the offending batch).
+        FHDNN_CHECKED_ASSERT(util::tls_workspace().scope_depth() == 0,
+                             "workspace Scope leaked across a batch");
       }
     }
     return {nn::get_state(worker),

@@ -36,15 +36,19 @@ class RandomProjectionEncoder {
   /// The `_into` forms write into a caller-owned buffer of matching numel
   /// and allocate nothing (1-d inputs are viewed as one-row matrices
   /// instead of reshaped copies — same bytes, same result).
+  /// Aliasing: h must not overlap z (delegates to the matmul family, which
+  /// throws on overlap).
   Tensor encode(const Tensor& z) const;
   void encode_into(ConstTensorView z, TensorView h) const;
 
   /// Phi z without the sign (same shapes as encode).
+  /// Aliasing: h must not overlap z (throws on overlap).
   Tensor encode_linear(const Tensor& z) const;
   void encode_linear_into(ConstTensorView z, TensorView h) const;
 
   /// Least-squares readout (n/d) Phi^T h of a (d) or (N, d) hypervector;
   /// inverse of encode_linear in expectation.
+  /// Aliasing: z must not overlap h (throws on overlap).
   Tensor reconstruct(const Tensor& h) const;
   void reconstruct_into(ConstTensorView h, TensorView z) const;
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -19,6 +20,7 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
 }
 
 const Tensor& BatchNorm2d::forward(const Tensor& x) {
+  FHDNN_CHECKED_TENSOR(x);
   FHDNN_CHECK(x.ndim() == 4 && x.dim(1) == channels_,
               "BatchNorm2d expects (N," << channels_ << ",H,W), got "
                                         << shape_to_string(x.shape()));
@@ -93,6 +95,7 @@ const Tensor& BatchNorm2d::forward(const Tensor& x) {
 }
 
 const Tensor& BatchNorm2d::backward(const Tensor& grad_out) {
+  FHDNN_CHECKED_TENSOR(grad_out);
   FHDNN_CHECK(training_, "BatchNorm2d backward requires training mode");
   FHDNN_CHECK(grad_out.shape() == cached_shape_,
               "BatchNorm2d backward grad shape "

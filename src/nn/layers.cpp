@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/workspace.hpp"
 
@@ -34,6 +35,7 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
 }
 
 const Tensor& Linear::forward(const Tensor& x) {
+  FHDNN_CHECKED_TENSOR(x);
   FHDNN_CHECK(x.ndim() == 2 && x.dim(1) == in_,
               "Linear expects (N, " << in_ << "), got "
                                     << shape_to_string(x.shape()));
@@ -44,6 +46,7 @@ const Tensor& Linear::forward(const Tensor& x) {
 }
 
 const Tensor& Linear::backward(const Tensor& grad_out) {
+  FHDNN_CHECKED_TENSOR(grad_out);
   FHDNN_CHECK(grad_out.ndim() == 2 && grad_out.dim(1) == out_ &&
                   grad_out.dim(0) == cached_input_.dim(0),
               "Linear backward grad shape " << shape_to_string(grad_out.shape()));
@@ -74,6 +77,7 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
 }
 
 const Tensor& Conv2d::forward(const Tensor& x) {
+  FHDNN_CHECKED_TENSOR(x);
   FHDNN_CHECK(x.ndim() == 4, "Conv2d expects (N,C,H,W), got "
                                  << shape_to_string(x.shape()));
   cached_input_ = x;
@@ -85,6 +89,7 @@ const Tensor& Conv2d::forward(const Tensor& x) {
 }
 
 const Tensor& Conv2d::backward(const Tensor& grad_out) {
+  FHDNN_CHECKED_TENSOR(grad_out);
   util::Workspace& ws = util::tls_workspace();
   const util::Workspace::Scope scope(ws);
   TensorView gw(ws.floats(weight_.value.numel()),
@@ -100,6 +105,7 @@ const Tensor& Conv2d::backward(const Tensor& grad_out) {
 }
 
 const Tensor& ReLU::forward(const Tensor& x) {
+  FHDNN_CHECKED_TENSOR(x);
   cached_input_ = x;
   y_.ensure_shape(x.shape());
   ops::relu_into(x, y_);
@@ -107,12 +113,14 @@ const Tensor& ReLU::forward(const Tensor& x) {
 }
 
 const Tensor& ReLU::backward(const Tensor& grad_out) {
+  FHDNN_CHECKED_TENSOR(grad_out);
   gx_.ensure_shape(cached_input_.shape());
   ops::relu_backward_into(grad_out, cached_input_, gx_);
   return gx_;
 }
 
 const Tensor& MaxPool2d::forward(const Tensor& x) {
+  FHDNN_CHECKED_TENSOR(x);
   FHDNN_CHECK(x.ndim() == 4, "MaxPool2d expects (N,C,H,W), got "
                                  << shape_to_string(x.shape()));
   cached_shape_ = x.shape();
@@ -123,12 +131,14 @@ const Tensor& MaxPool2d::forward(const Tensor& x) {
 }
 
 const Tensor& MaxPool2d::backward(const Tensor& grad_out) {
+  FHDNN_CHECKED_TENSOR(grad_out);
   gx_.ensure_shape(cached_shape_);
   ops::maxpool2d_backward_into(grad_out, cached_argmax_, gx_);
   return gx_;
 }
 
 const Tensor& GlobalAvgPool::forward(const Tensor& x) {
+  FHDNN_CHECKED_TENSOR(x);
   FHDNN_CHECK(x.ndim() == 4, "GlobalAvgPool expects (N,C,H,W), got "
                                  << shape_to_string(x.shape()));
   cached_shape_ = x.shape();
@@ -138,12 +148,14 @@ const Tensor& GlobalAvgPool::forward(const Tensor& x) {
 }
 
 const Tensor& GlobalAvgPool::backward(const Tensor& grad_out) {
+  FHDNN_CHECKED_TENSOR(grad_out);
   gx_.ensure_shape(cached_shape_);
   ops::global_avgpool_backward_into(grad_out, gx_);
   return gx_;
 }
 
 const Tensor& Flatten::forward(const Tensor& x) {
+  FHDNN_CHECKED_TENSOR(x);
   FHDNN_CHECK(x.ndim() >= 2, "Flatten expects batched input");
   cached_shape_ = x.shape();
   const std::int64_t n = x.dim(0);
@@ -154,6 +166,7 @@ const Tensor& Flatten::forward(const Tensor& x) {
 }
 
 const Tensor& Flatten::backward(const Tensor& grad_out) {
+  FHDNN_CHECKED_TENSOR(grad_out);
   gx_.ensure_shape(cached_shape_);
   const auto src = grad_out.data();
   std::copy(src.begin(), src.end(), gx_.data().begin());

@@ -3,12 +3,14 @@
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace fhdnn::nn {
 
 double CrossEntropyLoss::forward(const Tensor& logits,
                                  const std::vector<std::int64_t>& labels) {
+  FHDNN_CHECKED_TENSOR(logits);
   FHDNN_CHECK(logits.ndim() == 2, "CrossEntropy expects 2-d logits");
   const std::int64_t n = logits.dim(0), c = logits.dim(1);
   FHDNN_CHECK(static_cast<std::int64_t>(labels.size()) == n,
@@ -26,6 +28,7 @@ double CrossEntropyLoss::forward(const Tensor& logits,
 }
 
 const Tensor& CrossEntropyLoss::backward() {
+  FHDNN_CHECKED_TENSOR(cached_probs_);
   FHDNN_CHECK(cached_probs_.numel() > 1, "backward before forward");
   const std::int64_t n = cached_probs_.dim(0);
   grad_ = cached_probs_;

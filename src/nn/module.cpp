@@ -1,5 +1,6 @@
 #include "nn/module.hpp"
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace fhdnn::nn {
@@ -21,6 +22,7 @@ Sequential& Sequential::add(std::unique_ptr<Module> layer) {
 }
 
 const Tensor& Sequential::forward(const Tensor& x) {
+  FHDNN_CHECKED_TENSOR(x);
   // Chain by reference — each layer reads its predecessor's output buffer
   // directly, so the container adds no copies or allocations.
   const Tensor* h = &x;
@@ -29,6 +31,7 @@ const Tensor& Sequential::forward(const Tensor& x) {
 }
 
 const Tensor& Sequential::backward(const Tensor& grad_out) {
+  FHDNN_CHECKED_TENSOR(grad_out);
   const Tensor* g = &grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     g = &(*it)->backward(*g);

@@ -1,6 +1,7 @@
 #include "nn/resnet.hpp"
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace fhdnn::nn {
@@ -20,6 +21,7 @@ ResidualBlock::ResidualBlock(std::int64_t in_channels,
 }
 
 const Tensor& ResidualBlock::forward(const Tensor& x) {
+  FHDNN_CHECKED_TENSOR(x);
   const Tensor& main = bn2_.forward(
       conv2_.forward(relu1_.forward(bn1_.forward(conv1_.forward(x)))));
   const Tensor& skip =
@@ -32,6 +34,7 @@ const Tensor& ResidualBlock::forward(const Tensor& x) {
 }
 
 const Tensor& ResidualBlock::backward(const Tensor& grad_out) {
+  FHDNN_CHECKED_TENSOR(grad_out);
   // Through the output ReLU.
   g_sum_.ensure_shape(cached_sum_.shape());
   ops::relu_backward_into(grad_out, cached_sum_, g_sum_);

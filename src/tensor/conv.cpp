@@ -5,6 +5,7 @@
 
 #include "tensor/ops.hpp"
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/workspace.hpp"
@@ -18,9 +19,20 @@ void check_nchw(ConstTensorView x, const char* op) {
                                 << x.shape_string());
 }
 
+
+/// FHDNN_CHECKED entry guard (same contract as ops.cpp): `_into` kernels
+/// must receive live views.
+template <typename... Views>
+void checked_entry(const char* op, const Views&... views) {
+  (void)op;
+  FHDNN_CHECKED_ASSERT(((views.data() != nullptr) && ...),
+                       op << "_into kernel received a null view");
+}
+
 }  // namespace
 
 void im2col_into(ConstTensorView x, const Conv2dSpec& spec, TensorView cols) {
+  checked_entry("im2col", x, cols);
   check_nchw(x, "im2col");
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   FHDNN_CHECK(c == spec.in_channels, "im2col channels " << c << " != spec "
@@ -75,6 +87,7 @@ Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
 
 void col2im_into(ConstTensorView cols, const Conv2dSpec& spec, std::int64_t n,
                  std::int64_t h, std::int64_t w, TensorView x) {
+  checked_entry("col2im", cols, x);
   const std::int64_t c = spec.in_channels;
   const std::int64_t oh = spec.out_size(h), ow = spec.out_size(w);
   const std::int64_t k = spec.kernel;
@@ -128,6 +141,7 @@ Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::int64_t n,
 void conv2d_forward_into(ConstTensorView x, ConstTensorView weight,
                          ConstTensorView bias, const Conv2dSpec& spec,
                          TensorView y, util::Workspace& ws) {
+  checked_entry("conv2d_forward", x, weight, bias, y);
   check_nchw(x, "conv2d");
   FHDNN_CHECK(weight.ndim() == 4 && weight.dim(0) == spec.out_channels &&
                   weight.dim(1) == spec.in_channels &&
@@ -183,6 +197,8 @@ void conv2d_backward_into(ConstTensorView grad_out, ConstTensorView x,
                           ConstTensorView weight, const Conv2dSpec& spec,
                           TensorView grad_input, TensorView grad_weight,
                           TensorView grad_bias, util::Workspace& ws) {
+  checked_entry("conv2d_backward", grad_out, x, weight, grad_input,
+                grad_weight, grad_bias);
   check_nchw(grad_out, "conv2d_backward");
   check_nchw(x, "conv2d_backward");
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
@@ -253,6 +269,7 @@ Conv2dGrads conv2d_backward(const Tensor& grad_out, const Tensor& x,
 
 void maxpool2d_forward_into(ConstTensorView x, std::int64_t kernel,
                             TensorView out, std::span<std::int64_t> argmax) {
+  checked_entry("maxpool2d_forward", x, out);
   check_nchw(x, "maxpool2d");
   FHDNN_CHECK(kernel >= 1, "pool kernel " << kernel);
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
@@ -316,6 +333,7 @@ MaxPoolResult maxpool2d_forward(const Tensor& x, std::int64_t kernel) {
 void maxpool2d_backward_into(ConstTensorView grad_out,
                              std::span<const std::int64_t> argmax,
                              TensorView gx) {
+  checked_entry("maxpool2d_backward", grad_out, gx);
   FHDNN_CHECK(static_cast<std::int64_t>(argmax.size()) == grad_out.numel(),
               "maxpool backward argmax size mismatch");
   std::fill(gx.data(), gx.data() + gx.numel(), 0.0F);
@@ -339,6 +357,7 @@ Tensor maxpool2d_backward(const Tensor& grad_out,
 }
 
 void global_avgpool_forward_into(ConstTensorView x, TensorView y) {
+  checked_entry("global_avgpool_forward", x, y);
   check_nchw(x, "global_avgpool");
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   FHDNN_CHECK(y.ndim() == 2 && y.dim(0) == n && y.dim(1) == c,
@@ -364,6 +383,7 @@ Tensor global_avgpool_forward(const Tensor& x) {
 }
 
 void global_avgpool_backward_into(ConstTensorView grad_out, TensorView gx) {
+  checked_entry("global_avgpool_backward", grad_out, gx);
   check_nchw(gx, "global_avgpool_backward");
   const std::int64_t n = gx.dim(0), c = gx.dim(1), h = gx.dim(2),
                      w = gx.dim(3);

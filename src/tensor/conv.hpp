@@ -37,12 +37,14 @@ struct Conv2dSpec {
 
 /// Unfold x (N,C,H,W) into columns: result is
 /// (N * out_h * out_w, C * kh * kw); each row is one receptive field.
+/// Aliasing: cols must not overlap x (throws on overlap).
 Tensor im2col(const Tensor& x, const Conv2dSpec& spec);
 void im2col_into(ConstTensorView x, const Conv2dSpec& spec, TensorView cols);
 
 /// Fold columns back, accumulating overlaps — adjoint of im2col. `n`, `h`,
 /// `w` give the original input geometry. The `_into` form zero-fills the
 /// output image first.
+/// Aliasing: x must not overlap cols (throws on overlap).
 Tensor col2im(const Tensor& cols, const Conv2dSpec& spec, std::int64_t n,
               std::int64_t h, std::int64_t w);
 void col2im_into(ConstTensorView cols, const Conv2dSpec& spec, std::int64_t n,
@@ -51,6 +53,7 @@ void col2im_into(ConstTensorView cols, const Conv2dSpec& spec, std::int64_t n,
 /// y = conv2d(x, weight) + bias. weight is (OC, IC, k, k), bias is (OC).
 /// The `_into` form draws its im2col/matmul scratch from `ws` (rewound on
 /// return via a Workspace::Scope).
+/// Aliasing: y must not overlap x, weight, or bias.
 Tensor conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias,
                       const Conv2dSpec& spec);
 void conv2d_forward_into(ConstTensorView x, ConstTensorView weight,
@@ -68,6 +71,8 @@ struct Conv2dGrads {
 /// (zero-fill + accumulate, matching the wrapper's fresh tensors bit for
 /// bit); callers that accumulate across steps add the results into their
 /// parameter grads themselves (ops::accumulate).
+/// Aliasing: the three grad outputs must not overlap the inputs or each
+/// other.
 Conv2dGrads conv2d_backward(const Tensor& grad_out, const Tensor& x,
                             const Tensor& weight, const Conv2dSpec& spec);
 void conv2d_backward_into(ConstTensorView grad_out, ConstTensorView x,
@@ -78,6 +83,7 @@ void conv2d_backward_into(ConstTensorView grad_out, ConstTensorView x,
 /// 2x2 (or kxk) max pooling with stride == kernel.
 /// Returns pooled output and the flat argmax index per output element
 /// (into the input tensor) for the backward pass.
+/// Aliasing: out must not overlap x.
 struct MaxPoolResult {
   Tensor output;
   std::vector<std::int64_t> argmax;  // size == output.numel()
@@ -88,6 +94,7 @@ void maxpool2d_forward_into(ConstTensorView x, std::int64_t kernel,
 
 /// Scatter upstream grads through the recorded argmax indices. The `_into`
 /// form zero-fills gx (whose dims give the input geometry) first.
+/// Aliasing: gx must not overlap grad_out.
 Tensor maxpool2d_backward(const Tensor& grad_out,
                           const std::vector<std::int64_t>& argmax,
                           const Shape& input_shape);
@@ -96,10 +103,12 @@ void maxpool2d_backward_into(ConstTensorView grad_out,
                              TensorView gx);
 
 /// Global average pool: (N, C, H, W) -> (N, C).
+/// Aliasing: y must not overlap x.
 Tensor global_avgpool_forward(const Tensor& x);
 void global_avgpool_forward_into(ConstTensorView x, TensorView y);
 
 /// Backward of global average pool; gx carries the input geometry.
+/// Aliasing: gx must not overlap grad_out.
 Tensor global_avgpool_backward(const Tensor& grad_out,
                                const Shape& input_shape);
 void global_avgpool_backward_into(ConstTensorView grad_out, TensorView gx);

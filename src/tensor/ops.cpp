@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -35,9 +36,21 @@ void check_no_alias(TensorView out, ConstTensorView in, const char* op) {
               op << " output must not alias an input");
 }
 
+
+/// FHDNN_CHECKED entry guard for `_into` kernels: views must be live (a
+/// moved-from or default-constructed Tensor yields a null data pointer the
+/// shape checks alone cannot distinguish from a valid buffer).
+template <typename... Views>
+void checked_entry(const char* op, const Views&... views) {
+  (void)op;
+  FHDNN_CHECKED_ASSERT(((views.data() != nullptr) && ...),
+                       op << "_into kernel received a null view");
+}
+
 }  // namespace
 
 void add_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  checked_entry("add", a, b, out);
   check_same_dims(a, b, "add");
   check_same_dims(a, out, "add");
   const float* pa = a.data();
@@ -55,6 +68,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
 }
 
 void sub_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  checked_entry("sub", a, b, out);
   check_same_dims(a, b, "sub");
   check_same_dims(a, out, "sub");
   const float* pa = a.data();
@@ -72,6 +86,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 }
 
 void mul_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  checked_entry("mul", a, b, out);
   check_same_dims(a, b, "mul");
   check_same_dims(a, out, "mul");
   const float* pa = a.data();
@@ -89,6 +104,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 }
 
 void scale_into(ConstTensorView a, float alpha, TensorView out) {
+  checked_entry("scale", a, out);
   check_same_dims(a, out, "scale");
   const float* pa = a.data();
   float* po = out.data();
@@ -103,6 +119,7 @@ Tensor scale(const Tensor& a, float alpha) {
 }
 
 void accumulate(TensorView y, ConstTensorView x) {
+  checked_entry("accumulate", y, x);
   FHDNN_CHECK(y.numel() == x.numel(),
               "accumulate numel mismatch: " << y.shape_string() << " vs "
                                             << x.shape_string());
@@ -138,6 +155,7 @@ void matmul_accumulate(const float* pa, const float* pb, float* pc,
 }  // namespace
 
 void matmul_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  checked_entry("matmul", a, b, out);
   check_2d(a, "matmul");
   check_2d(b, "matmul");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
@@ -164,6 +182,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 void matmul_bt_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  checked_entry("matmul_bt", a, b, out);
   check_2d(a, "matmul_bt");
   check_2d(b, "matmul_bt");
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
@@ -204,6 +223,7 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
 }
 
 void matmul_at_into(ConstTensorView a, ConstTensorView b, TensorView out) {
+  checked_entry("matmul_at", a, b, out);
   check_2d(a, "matmul_at");
   check_2d(b, "matmul_at");
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
@@ -243,6 +263,7 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
 }
 
 void transpose_into(ConstTensorView a, TensorView out) {
+  checked_entry("transpose", a, out);
   check_2d(a, "transpose");
   const std::int64_t m = a.dim(0), n = a.dim(1);
   FHDNN_CHECK(out.ndim() == 2 && out.dim(0) == n && out.dim(1) == m,
@@ -264,6 +285,7 @@ Tensor transpose(const Tensor& a) {
 
 void linear_forward_into(ConstTensorView x, ConstTensorView weight,
                          ConstTensorView bias, TensorView out) {
+  checked_entry("linear_forward", x, weight, bias, out);
   check_2d(x, "linear_forward");
   check_2d(weight, "linear_forward");
   FHDNN_CHECK(bias.ndim() == 1 && bias.dim(0) == weight.dim(0),
@@ -310,6 +332,7 @@ std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
 }
 
 void softmax_rows_into(ConstTensorView logits, TensorView out) {
+  checked_entry("softmax_rows", logits, out);
   check_2d(logits, "softmax_rows");
   check_same_dims(logits, out, "softmax_rows");
   const std::int64_t n = logits.dim(0), c = logits.dim(1);
@@ -342,6 +365,7 @@ Tensor softmax_rows(const Tensor& logits) {
 }
 
 void sum_rows_into(ConstTensorView a, TensorView out) {
+  checked_entry("sum_rows", a, out);
   check_2d(a, "sum_rows");
   const std::int64_t n = a.dim(0), c = a.dim(1);
   FHDNN_CHECK(out.ndim() == 1 && out.dim(0) == c,
@@ -382,6 +406,7 @@ double cosine_similarity(const Tensor& a, const Tensor& b) {
 }
 
 void relu_into(ConstTensorView x, TensorView out) {
+  checked_entry("relu", x, out);
   FHDNN_CHECK(x.numel() == out.numel(),
               "relu output shape " << out.shape_string());
   const float* px = x.data();
@@ -400,6 +425,7 @@ Tensor relu(const Tensor& x) {
 
 void relu_backward_into(ConstTensorView grad_out, ConstTensorView x,
                         TensorView out) {
+  checked_entry("relu_backward", grad_out, x, out);
   check_same_dims(grad_out, x, "relu_backward");
   FHDNN_CHECK(grad_out.numel() == out.numel(),
               "relu_backward output shape " << out.shape_string());

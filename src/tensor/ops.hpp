@@ -29,15 +29,19 @@
 namespace fhdnn::ops {
 
 /// c = a + b (elementwise, same shape).
+/// Aliasing: out may alias a and/or b (each element is read before written).
 Tensor add(const Tensor& a, const Tensor& b);
 void add_into(ConstTensorView a, ConstTensorView b, TensorView out);
 /// c = a - b.
+/// Aliasing: out may alias a and/or b.
 Tensor sub(const Tensor& a, const Tensor& b);
 void sub_into(ConstTensorView a, ConstTensorView b, TensorView out);
 /// c = a * b (Hadamard).
+/// Aliasing: out may alias a and/or b.
 Tensor mul(const Tensor& a, const Tensor& b);
 void mul_into(ConstTensorView a, ConstTensorView b, TensorView out);
 /// c = a * alpha.
+/// Aliasing: out may alias a (in-place scale).
 Tensor scale(const Tensor& a, float alpha);
 void scale_into(ConstTensorView a, float alpha, TensorView out);
 
@@ -48,23 +52,28 @@ void accumulate(TensorView y, ConstTensorView x);
 /// Matrix product of a (m x k) and b (k x n) -> (m x n). Cache-blocked ikj
 /// loop order; the NN layers route all their heavy lifting through here.
 /// The `_into` form zero-fills out first (the accumulation identity).
+/// Aliasing: out must not overlap a or b (throws on overlap).
 Tensor matmul(const Tensor& a, const Tensor& b);
 void matmul_into(ConstTensorView a, ConstTensorView b, TensorView out);
 
 /// Matrix product with b transposed: a (m x k) * b^T where b is (n x k).
+/// Aliasing: out must not overlap a or b (throws on overlap).
 Tensor matmul_bt(const Tensor& a, const Tensor& b);
 void matmul_bt_into(ConstTensorView a, ConstTensorView b, TensorView out);
 
 /// Matrix product with a transposed: a^T * b where a is (k x m), b is (k x n).
 /// The `_into` form zero-fills out first.
+/// Aliasing: out must not overlap a or b (throws on overlap).
 Tensor matmul_at(const Tensor& a, const Tensor& b);
 void matmul_at_into(ConstTensorView a, ConstTensorView b, TensorView out);
 
 /// Transpose of a 2-d tensor.
+/// Aliasing: out must not overlap a (throws on overlap).
 Tensor transpose(const Tensor& a);
 void transpose_into(ConstTensorView a, TensorView out);
 
 /// y = x * W^T + bias for batched rows: x (N x in), W (out x in), bias (out).
+/// Aliasing: out must not overlap x, weight, or bias (throws on overlap).
 Tensor linear_forward(const Tensor& x, const Tensor& weight,
                       const Tensor& bias);
 void linear_forward_into(ConstTensorView x, ConstTensorView weight,
@@ -74,11 +83,13 @@ void linear_forward_into(ConstTensorView x, ConstTensorView weight,
 std::vector<std::int64_t> argmax_rows(const Tensor& logits);
 
 /// Row-wise softmax of a 2-d tensor (numerically stabilized).
+/// Aliasing: out may alias logits (row max is taken before any write).
 Tensor softmax_rows(const Tensor& logits);
 void softmax_rows_into(ConstTensorView logits, TensorView out);
 
 /// Sum over dimension 0 of a 2-d tensor -> 1-d of size cols.
 /// The `_into` form zero-fills out first.
+/// Aliasing: out must not overlap a (throws on overlap).
 Tensor sum_rows(const Tensor& a);
 void sum_rows_into(ConstTensorView a, TensorView out);
 
@@ -89,9 +100,11 @@ double dot(const Tensor& a, const Tensor& b);
 double cosine_similarity(const Tensor& a, const Tensor& b);
 
 /// Elementwise ReLU (out of place) and its mask-based backward.
+/// Aliasing: out may alias x.
 Tensor relu(const Tensor& x);
 void relu_into(ConstTensorView x, TensorView out);
 /// grad_in = grad_out where x > 0 else 0.
+/// Aliasing: out may alias grad_out and/or x.
 Tensor relu_backward(const Tensor& grad_out, const Tensor& x);
 void relu_backward_into(ConstTensorView grad_out, ConstTensorView x,
                         TensorView out);

@@ -83,7 +83,9 @@ std::int64_t Tensor::dim(std::int64_t i) const {
 }
 
 float& Tensor::at(std::int64_t i) {
-#ifndef NDEBUG
+// Re-validated in debug and in FHDNN_CHECKED contract builds; plain
+// release builds keep only the bounds FHDNN_CHECK below.
+#if !defined(NDEBUG) || defined(FHDNN_CHECKED)
   assert_invariant();
 #endif
   FHDNN_CHECK(i >= 0 && i < numel(), "flat index " << i << " out of range "
@@ -92,7 +94,9 @@ float& Tensor::at(std::int64_t i) {
 }
 
 float Tensor::at(std::int64_t i) const {
-#ifndef NDEBUG
+// Re-validated in debug and in FHDNN_CHECKED contract builds; plain
+// release builds keep only the bounds FHDNN_CHECK below.
+#if !defined(NDEBUG) || defined(FHDNN_CHECKED)
   assert_invariant();
 #endif
   FHDNN_CHECK(i >= 0 && i < numel(), "flat index " << i << " out of range "
@@ -101,7 +105,9 @@ float Tensor::at(std::int64_t i) const {
 }
 
 std::int64_t Tensor::flat_index(std::span<const std::int64_t> idx) const {
-#ifndef NDEBUG
+// Re-validated in debug and in FHDNN_CHECKED contract builds; plain
+// release builds keep only the bounds FHDNN_CHECK below.
+#if !defined(NDEBUG) || defined(FHDNN_CHECKED)
   assert_invariant();
 #endif
   FHDNN_CHECK(static_cast<std::int64_t>(idx.size()) == ndim(),

@@ -1,0 +1,62 @@
+// FHDNN_CHECKED contract instrumentation (DESIGN.md §10).
+//
+// Two tiers of checking exist in this codebase:
+//   * FHDNN_CHECK (util/error.hpp) — API contract checks that run in every
+//     build type. Shape validation on kernel entry, aliasing overlap
+//     detection, bounds checks on Tensor::at — always on.
+//   * FHDNN_CHECKED_ASSERT (this header) — deeper invariant re-validation
+//     that is too hot for release builds: forced Tensor shape↔data
+//     re-validation on `_into` entry and Module::forward/backward entry,
+//     workspace Scope leak detection at client/batch boundaries, and the
+//     FP-environment guard. Enabled by configuring with -DFHDNN_CHECKED=ON
+//     (which defines the FHDNN_CHECKED macro); compiles to nothing
+//     otherwise.
+//
+// CI runs the full test suite with FHDNN_CHECKED combined with
+// ASan/UBSan, so every contract here is exercised against the goldens on
+// each merge.
+#pragma once
+
+#include "util/error.hpp"
+
+namespace fhdnn::util {
+
+/// True in builds configured with -DFHDNN_CHECKED=ON.
+constexpr bool checked_build() {
+#ifdef FHDNN_CHECKED
+  return true;
+#else
+  return false;
+#endif
+}
+
+void assert_fp_environment();  // fpenv.hpp has the full contract
+
+/// Entry-point hook for long-lived engines (RoundEngine, trainers): in
+/// checked builds, rejects a hostile floating-point environment (FTZ/DAZ,
+/// non-nearest rounding) before any arithmetic runs; no-op otherwise.
+inline void checked_startup() {
+#ifdef FHDNN_CHECKED
+  assert_fp_environment();
+#endif
+}
+
+}  // namespace fhdnn::util
+
+#ifdef FHDNN_CHECKED
+/// Checked-build invariant assert: evaluates and throws like FHDNN_CHECK.
+#define FHDNN_CHECKED_ASSERT(cond, ...) FHDNN_CHECK(cond, __VA_ARGS__)
+/// Re-validate a Tensor's shape↔data invariant (checked builds only).
+#define FHDNN_CHECKED_TENSOR(t) (t).assert_invariant()
+#else
+/// Compiled out; `sizeof` keeps the operands "used" without evaluating
+/// them, so -Werror builds don't trip unused-variable warnings.
+#define FHDNN_CHECKED_ASSERT(cond, ...) \
+  do {                                  \
+    (void)sizeof(!(cond));              \
+  } while (false)
+#define FHDNN_CHECKED_TENSOR(t) \
+  do {                          \
+    (void)sizeof(&(t));         \
+  } while (false)
+#endif

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace fhdnn::util {
@@ -65,6 +66,11 @@ std::int64_t* Workspace::indices(std::int64_t n) {
 }
 
 void Workspace::reset() {
+  FHDNN_CHECKED_ASSERT(scope_depth_ == 0,
+                       "workspace reset() with "
+                           << scope_depth_
+                           << " Scope(s) still open — a Scope leaked across "
+                              "a client/batch boundary");
   ++stats_.resets;
   if (blocks_.size() > 1) {
     // Coalesce fragmented warmup growth into one contiguous block so the
@@ -83,9 +89,12 @@ void Workspace::reset() {
 Workspace::Scope::Scope(Workspace& ws)
     : ws_(ws),
       block_(ws.active_),
-      used_(ws.blocks_.empty() ? 0 : ws.blocks_[ws.active_].used) {}
+      used_(ws.blocks_.empty() ? 0 : ws.blocks_[ws.active_].used) {
+  ++ws_.scope_depth_;
+}
 
 Workspace::Scope::~Scope() {
+  --ws_.scope_depth_;
   auto& blocks = ws_.blocks_;
   for (std::size_t i = block_ + 1; i < blocks.size(); ++i) {
     ws_.stats_.bytes_in_use -= blocks[i].used;

@@ -53,10 +53,19 @@ class Workspace {
 
   /// Rewind everything and coalesce fragmented growth into one block so
   /// steady-state bumping is contiguous. Call at a batch/client boundary
-  /// when no scratch pointers are live.
+  /// when no scratch pointers are live. In FHDNN_CHECKED builds, throws
+  /// fhdnn::Error if any Scope is still open — resetting under a live
+  /// Scope invalidates its saved mark and is always a caller bug (the
+  /// Scope's destructor would rewind into a freed/relocated block).
   void reset();
 
   const WorkspaceStats& stats() const { return stats_; }
+
+  /// Number of currently-open Scopes on this arena. Zero at every
+  /// client/batch boundary; the FL engines assert this in FHDNN_CHECKED
+  /// builds to catch Scope leaks (a Scope held across a boundary pins the
+  /// whole arena high-water region).
+  std::int64_t scope_depth() const { return scope_depth_; }
 
   /// RAII bump mark: records the arena position on entry and rewinds to it
   /// on exit. Scopes nest; each kernel/layer opens one around its scratch.
@@ -84,6 +93,7 @@ class Workspace {
 
   std::vector<Block> blocks_;
   std::size_t active_ = 0;  ///< index of the block currently bumped
+  std::int64_t scope_depth_ = 0;  ///< open Scopes (leak detection)
   WorkspaceStats stats_;
 };
 

@@ -74,7 +74,9 @@ TEST(Im2col, PaddingZeros) {
   // Center element is the value, all others padding zeros.
   EXPECT_EQ(cols(0, 4), 5.0F);
   for (std::int64_t j = 0; j < 9; ++j) {
-    if (j != 4) EXPECT_EQ(cols(0, j), 0.0F);
+    if (j != 4) {
+      EXPECT_EQ(cols(0, j), 0.0F);
+    }
   }
 }
 

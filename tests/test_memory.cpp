@@ -135,6 +135,9 @@ TEST(Workspace, ResetCoalescesFragmentedGrowthIntoOneBlock) {
 TEST(Workspace, TlsWorkspaceIsPerThread) {
   util::Workspace* main_ws = &util::tls_workspace();
   util::Workspace* other_ws = nullptr;
+  // Deliberately raw: this test asserts the arena is thread-local, so it
+  // must observe a thread the util/parallel pool does not own.
+  // fhdnn-lint: allow(raw-thread)
   std::thread t([&other_ws] { other_ws = &util::tls_workspace(); });
   t.join();
   ASSERT_NE(other_ws, nullptr);

@@ -1,0 +1,151 @@
+// fhdnn-lint CLI.
+//
+// Usage: fhdnn-lint [--rules=a,b] [--list-rules] [--quiet] <path>...
+//
+// Paths may be files or directories (walked recursively for .hpp/.h/.cpp).
+// Exit codes are the contract: 0 clean, 1 violations found, 2 usage or I/O
+// error. There is deliberately no --fix.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using fhdnn::lint::Diagnostic;
+using fhdnn::lint::Rule;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp";
+}
+
+/// Collect files under `root` in sorted order so output (and therefore CI
+/// diffs) is stable across platforms and filesystems.
+bool collect(const fs::path& root, std::vector<fs::path>& out) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    if (lintable(root)) out.push_back(root);
+    return true;
+  }
+  if (!fs::is_directory(root, ec)) {
+    std::cerr << "fhdnn-lint: cannot read " << root.string() << "\n";
+    return false;
+  }
+  std::vector<fs::path> found;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec) && lintable(it->path())) {
+      found.push_back(it->path());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  out.insert(out.end(), found.begin(), found.end());
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage: fhdnn-lint [--rules=a,b] [--list-rules] [--quiet] <path>...\n"
+     << "  --rules=a,b   run only the named rules\n"
+     << "  --list-rules  print the rule catalog and exit\n"
+     << "  --quiet       suppress the summary line\n"
+     << "exit codes: 0 clean, 1 violations, 2 usage/IO error\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> rule_filter;
+  std::vector<fs::path> roots;
+  bool list_rules = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.starts_with("--rules=")) {
+      rule_filter = split_csv(arg.substr(8));
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg.starts_with("-")) {
+      std::cerr << "fhdnn-lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+
+  auto rules = fhdnn::lint::default_rules();
+  if (!rule_filter.empty()) {
+    for (const auto& name : rule_filter) {
+      const bool known = std::any_of(
+          rules.begin(), rules.end(),
+          [&](const auto& r) { return r->name() == name; });
+      if (!known) {
+        std::cerr << "fhdnn-lint: unknown rule '" << name << "'\n";
+        return 2;
+      }
+    }
+    std::erase_if(rules, [&](const auto& r) {
+      return std::find(rule_filter.begin(), rule_filter.end(), r->name()) ==
+             rule_filter.end();
+    });
+  }
+
+  if (list_rules) {
+    for (const auto& r : rules) {
+      std::cout << r->name() << "\n    " << r->description() << "\n";
+    }
+    return 0;
+  }
+  if (roots.empty()) return usage(std::cerr, 2);
+
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    if (!collect(root, files)) return 2;
+  }
+
+  std::vector<Diagnostic> diags;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "fhdnn-lint: cannot open " << file.string() << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto scanned =
+        fhdnn::lint::scan_source(file.generic_string(), buf.str());
+    fhdnn::lint::lint_file(scanned, rules, diags);
+  }
+
+  for (const auto& d : diags) {
+    std::cout << d.path << ":" << d.line << ": [" << d.rule << "] "
+              << d.message << "\n";
+  }
+  if (!quiet) {
+    std::cout << "fhdnn-lint: " << files.size() << " files, " << diags.size()
+              << " violation" << (diags.size() == 1 ? "" : "s") << "\n";
+  }
+  return diags.empty() ? 0 : 1;
+}
