@@ -1,5 +1,6 @@
 #include "channel/bits.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -7,7 +8,17 @@
 
 namespace fhdnn::channel {
 
-std::uint64_t geometric_gap(double p, Rng& rng) { return rng.geometric(p); }
+std::uint64_t geometric_gap(double p, Rng& rng) {
+  // A scaled BER can overshoot 1.0 (deadline-driven error_scale multiplies
+  // the configured rate); clamp instead of tripping Rng::geometric's
+  // domain check — at p == 1.0 every bit flips, i.e. every gap is 1.
+  const double clamped = std::min(p, 1.0);
+  FHDNN_CHECK(clamped > 0.0, "geometric_gap p=" << p);
+  // Rng::geometric guarantees a result >= 1; the max() is a defensive
+  // backstop so a zero gap can never underflow the callers' `gap - 1`
+  // first-position arithmetic into a huge unsigned offset.
+  return std::max<std::uint64_t>(1, rng.geometric(clamped));
+}
 
 std::size_t flip_float_bits(std::vector<float>& payload, double ber, Rng& rng) {
   if (ber <= 0.0 || payload.empty()) return 0;

@@ -9,8 +9,10 @@
 
 namespace fhdnn::channel {
 
-/// Draw the gap to the next flipped bit for a BSC with flip probability p.
-/// Thin wrapper over Rng::geometric kept for the channel-local vocabulary.
+/// Draw the gap (>= 1, always) to the next flipped bit for a BSC with flip
+/// probability p. p is clamped to 1.0 from above (a deadline-scaled BER
+/// may overshoot; p >= 1 means every bit flips), and p <= 0 is an error —
+/// the flip_* callers return early for ber <= 0 before drawing.
 std::uint64_t geometric_gap(double p, Rng& rng);
 
 /// Flip each of the 32 bits of every float in `payload` independently with

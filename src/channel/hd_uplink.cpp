@@ -72,6 +72,10 @@ TransportStats transmit_hd_model(Tensor& prototypes,
     case HdUplinkMode::BitErrors: {
       const double ber = std::min(1.0, config.ber * error_scale);
       if (config.binary_transport) {
+        // Binary sign transport rides the packed backend: binarize/expand
+        // dispatch to the SIMD pack/unpack kernels, while the bit flips
+        // walk the same contiguous payload with the same rng draw sequence
+        // as always — transmit results stay bit-identical across tiers.
         auto binary = hdc::binarize(prototypes);
         TransportStats s;
         s.bits_on_air = binary.payload_bits();

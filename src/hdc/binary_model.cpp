@@ -1,6 +1,11 @@
 #include "hdc/binary_model.hpp"
 
+#include <algorithm>
+#include <bit>
+
+#include "hdc/packed.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace fhdnn::hdc {
 
@@ -11,13 +16,11 @@ BinaryModel binarize(const Tensor& prototypes) {
   m.classes = prototypes.dim(0);
   m.hd_dim = prototypes.dim(1);
   const std::uint64_t total = m.payload_bits();
-  m.bits.assign(static_cast<std::size_t>((total + 63) / 64), 0);
-  const auto data = prototypes.data();
-  for (std::uint64_t i = 0; i < total; ++i) {
-    if (data[static_cast<std::size_t>(i)] >= 0.0F) {
-      m.bits[static_cast<std::size_t>(i / 64)] |= (1ULL << (i % 64));
-    }
-  }
+  m.bits.resize(static_cast<std::size_t>((total + 63) / 64));
+  // The (K, d) floats are contiguous, so the whole payload is one
+  // pack_signs call (bit = value >= 0, tail bits zeroed).
+  simd::kernels().pack_signs(prototypes.data().data(), m.bits.data(),
+                             static_cast<std::int64_t>(total));
   return m;
 }
 
@@ -27,17 +30,16 @@ Tensor expand(const BinaryModel& model) {
   FHDNN_CHECK(model.bits.size() == (total + 63) / 64,
               "BinaryModel bit storage inconsistent");
   Tensor out(Shape{model.classes, model.hd_dim});
-  auto data = out.data();
-  for (std::uint64_t i = 0; i < total; ++i) {
-    const bool set = model.bits[static_cast<std::size_t>(i / 64)] &
-                     (1ULL << (i % 64));
-    data[static_cast<std::size_t>(i)] = set ? 1.0F : -1.0F;
-  }
+  simd::kernels().unpack_signs(model.bits.data(), out.data().data(),
+                               static_cast<std::int64_t>(total));
   return out;
 }
 
 std::size_t flip_binary_model_bits(BinaryModel& model, double ber, Rng& rng) {
   if (ber <= 0.0) return 0;
+  // Same edge-case policy as channel::geometric_gap: a deadline-scaled BER
+  // may exceed 1.0, which means "flip every bit", not a domain error.
+  ber = std::min(ber, 1.0);
   const std::uint64_t total = model.payload_bits();
   std::size_t flips = 0;
   std::uint64_t pos = rng.geometric(ber) - 1;
@@ -61,18 +63,24 @@ BinaryModel majority_aggregate(const std::vector<BinaryModel>& models) {
   out.hd_dim = first.hd_dim;
   const std::uint64_t total = out.payload_bits();
   out.bits.assign(first.bits.size(), 0);
-  const std::size_t majority_at = models.size() / 2;  // ties (n even) -> +1
-  for (std::uint64_t i = 0; i < total; ++i) {
-    std::size_t votes = 0;
+  // Word-parallel vote counting (see hdc/packed.hpp detail): every word of
+  // the contiguous payload starts at an even flat index, so the index-
+  // parity tie mask has even phase throughout.
+  const std::size_t n = models.size();
+  const int planes = std::bit_width(n);
+  const std::int64_t nwords = static_cast<std::int64_t>(out.bits.size());
+  const std::uint64_t last_mask = tail_mask(static_cast<std::int64_t>(total));
+  std::uint64_t plane[64];
+  for (std::int64_t w = 0; w < nwords; ++w) {
+    for (int p = 0; p < planes; ++p) plane[p] = 0;
     for (const auto& m : models) {
-      if (m.bits[static_cast<std::size_t>(i / 64)] & (1ULL << (i % 64))) {
-        ++votes;
-      }
+      detail::add_vote_word(plane, planes,
+                            m.bits[static_cast<std::size_t>(w)]);
     }
-    // +1 wins on >= half the votes (sign(0) := +1 convention).
-    if (votes >= models.size() - majority_at) {
-      out.bits[static_cast<std::size_t>(i / 64)] |= (1ULL << (i % 64));
-    }
+    std::uint64_t r =
+        detail::majority_word(plane, planes, n, detail::kEvenPhaseTies);
+    if (w == nwords - 1) r &= last_mask;
+    out.bits[static_cast<std::size_t>(w)] = r;
   }
   return out;
 }

@@ -44,7 +44,10 @@ Tensor expand(const BinaryModel& model);
 std::size_t flip_binary_model_bits(BinaryModel& model, double ber, Rng& rng);
 
 /// Majority-vote aggregation of client sign patterns: output bit is the
-/// majority across models (ties -> +1). All models must agree on shape.
+/// majority across models; a tie (even model count) is broken by the flat
+/// bit index's parity — +1 at even indices, -1 at odd — so an even client
+/// split adds no net +1 bias (see bundle_majority in hdc/ops.hpp for the
+/// same rule on float hypervectors). All models must agree on shape.
 BinaryModel majority_aggregate(const std::vector<BinaryModel>& models);
 
 }  // namespace fhdnn::hdc

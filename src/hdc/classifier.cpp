@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace fhdnn::hdc {
 
@@ -211,6 +212,32 @@ double HdClassifier::accuracy(const Tensor& h,
     if (preds[i] == labels[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+std::vector<std::int64_t> classify_packed(const PackedModel& prototypes,
+                                          const PackedModel& queries) {
+  FHDNN_CHECK(prototypes.d == queries.d, "classify_packed dim mismatch: "
+                                             << prototypes.d << " vs "
+                                             << queries.d);
+  FHDNN_CHECK(prototypes.rows > 0, "classify_packed with no prototypes");
+  const auto& k = simd::kernels();
+  const std::int64_t nw = prototypes.words_per_row();
+  std::vector<std::int64_t> out(static_cast<std::size_t>(queries.rows));
+  for (std::int64_t i = 0; i < queries.rows; ++i) {
+    const std::uint64_t* q = queries.row(i).data();
+    std::int64_t best = 0;
+    std::uint64_t best_h = k.hamming_words(q, prototypes.row(0).data(), nw);
+    for (std::int64_t c = 1; c < prototypes.rows; ++c) {
+      const std::uint64_t h =
+          k.hamming_words(q, prototypes.row(c).data(), nw);
+      if (h < best_h) {
+        best_h = h;
+        best = c;
+      }
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
 }
 
 void HdClassifier::set_prototypes(Tensor c) {

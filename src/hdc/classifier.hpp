@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "hdc/packed.hpp"
 #include "tensor/tensor.hpp"
 
 namespace fhdnn::hdc {
@@ -75,5 +76,15 @@ class HdClassifier {
   std::int64_t d_;
   Tensor c_;  // (K, d)
 };
+
+/// Nearest-prototype classification on the bit-packed representation:
+/// for each query row, the class with the minimum hamming distance
+/// (strict <, first class wins ties). For bipolar vectors cosine is
+/// 1 - 2*hamming/d, so this matches HdClassifier::predict on the
+/// unpacked ±1 matrices exactly — pinned by tests/test_packed.cpp —
+/// while costing one popcount pass per (query, class) pair instead of a
+/// float dot product.
+std::vector<std::int64_t> classify_packed(const PackedModel& prototypes,
+                                          const PackedModel& queries);
 
 }  // namespace fhdnn::hdc

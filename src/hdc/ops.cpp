@@ -30,7 +30,20 @@ Tensor bundle(const std::vector<Tensor>& vs) {
 }
 
 Tensor bundle_majority(const std::vector<Tensor>& vs) {
-  return sign(bundle(vs));
+  Tensor acc = bundle(vs);
+  auto d = acc.data();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d[i] > 0.0F) {
+      d[i] = 1.0F;
+    } else if (d[i] < 0.0F) {
+      d[i] = -1.0F;
+    } else {
+      // Tied vote: index-parity rule (see header) instead of sign()'s
+      // blanket 0 -> +1, which would bias even-count bundles.
+      d[i] = (i % 2 == 0) ? 1.0F : -1.0F;
+    }
+  }
+  return acc;
 }
 
 Tensor permute(const Tensor& v, std::int64_t k) {

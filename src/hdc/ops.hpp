@@ -28,8 +28,15 @@ Tensor bind(const Tensor& a, const Tensor& b);
 /// Elementwise sum of a set of equal-shaped hypervectors.
 Tensor bundle(const std::vector<Tensor>& vs);
 
-/// sign(bundle(vs)) with ties broken to +1 — the majority-vote bundle used
-/// by binary HD models.
+/// Majority-vote bundle used by binary HD models: elementwise sign of
+/// bundle(vs), with a zero sum (a tie, only possible for an even member
+/// count) broken by *index parity* — element i resolves to +1 when i is
+/// even and -1 when i is odd. A fixed ties-to-+1 rule would push every
+/// tied element the same way and bias even-count aggregates toward +1;
+/// the parity rule is still deterministic (bit-reproducible, no RNG
+/// state) but alternates the tie direction so the net bias cancels. The
+/// packed backend reproduces the same rule exactly
+/// (hdc::bundle_majority_packed).
 Tensor bundle_majority(const std::vector<Tensor>& vs);
 
 /// Cyclic rotation by k positions (k may be negative or exceed d).

@@ -1,0 +1,235 @@
+#include "hdc/packed.hpp"
+
+#include <bit>
+
+#include "hdc/binary_model.hpp"
+#include "util/error.hpp"
+#include "util/simd.hpp"
+
+namespace fhdnn::hdc {
+
+namespace {
+
+using detail::add_vote_word;
+using detail::kEvenPhaseTies;
+using detail::majority_word;
+
+/// out[w] = majority over members of word w, for nwords words laid out
+/// consecutively, member m's words fetched by `word_of(m, w)`.
+template <typename WordOf>
+void majority_words(std::uint64_t* out, std::int64_t nwords, std::size_t n,
+                    std::uint64_t tie_mask, std::uint64_t last_word_mask,
+                    WordOf&& word_of) {
+  const int planes = std::bit_width(n);
+  std::uint64_t plane[64];
+  for (std::int64_t w = 0; w < nwords; ++w) {
+    for (int p = 0; p < planes; ++p) plane[p] = 0;
+    for (std::size_t m = 0; m < n; ++m) {
+      add_vote_word(plane, planes, word_of(m, w));
+    }
+    std::uint64_t r = majority_word(plane, planes, n, tie_mask);
+    if (w == nwords - 1) r &= last_word_mask;
+    out[w] = r;
+  }
+}
+
+}  // namespace
+
+PackedHV pack_hv(const Tensor& v) {
+  const std::int64_t d = v.numel();
+  FHDNN_CHECK(d > 0, "pack_hv of empty tensor");
+  PackedHV out(d);
+  simd::kernels().pack_signs(v.data().data(), out.words.data(), d);
+  return out;
+}
+
+Tensor unpack_hv(const PackedHV& v) {
+  FHDNN_CHECK(v.d > 0, "unpack_hv of empty PackedHV");
+  FHDNN_CHECK(static_cast<std::int64_t>(v.words.size()) == words_for_bits(v.d),
+              "PackedHV word storage inconsistent");
+  Tensor out(Shape{v.d});
+  simd::kernels().unpack_signs(v.words.data(), out.data().data(), v.d);
+  return out;
+}
+
+PackedModel pack_rows(const Tensor& m) {
+  FHDNN_CHECK(m.ndim() == 2, "pack_rows expects (N, d), got "
+                                 << shape_to_string(m.shape()));
+  PackedModel out(m.dim(0), m.dim(1));
+  const auto& k = simd::kernels();
+  const float* src = m.data().data();
+  for (std::int64_t r = 0; r < out.rows; ++r) {
+    k.pack_signs(src + r * out.d, out.row(r).data(), out.d);
+  }
+  return out;
+}
+
+Tensor unpack_rows(const PackedModel& m) {
+  FHDNN_CHECK(m.rows > 0 && m.d > 0, "unpack_rows of empty PackedModel");
+  FHDNN_CHECK(static_cast<std::int64_t>(m.words.size()) ==
+                  m.rows * m.words_per_row(),
+              "PackedModel word storage inconsistent");
+  Tensor out(Shape{m.rows, m.d});
+  const auto& k = simd::kernels();
+  float* dst = out.data().data();
+  for (std::int64_t r = 0; r < m.rows; ++r) {
+    k.unpack_signs(m.row(r).data(), dst + r * m.d, m.d);
+  }
+  return out;
+}
+
+PackedHV xor_bind(const PackedHV& a, const PackedHV& b) {
+  FHDNN_CHECK(a.d == b.d, "xor_bind dim mismatch: " << a.d << " vs " << b.d);
+  PackedHV out(a.d);
+  const std::int64_t nw = words_for_bits(a.d);
+  simd::kernels().xor_words(a.words.data(), b.words.data(), out.words.data(),
+                            nw);
+  // Bit 1 encodes +1, so equal signs (product +1) must yield a set bit:
+  // under this convention bind is the *complement* of the XOR the kernel
+  // computes (XNOR). The complement sets the dead tail bits, so re-mask.
+  for (std::int64_t w = 0; w < nw; ++w) {
+    out.words[static_cast<std::size_t>(w)] =
+        ~out.words[static_cast<std::size_t>(w)];
+  }
+  out.words[static_cast<std::size_t>(nw - 1)] &= tail_mask(a.d);
+  return out;
+}
+
+PackedHV rotate(const PackedHV& v, std::int64_t k) {
+  const std::int64_t d = v.d;
+  FHDNN_CHECK(d > 0, "rotate of empty PackedHV");
+  std::int64_t s = k % d;
+  if (s < 0) s += d;
+  PackedHV out(d);
+  if (s == 0) {
+    out.words = v.words;
+    return out;
+  }
+  // out = ((v << s) | (v >> (d - s))) over the d-bit integer: the rotated
+  // vector places input bit i at position (i + s) mod d, matching permute.
+  const std::int64_t nw = words_for_bits(d);
+  const auto& in = v.words;
+  {
+    // Left part: v << s.
+    const std::int64_t ws = s / 64;
+    const int bs = static_cast<int>(s % 64);
+    for (std::int64_t w = nw - 1; w >= ws; --w) {
+      const std::uint64_t lo = in[static_cast<std::size_t>(w - ws)];
+      const std::uint64_t hi =
+          (bs != 0 && w - ws - 1 >= 0)
+              ? in[static_cast<std::size_t>(w - ws - 1)]
+              : 0ULL;
+      out.words[static_cast<std::size_t>(w)] =
+          bs != 0 ? (lo << bs) | (hi >> (64 - bs)) : lo;
+    }
+  }
+  {
+    // Right part: v >> (d - s); the zeroed input tail keeps this exact.
+    const std::int64_t t = d - s;
+    const std::int64_t ws = t / 64;
+    const int bs = static_cast<int>(t % 64);
+    for (std::int64_t w = 0; w + ws < nw; ++w) {
+      const std::uint64_t lo = in[static_cast<std::size_t>(w + ws)];
+      const std::uint64_t hi = (bs != 0 && w + ws + 1 < nw)
+                                   ? in[static_cast<std::size_t>(w + ws + 1)]
+                                   : 0ULL;
+      out.words[static_cast<std::size_t>(w)] |=
+          bs != 0 ? (lo >> bs) | (hi << (64 - bs)) : lo;
+    }
+  }
+  out.words[static_cast<std::size_t>(nw - 1)] &= tail_mask(d);
+  return out;
+}
+
+std::uint64_t hamming(const PackedHV& a, const PackedHV& b) {
+  FHDNN_CHECK(a.d == b.d, "hamming dim mismatch: " << a.d << " vs " << b.d);
+  return simd::kernels().hamming_words(a.words.data(), b.words.data(),
+                                       words_for_bits(a.d));
+}
+
+double hamming_norm(const PackedHV& a, const PackedHV& b) {
+  return static_cast<double>(hamming(a, b)) / static_cast<double>(a.d);
+}
+
+double cosine(const PackedHV& a, const PackedHV& b) {
+  return 1.0 - 2.0 * hamming_norm(a, b);
+}
+
+PackedHV bundle_majority_packed(const std::vector<PackedHV>& vs) {
+  FHDNN_CHECK(!vs.empty(), "bundle_majority_packed of nothing");
+  const std::int64_t d = vs.front().d;
+  for (const auto& v : vs) {
+    FHDNN_CHECK(v.d == d, "bundle_majority_packed dim mismatch");
+  }
+  PackedHV out(d);
+  majority_words(out.words.data(), words_for_bits(d), vs.size(),
+                 kEvenPhaseTies, tail_mask(d), [&](std::size_t m,
+                                                   std::int64_t w) {
+    return vs[m].words[static_cast<std::size_t>(w)];
+  });
+  return out;
+}
+
+PackedModel majority_aggregate_packed(const std::vector<PackedModel>& models) {
+  FHDNN_CHECK(!models.empty(), "majority_aggregate_packed of nothing");
+  const auto& first = models.front();
+  for (const auto& m : models) {
+    FHDNN_CHECK(m.rows == first.rows && m.d == first.d,
+                "majority_aggregate_packed shape mismatch");
+  }
+  PackedModel out(first.rows, first.d);
+  const std::int64_t wpr = out.words_per_row();
+  for (std::int64_t r = 0; r < out.rows; ++r) {
+    // Row r starts at flat index r*d: when that is odd, the even/odd
+    // phases swap and the tie mask flips.
+    const std::uint64_t ties =
+        (r * out.d) % 2 == 0 ? kEvenPhaseTies : ~kEvenPhaseTies;
+    majority_words(out.row(r).data(), wpr, models.size(), ties,
+                   tail_mask(out.d), [&](std::size_t m, std::int64_t w) {
+                     return models[m].row(r)[static_cast<std::size_t>(w)];
+                   });
+  }
+  return out;
+}
+
+PackedModel packed_from_binary(const BinaryModel& m) {
+  FHDNN_CHECK(m.classes > 0 && m.hd_dim > 0, "packed_from_binary of empty");
+  FHDNN_CHECK(m.bits.size() == (m.payload_bits() + 63) / 64,
+              "BinaryModel bit storage inconsistent");
+  PackedModel out(m.classes, m.hd_dim);
+  for (std::int64_t r = 0; r < out.rows; ++r) {
+    auto row = out.row(r);
+    const std::uint64_t base = static_cast<std::uint64_t>(r) *
+                               static_cast<std::uint64_t>(m.hd_dim);
+    for (std::int64_t j = 0; j < m.hd_dim; ++j) {
+      const std::uint64_t i = base + static_cast<std::uint64_t>(j);
+      if (m.bits[static_cast<std::size_t>(i / 64)] & (1ULL << (i % 64))) {
+        row[static_cast<std::size_t>(j / 64)] |= (1ULL << (j % 64));
+      }
+    }
+  }
+  return out;
+}
+
+BinaryModel binary_from_packed(const PackedModel& m) {
+  FHDNN_CHECK(m.rows > 0 && m.d > 0, "binary_from_packed of empty");
+  BinaryModel out;
+  out.classes = m.rows;
+  out.hd_dim = m.d;
+  const std::uint64_t total = out.payload_bits();
+  out.bits.assign(static_cast<std::size_t>((total + 63) / 64), 0);
+  for (std::int64_t r = 0; r < m.rows; ++r) {
+    const auto row = m.row(r);
+    const std::uint64_t base = static_cast<std::uint64_t>(r) *
+                               static_cast<std::uint64_t>(m.d);
+    for (std::int64_t j = 0; j < m.d; ++j) {
+      if (row[static_cast<std::size_t>(j / 64)] & (1ULL << (j % 64))) {
+        const std::uint64_t i = base + static_cast<std::uint64_t>(j);
+        out.bits[static_cast<std::size_t>(i / 64)] |= (1ULL << (i % 64));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fhdnn::hdc

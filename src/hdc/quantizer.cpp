@@ -17,7 +17,13 @@ QuantizedVector Quantizer::quantize(std::span<const float> values) const {
   q.bitwidth = bitwidth_;
   q.values.reserve(values.size());
   float max_abs = 0.0F;
-  for (const float v : values) max_abs = std::max(max_abs, std::abs(v));
+  for (const float v : values) {
+    // Non-finite values must be rejected up front: an Inf would silently
+    // absorb the gain (driving every other element to 0), and either NaN
+    // or Inf reaching llround below is undefined behavior.
+    FHDNN_CHECK(std::isfinite(v), "quantize of non-finite value " << v);
+    max_abs = std::max(max_abs, std::abs(v));
+  }
   q.gain = max_abs > 0.0F ? static_cast<double>(max_level_) / max_abs : 1.0;
   for (const float v : values) {
     // llround then clamp: the max element lands exactly on ±max_level.

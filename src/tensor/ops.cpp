@@ -6,6 +6,7 @@
 #include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace fhdnn::ops {
 
@@ -53,11 +54,7 @@ void add_into(ConstTensorView a, ConstTensorView b, TensorView out) {
   checked_entry("add", a, b, out);
   check_same_dims(a, b, "add");
   check_same_dims(a, out, "add");
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  simd::kernels().add_f32(out.data(), a.data(), b.data(), a.numel());
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -71,11 +68,7 @@ void sub_into(ConstTensorView a, ConstTensorView b, TensorView out) {
   checked_entry("sub", a, b, out);
   check_same_dims(a, b, "sub");
   check_same_dims(a, out, "sub");
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+  simd::kernels().sub_f32(out.data(), a.data(), b.data(), a.numel());
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
@@ -89,11 +82,7 @@ void mul_into(ConstTensorView a, ConstTensorView b, TensorView out) {
   checked_entry("mul", a, b, out);
   check_same_dims(a, b, "mul");
   check_same_dims(a, out, "mul");
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  simd::kernels().mul_f32(out.data(), a.data(), b.data(), a.numel());
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
@@ -106,10 +95,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 void scale_into(ConstTensorView a, float alpha, TensorView out) {
   checked_entry("scale", a, out);
   check_same_dims(a, out, "scale");
-  const float* pa = a.data();
-  float* po = out.data();
-  const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * alpha;
+  simd::kernels().scale_f32(out.data(), a.data(), alpha, a.numel());
 }
 
 Tensor scale(const Tensor& a, float alpha) {
@@ -123,10 +109,10 @@ void accumulate(TensorView y, ConstTensorView x) {
   FHDNN_CHECK(y.numel() == x.numel(),
               "accumulate numel mismatch: " << y.shape_string() << " vs "
                                             << x.shape_string());
-  float* py = y.data();
-  const float* px = x.data();
-  const std::int64_t n = y.numel();
-  for (std::int64_t i = 0; i < n; ++i) py[i] += px[i];
+  // y += 1.0f * x via the dispatched axpy: the multiply by 1.0f is exact
+  // for every float (including NaN/Inf), so this is the same op sequence
+  // the plain += loop performed.
+  simd::kernels().axpy_f32(y.data(), 1.0F, x.data(), y.numel());
 }
 
 namespace {
@@ -134,19 +120,20 @@ namespace {
 /// c += a * b, ikj order. Callers must pre-zero c for a plain product.
 void matmul_accumulate(const float* pa, const float* pb, float* pc,
                        std::int64_t m, std::int64_t k, std::int64_t n) {
-  // ikj order: unit-stride inner loop over both b and c rows. Each output
-  // row is owned by exactly one chunk, so the parallel schedule is
-  // bit-identical to the serial one. No zero-skip: 0 * Inf and 0 * NaN must
-  // propagate NaN per IEEE-754 (the channel models rely on it).
+  // ikj order: unit-stride inner loop over both b and c rows, dispatched
+  // to the SIMD axpy (crow[j] += av * brow[j] lane-by-lane, no FMA — see
+  // util/simd.hpp), so results stay bit-identical across tiers. Each
+  // output row is owned by exactly one chunk, so the parallel schedule is
+  // bit-identical to the serial one. No zero-skip: 0 * Inf and 0 * NaN
+  // must propagate NaN per IEEE-754 (the channel models rely on it).
+  const auto axpy = simd::kernels().axpy_f32;
   parallel::parallel_for(0, m, parallel::grain_for(k * n),
                          [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       const float* arow = pa + i * k;
       float* crow = pc + i * n;
       for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        const float* brow = pb + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        axpy(crow, arow[kk], pb + kk * n, n);
       }
     }
   });
@@ -197,6 +184,10 @@ void matmul_bt_into(ConstTensorView a, ConstTensorView b, TensorView out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out.data();
+  // Deliberately NOT dispatched: each output element is one sequential
+  // double-precision accumulation, and no lane-parallel kernel can
+  // reproduce that op-for-op (any widening splits the sum order). The
+  // hexfloat goldens pin this exact reduction, so it stays scalar.
   parallel::parallel_for(0, m, parallel::grain_for(k * n),
                          [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
@@ -240,15 +231,15 @@ void matmul_at_into(ConstTensorView a, ConstTensorView b, TensorView out) {
   float* pc = out.data();
   // i-outer so each output row is owned by one chunk; the per-element
   // accumulation order (kk ascending) matches the serial kk-outer loop, so
-  // results are bit-identical. No zero-skip (IEEE NaN/Inf propagation).
+  // results are bit-identical — and the dispatched axpy preserves that
+  // order lane-by-lane. No zero-skip (IEEE NaN/Inf propagation).
+  const auto axpy = simd::kernels().axpy_f32;
   parallel::parallel_for(0, m, parallel::grain_for(k * n),
                          [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       float* crow = pc + i * n;
       for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = pa[kk * m + i];
-        const float* brow = pb + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        axpy(crow, pa[kk * m + i], pb + kk * n, n);
       }
     }
   });
@@ -295,11 +286,13 @@ void linear_forward_into(ConstTensorView x, ConstTensorView weight,
   const std::int64_t n = out.dim(0), cols = out.dim(1);
   float* py = out.data();
   const float* pb = bias.data();
+  const auto axpy = simd::kernels().axpy_f32;
   parallel::parallel_for(0, n, parallel::grain_for(cols),
                          [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
-      float* row = py + i * cols;
-      for (std::int64_t j = 0; j < cols; ++j) row[j] += pb[j];
+      // row += 1.0f * bias — the 1.0f multiply is exact, so this matches
+      // the former plain += loop bit-for-bit.
+      axpy(py + i * cols, 1.0F, pb, cols);
     }
   });
 }
@@ -405,6 +398,10 @@ double cosine_similarity(const Tensor& a, const Tensor& b) {
   return dot(a, b) / (na * nb);
 }
 
+// relu is deliberately excluded from SIMD dispatch: vector max
+// instructions (e.g. _mm256_max_ps) pick the *second* operand when either
+// input is NaN and order -0.0F/+0.0F by operand position, which does not
+// match std::max(px[i], 0.0F) — the scalar loop is the semantics.
 void relu_into(ConstTensorView x, TensorView out) {
   checked_entry("relu", x, out);
   FHDNN_CHECK(x.numel() == out.numel(),

@@ -7,6 +7,7 @@
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace fhdnn {
 
@@ -229,11 +230,13 @@ void Tensor::axpy(float alpha, const Tensor& b) {
   FHDNN_CHECK(same_shape(b), "axpy shape mismatch: " << shape_to_string(shape_)
                                                      << " vs "
                                                      << shape_to_string(b.shape_));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * b.data_[i];
+  simd::kernels().axpy_f32(data_.data(), alpha, b.data_.data(),
+                           static_cast<std::int64_t>(data_.size()));
 }
 
 void Tensor::scale(float alpha) {
-  for (auto& v : data_) v *= alpha;
+  simd::kernels().scale_f32(data_.data(), data_.data(), alpha,
+                            static_cast<std::int64_t>(data_.size()));
 }
 
 }  // namespace fhdnn

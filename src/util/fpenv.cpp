@@ -6,7 +6,9 @@
 #include "util/error.hpp"
 
 #if defined(__SSE2__) && (defined(__x86_64__) || defined(__i386__))
-#include <immintrin.h>
+// MXCSR access (FTZ/DAZ control bits), not SIMD math — the kernel-table
+// isolation rule does not apply to the FP-environment probe.
+#include <immintrin.h>  // fhdnn-lint: allow(simd-isolation)
 #define FHDNN_HAVE_MXCSR 1
 #endif
 

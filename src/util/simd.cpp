@@ -1,0 +1,138 @@
+#include "util/simd.hpp"
+
+#include <array>
+#include <bit>
+
+namespace fhdnn::simd {
+
+namespace {
+
+// ---- scalar tier: the golden oracle ------------------------------------
+// Deliberately plain loops: this is the reference semantics every wider
+// tier must reproduce bit-for-bit, and the fallback on CPUs (or build
+// configurations) without vector units.
+
+void axpy_scalar(float* y, float a, const float* x, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale_scalar(float* out, const float* x, float a, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = x[i] * a;
+}
+
+void add_scalar(float* out, const float* a, const float* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub_scalar(float* out, const float* a, const float* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void mul_scalar(float* out, const float* a, const float* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void pack_signs_scalar(const float* src, std::uint64_t* dst,
+                       std::int64_t nbits) {
+  const std::int64_t nwords = (nbits + 63) / 64;
+  for (std::int64_t w = 0; w < nwords; ++w) dst[w] = 0;
+  for (std::int64_t i = 0; i < nbits; ++i) {
+    if (src[i] >= 0.0F) {
+      dst[i / 64] |= (1ULL << (i % 64));
+    }
+  }
+}
+
+void unpack_signs_scalar(const std::uint64_t* src, float* dst,
+                         std::int64_t nbits) {
+  for (std::int64_t i = 0; i < nbits; ++i) {
+    dst[i] = (src[i / 64] >> (i % 64)) & 1ULL ? 1.0F : -1.0F;
+  }
+}
+
+void xor_words_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                      std::uint64_t* out, std::int64_t nwords) {
+  for (std::int64_t w = 0; w < nwords; ++w) out[w] = a[w] ^ b[w];
+}
+
+std::uint64_t popcount_words_scalar(const std::uint64_t* a,
+                                    std::int64_t nwords) {
+  std::uint64_t total = 0;
+  for (std::int64_t w = 0; w < nwords; ++w) {
+    total += static_cast<std::uint64_t>(std::popcount(a[w]));
+  }
+  return total;
+}
+
+std::uint64_t hamming_words_scalar(const std::uint64_t* a,
+                                   const std::uint64_t* b,
+                                   std::int64_t nwords) {
+  std::uint64_t total = 0;
+  for (std::int64_t w = 0; w < nwords; ++w) {
+    total += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+constexpr Kernels kScalar = {
+    axpy_scalar,         scale_scalar,        add_scalar,
+    sub_scalar,          mul_scalar,          pack_signs_scalar,
+    unpack_signs_scalar, xor_words_scalar,    popcount_words_scalar,
+    hamming_words_scalar,
+};
+
+/// Overlay `tier` onto `base`: non-null tier entries win.
+Kernels overlay(const Kernels& base, const Kernels* tier) {
+  if (tier == nullptr) return base;
+  Kernels out = base;
+  if (tier->axpy_f32 != nullptr) out.axpy_f32 = tier->axpy_f32;
+  if (tier->scale_f32 != nullptr) out.scale_f32 = tier->scale_f32;
+  if (tier->add_f32 != nullptr) out.add_f32 = tier->add_f32;
+  if (tier->sub_f32 != nullptr) out.sub_f32 = tier->sub_f32;
+  if (tier->mul_f32 != nullptr) out.mul_f32 = tier->mul_f32;
+  if (tier->pack_signs != nullptr) out.pack_signs = tier->pack_signs;
+  if (tier->unpack_signs != nullptr) out.unpack_signs = tier->unpack_signs;
+  if (tier->xor_words != nullptr) out.xor_words = tier->xor_words;
+  if (tier->popcount_words != nullptr) {
+    out.popcount_words = tier->popcount_words;
+  }
+  if (tier->hamming_words != nullptr) out.hamming_words = tier->hamming_words;
+  return out;
+}
+
+/// Fully-resolved table per tier. Higher tiers inherit everything a lower
+/// tier accelerates that they do not override (e.g. AVX-512 reuses the AVX2
+/// bit kernels — an AVX-512 CPU always supports AVX2).
+std::array<Kernels, 4> build_tables() {
+  std::array<Kernels, 4> t{};
+  t[static_cast<std::size_t>(util::SimdTier::Scalar)] = kScalar;
+  t[static_cast<std::size_t>(util::SimdTier::Neon)] =
+      overlay(kScalar, detail::neon_table());
+  const Kernels avx2 = overlay(kScalar, detail::avx2_table());
+  t[static_cast<std::size_t>(util::SimdTier::Avx2)] = avx2;
+  t[static_cast<std::size_t>(util::SimdTier::Avx512)] =
+      overlay(avx2, detail::avx512_table());
+  return t;
+}
+
+const std::array<Kernels, 4>& tables() {
+  static const std::array<Kernels, 4> t = build_tables();
+  return t;
+}
+
+}  // namespace
+
+const Kernels& detail::scalar_table() { return kScalar; }
+
+const Kernels& kernels() { return kernels_for(util::active_simd()); }
+
+const Kernels& kernels_for(util::SimdTier tier) {
+  // Tier values normally come from util::active_simd()/set_simd_tier(),
+  // which clamp to detected support. An explicit request for a tier whose
+  // TU was compiled without the ISA still resolves to a valid (scalar-
+  // backed) table; executing a wider table than the CPU supports is the
+  // caller's bug — always force tiers through util::set_simd_tier().
+  return tables()[static_cast<std::size_t>(tier)];
+}
+
+}  // namespace fhdnn::simd

@@ -1,0 +1,90 @@
+// Runtime-dispatched SIMD kernels for the two hot data representations
+// (DESIGN.md §11): float rows (tensor elementwise / matmul inner loops) and
+// bit-packed hypervector words (pack, XOR-bind, popcount hamming).
+//
+// Dispatch model: `kernels()` returns a table of function pointers resolved
+// against util::active_simd(). Each tier's implementations live in their
+// own translation unit compiled with the matching target flags
+// (simd_avx2.cpp with -mavx2, simd_avx512.cpp with -mavx512f/-mavx512bw,
+// NEON inline on aarch64); tiers provide *partial* tables and the
+// dispatcher overlays them on the scalar baseline, so a tier only
+// implements the kernels it accelerates.
+//
+// Bit-exactness contract (the reason golden histories survive dispatch):
+//   * float kernels perform the identical IEEE-754 operation sequence per
+//     element as the scalar tier — vector lanes map 1:1 onto independent
+//     output elements, multiplies and adds are emitted as separate
+//     instructions (the SIMD TUs compile with -ffp-contract=off and no
+//     FMA), and there are no reassociated reductions;
+//   * bit kernels are integer arithmetic, exact by construction.
+// tests/test_packed.cpp pins every tier's output against the scalar tier
+// bit-for-bit, including NaN/Inf/-0.0 payloads.
+//
+// These kernels take raw pointers, not Tensor views: they are the innermost
+// building blocks underneath the `_into` layer and must stay free of any
+// per-call shape machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "util/cpu.hpp"
+
+namespace fhdnn::simd {
+
+/// One tier's kernel table. Null entries in a tier table mean "no
+/// accelerated version"; the dispatcher fills them from lower tiers.
+/// All pointer arguments may alias only where the per-kernel contract
+/// says so (see each member).
+struct Kernels {
+  // ---- float row kernels (bit-identical across tiers) ----
+  /// y[i] += a * x[i]. y must not alias x unless y == x exactly.
+  void (*axpy_f32)(float* y, float a, const float* x, std::int64_t n);
+  /// out[i] = x[i] * a. out may alias x.
+  void (*scale_f32)(float* out, const float* x, float a, std::int64_t n);
+  /// out[i] = a[i] + b[i]. out may alias a and/or b.
+  void (*add_f32)(float* out, const float* a, const float* b, std::int64_t n);
+  /// out[i] = a[i] - b[i]. out may alias a and/or b.
+  void (*sub_f32)(float* out, const float* a, const float* b, std::int64_t n);
+  /// out[i] = a[i] * b[i]. out may alias a and/or b.
+  void (*mul_f32)(float* out, const float* a, const float* b, std::int64_t n);
+
+  // ---- bit kernels over packed hypervector words (integer-exact) ----
+  /// Pack nbits sign bits: bit i of dst = (src[i] >= 0.0f), the library's
+  /// sign(0) := +1 convention (NaN packs as 0 / -1, matching `>=`).
+  /// Unwritten tail bits of the last word are zeroed. No aliasing.
+  void (*pack_signs)(const float* src, std::uint64_t* dst, std::int64_t nbits);
+  /// Unpack nbits to bipolar floats: dst[i] = bit set ? +1.0f : -1.0f.
+  /// No aliasing.
+  void (*unpack_signs)(const std::uint64_t* src, float* dst,
+                       std::int64_t nbits);
+  /// out[w] = a[w] ^ b[w]. out may alias a and/or b.
+  void (*xor_words)(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* out, std::int64_t nwords);
+  /// Total set bits across nwords words.
+  std::uint64_t (*popcount_words)(const std::uint64_t* a, std::int64_t nwords);
+  /// popcount(a ^ b) across nwords words — the packed hamming primitive.
+  std::uint64_t (*hamming_words)(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::int64_t nwords);
+};
+
+/// Kernel table for util::active_simd() — re-resolved on every call, so
+/// util::set_simd_tier() takes effect immediately (the lookup is an atomic
+/// load plus an array index).
+const Kernels& kernels();
+
+/// Kernel table for an explicit tier (clamped to detected support).
+const Kernels& kernels_for(util::SimdTier tier);
+
+namespace detail {
+
+/// Per-tier partial tables; null when the TU was compiled without the
+/// tier's ISA (non-x86 build, or an ancient compiler). Scalar is complete
+/// by definition.
+const Kernels& scalar_table();
+const Kernels* avx2_table();    // null outside x86-64 builds
+const Kernels* avx512_table();  // null outside x86-64 builds
+const Kernels* neon_table();    // null outside aarch64 builds
+
+}  // namespace detail
+
+}  // namespace fhdnn::simd

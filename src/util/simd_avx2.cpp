@@ -1,0 +1,209 @@
+// AVX2 kernel tier. Compiled with -mavx2 -mpopcnt -mno-fma
+// -ffp-contract=off (see src/util/CMakeLists.txt): the float kernels must
+// emit separate multiply and add instructions so every output element sees
+// the exact IEEE-754 operation sequence of the scalar oracle — FMA
+// contraction would change results in the last ulp and break the golden
+// histories. The bit kernels (sign-pack via compare+movemask, Muła
+// nibble-LUT popcount) are integer-exact by construction.
+//
+// The entire file is guarded by __AVX2__: on non-x86 targets (or when the
+// build system did not pass the flags) the table resolver returns null and
+// the dispatcher keeps the scalar tier.
+#include "util/simd.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace fhdnn::simd::detail {
+
+namespace {
+
+void axpy_avx2(float* y, float a, const float* x, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale_avx2(float* out, const float* x, float a, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) out[i] = x[i] * a;
+}
+
+void add_avx2(float* out, const float* a, const float* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub_avx2(float* out, const float* a, const float* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void mul_avx2(float* out, const float* a, const float* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void pack_signs_avx2(const float* src, std::uint64_t* dst,
+                     std::int64_t nbits) {
+  // _CMP_GE_OQ matches the scalar `v >= 0.0f`: true for +0/-0, false for
+  // NaN — so NaN packs as a 0 bit (-1 on unpack) in every tier.
+  const __m256 zero = _mm256_setzero_ps();
+  const std::int64_t full_words = nbits / 64;
+  for (std::int64_t w = 0; w < full_words; ++w) {
+    std::uint64_t word = 0;
+    for (int g = 0; g < 8; ++g) {
+      const __m256 v = _mm256_loadu_ps(src + w * 64 + g * 8);
+      const unsigned m = static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_cmp_ps(v, zero, _CMP_GE_OQ)));
+      word |= static_cast<std::uint64_t>(m) << (g * 8);
+    }
+    dst[w] = word;
+  }
+  const std::int64_t rem = nbits - full_words * 64;
+  if (rem > 0) {
+    std::uint64_t word = 0;
+    for (std::int64_t i = 0; i < rem; ++i) {
+      if (src[full_words * 64 + i] >= 0.0F) word |= (1ULL << i);
+    }
+    dst[full_words] = word;
+  }
+}
+
+void unpack_signs_avx2(const std::uint64_t* src, float* dst,
+                       std::int64_t nbits) {
+  const __m256i bit_select =
+      _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  const __m256 pos = _mm256_set1_ps(1.0F);
+  const __m256 neg = _mm256_set1_ps(-1.0F);
+  std::int64_t i = 0;
+  for (; i + 8 <= nbits; i += 8) {
+    const unsigned byte =
+        static_cast<unsigned>((src[i / 64] >> (i % 64)) & 0xFFULL);
+    const __m256i v = _mm256_set1_epi32(static_cast<int>(byte));
+    const __m256i hit = _mm256_cmpeq_epi32(
+        _mm256_and_si256(v, bit_select), bit_select);
+    _mm256_storeu_ps(dst + i,
+                     _mm256_blendv_ps(neg, pos, _mm256_castsi256_ps(hit)));
+  }
+  for (; i < nbits; ++i) {
+    dst[i] = (src[i / 64] >> (i % 64)) & 1ULL ? 1.0F : -1.0F;
+  }
+}
+
+void xor_words_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* out, std::int64_t nwords) {
+  std::int64_t w = 0;
+  for (; w + 4 <= nwords; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w),
+                        _mm256_xor_si256(va, vb));
+  }
+  for (; w < nwords; ++w) out[w] = a[w] ^ b[w];
+}
+
+/// Muła nibble-LUT popcount of one 256-bit lane, returned as 4 partial
+/// 64-bit sums (one per 64-bit element).
+__m256i popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+std::uint64_t horizontal_sum_epi64(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+std::uint64_t popcount_words_avx2(const std::uint64_t* a,
+                                  std::int64_t nwords) {
+  __m256i acc = _mm256_setzero_si256();
+  std::int64_t w = 0;
+  for (; w + 4 <= nwords; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    acc = _mm256_add_epi64(acc, popcount256(v));
+  }
+  std::uint64_t total = horizontal_sum_epi64(acc);
+  for (; w < nwords; ++w) {
+    total += static_cast<std::uint64_t>(std::popcount(a[w]));
+  }
+  return total;
+}
+
+std::uint64_t hamming_words_avx2(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::int64_t nwords) {
+  __m256i acc = _mm256_setzero_si256();
+  std::int64_t w = 0;
+  for (; w + 4 <= nwords; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    acc = _mm256_add_epi64(acc, popcount256(_mm256_xor_si256(va, vb)));
+  }
+  std::uint64_t total = horizontal_sum_epi64(acc);
+  for (; w < nwords; ++w) {
+    total += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return total;
+}
+
+constexpr Kernels kAvx2 = {
+    axpy_avx2,         scale_avx2,     add_avx2,
+    sub_avx2,          mul_avx2,       pack_signs_avx2,
+    unpack_signs_avx2, xor_words_avx2, popcount_words_avx2,
+    hamming_words_avx2,
+};
+
+}  // namespace
+
+const Kernels* avx2_table() { return &kAvx2; }
+
+}  // namespace fhdnn::simd::detail
+
+#else  // !__AVX2__
+
+namespace fhdnn::simd::detail {
+
+const Kernels* avx2_table() { return nullptr; }
+
+}  // namespace fhdnn::simd::detail
+
+#endif

@@ -1,0 +1,129 @@
+// AVX-512 kernel tier: 16-lane float kernels. Compiled with
+// -mavx512f -mavx512bw -mno-fma -ffp-contract=off (src/util/CMakeLists.txt)
+// for the same bit-exactness contract as the AVX2 tier — separate multiply
+// and add per element, no reassociated reductions.
+//
+// The bit kernels are deliberately absent from this table: the dispatcher
+// overlays AVX-512 on top of the resolved AVX2 table (an AVX-512 CPU
+// always supports AVX2), and the Muła popcount there already saturates
+// load bandwidth; the VPOPCNTDQ extension that would beat it is not part
+// of the avx512f+bw baseline this TU targets.
+#include "util/simd.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+namespace fhdnn::simd::detail {
+
+namespace {
+
+void axpy_avx512(float* y, float a, const float* x, std::int64_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 vx = _mm512_loadu_ps(x + i);
+    const __m512 vy = _mm512_loadu_ps(y + i);
+    _mm512_storeu_ps(y + i, _mm512_add_ps(vy, _mm512_mul_ps(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale_avx512(float* out, const float* x, float a, std::int64_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_mul_ps(_mm512_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) out[i] = x[i] * a;
+}
+
+void add_avx512(float* out, const float* a, const float* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        out + i, _mm512_add_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub_avx512(float* out, const float* a, const float* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        out + i, _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void mul_avx512(float* out, const float* a, const float* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        out + i, _mm512_mul_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void pack_signs_avx512(const float* src, std::uint64_t* dst,
+                       std::int64_t nbits) {
+  // One 16-bit compare mask per vector; four vectors fill a 64-bit word.
+  // _CMP_GE_OQ matches scalar `>=`: NaN packs as 0, ±0 packs as 1.
+  const __m512 zero = _mm512_setzero_ps();
+  const std::int64_t full_words = nbits / 64;
+  for (std::int64_t w = 0; w < full_words; ++w) {
+    std::uint64_t word = 0;
+    for (int g = 0; g < 4; ++g) {
+      const __m512 v = _mm512_loadu_ps(src + w * 64 + g * 16);
+      const std::uint64_t m = _mm512_cmp_ps_mask(v, zero, _CMP_GE_OQ);
+      word |= m << (g * 16);
+    }
+    dst[w] = word;
+  }
+  const std::int64_t rem = nbits - full_words * 64;
+  if (rem > 0) {
+    std::uint64_t word = 0;
+    for (std::int64_t i = 0; i < rem; ++i) {
+      if (src[full_words * 64 + i] >= 0.0F) word |= (1ULL << i);
+    }
+    dst[full_words] = word;
+  }
+}
+
+void unpack_signs_avx512(const std::uint64_t* src, float* dst,
+                         std::int64_t nbits) {
+  const __m512 pos = _mm512_set1_ps(1.0F);
+  const __m512 neg = _mm512_set1_ps(-1.0F);
+  std::int64_t i = 0;
+  for (; i + 16 <= nbits; i += 16) {
+    const __mmask16 m =
+        static_cast<__mmask16>((src[i / 64] >> (i % 64)) & 0xFFFFULL);
+    _mm512_storeu_ps(dst + i, _mm512_mask_blend_ps(m, neg, pos));
+  }
+  for (; i < nbits; ++i) {
+    dst[i] = (src[i / 64] >> (i % 64)) & 1ULL ? 1.0F : -1.0F;
+  }
+}
+
+constexpr Kernels kAvx512 = {
+    axpy_avx512, scale_avx512,      add_avx512,
+    sub_avx512,  mul_avx512,        pack_signs_avx512,
+    unpack_signs_avx512, nullptr /*xor_words: AVX2*/,
+    nullptr /*popcount_words: AVX2*/, nullptr /*hamming_words: AVX2*/,
+};
+
+}  // namespace
+
+const Kernels* avx512_table() { return &kAvx512; }
+
+}  // namespace fhdnn::simd::detail
+
+#else  // !(__AVX512F__ && __AVX512BW__)
+
+namespace fhdnn::simd::detail {
+
+const Kernels* avx512_table() { return nullptr; }
+
+}  // namespace fhdnn::simd::detail
+
+#endif

@@ -87,6 +87,40 @@ TEST(GeometricGap, MeanMatchesInverseP) {
   EXPECT_GE(acc.min(), 1.0);
 }
 
+TEST(GeometricGap, ClampsOvershootingBer) {
+  // A deadline-scaled BER can exceed 1.0; the gap must clamp to "every
+  // bit flips" (gap 1) rather than tripping Rng::geometric's domain check.
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(geometric_gap(1.0, rng), 1ULL);
+    EXPECT_EQ(geometric_gap(2.5, rng), 1ULL);
+  }
+}
+
+TEST(GeometricGap, FlipDensityTracksBer) {
+  // Statistical pin: measured flips over the geometric-gap walk match the
+  // configured BER to within sampling noise (binomial sd).
+  Rng rng(8);
+  std::vector<float> payload(20000, 1.0F);
+  const double ber = 0.01;
+  const double total_bits = 32.0 * static_cast<double>(payload.size());
+  const auto flips = flip_float_bits(payload, ber, rng);
+  const double expected = ber * total_bits;
+  EXPECT_NEAR(static_cast<double>(flips), expected,
+              6.0 * std::sqrt(expected * (1.0 - ber)));
+}
+
+TEST(GeometricGap, BerOneFlipsEveryBit) {
+  Rng rng(9);
+  std::vector<float> payload(50, 0.0F);
+  const auto flips = flip_float_bits(payload, 1.0, rng);
+  EXPECT_EQ(flips, 32U * 50U);
+  // Every bit of every float toggled: 0x00000000 -> 0xFFFFFFFF.
+  for (const float v : payload) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(v), 0xFFFFFFFFU);
+  }
+}
+
 TEST(BitErrors, FlipCountMatchesRate) {
   Rng rng(7);
   const double ber = 1e-3;

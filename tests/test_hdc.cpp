@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "data/synthetic.hpp"
 #include "hdc/classifier.hpp"
@@ -283,6 +284,23 @@ TEST(Quantizer, AllZeroVector) {
   EXPECT_EQ(qv.gain, 1.0);
   const auto back = q.dequantize(qv);
   for (const float x : back) EXPECT_EQ(x, 0.0F);
+}
+
+TEST(Quantizer, RejectsNonFiniteValues) {
+  // NaN/Inf reaching llround is UB, and an Inf max_abs would silently zero
+  // the gain for every other element — both must fail loudly instead.
+  Quantizer q(8);
+  EXPECT_THROW(
+      q.quantize(std::vector<float>{1.0F,
+                                    std::numeric_limits<float>::quiet_NaN()}),
+      Error);
+  EXPECT_THROW(
+      q.quantize(std::vector<float>{std::numeric_limits<float>::infinity()}),
+      Error);
+  EXPECT_THROW(
+      q.quantize(std::vector<float>{-std::numeric_limits<float>::infinity(),
+                                    2.0F}),
+      Error);
 }
 
 TEST(Quantizer, RowsIndependentGains) {

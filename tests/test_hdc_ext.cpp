@@ -232,11 +232,32 @@ TEST(BinaryModel, MajorityAggregate) {
   EXPECT_EQ(t(0, 3), -1.0F);
 }
 
-TEST(BinaryModel, MajorityTieGoesPositive) {
-  Tensor a(Shape{1, 1}, {1});
-  Tensor b(Shape{1, 1}, {-1});
+TEST(BinaryModel, MajorityTieBreaksByIndexParity) {
+  // An even split resolves by the flat bit index's parity: +1 at even
+  // indices, -1 at odd — not a blanket +1, which would bias aggregates.
+  Tensor a(Shape{1, 4}, {1, 1, -1, -1});
+  Tensor b(Shape{1, 4}, {-1, -1, 1, 1});
   const auto agg = majority_aggregate({binarize(a), binarize(b)});
-  EXPECT_EQ(expand(agg)(0, 0), 1.0F);
+  const Tensor t = expand(agg);
+  EXPECT_EQ(t(0, 0), 1.0F);
+  EXPECT_EQ(t(0, 1), -1.0F);
+  EXPECT_EQ(t(0, 2), 1.0F);
+  EXPECT_EQ(t(0, 3), -1.0F);
+}
+
+TEST(BinaryModel, FlipWithOvershootingBerFlipsEverything) {
+  // Deadline scaling can push the effective BER past 1.0; the flip walk
+  // clamps to "every payload bit flips" instead of throwing.
+  Rng rng(23);
+  Tensor protos(Shape{2, 5}, {1, 1, 1, 1, 1, -1, -1, -1, -1, -1});
+  BinaryModel m = binarize(protos);
+  const auto flips = flip_binary_model_bits(m, 1.7, rng);
+  EXPECT_EQ(flips, 10U);
+  const Tensor t = expand(m);
+  for (std::int64_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(t(0, j), -1.0F);
+    EXPECT_EQ(t(1, j), 1.0F);
+  }
 }
 
 TEST(BinaryModel, BinarizedClassifierRetainsAccuracy) {

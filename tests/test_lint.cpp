@@ -132,6 +132,27 @@ TEST(LintRules, UnorderedContainerSuppressedAndOutOfScope) {
   EXPECT_EQ(count_rule(ok, "unordered-container"), 0);
 }
 
+// ---- simd-isolation ------------------------------------------------------
+
+TEST(LintRules, SimdIsolationPositive) {
+  const auto d = run("src/hdc/packed.cpp", "#include <immintrin.h>\n");
+  EXPECT_EQ(count_rule(d, "simd-isolation"), 1);
+  const auto n = run("bench/micro_packed_hd.cpp", "#include <arm_neon.h>\n");
+  EXPECT_EQ(count_rule(n, "simd-isolation"), 1);
+}
+
+TEST(LintRules, SimdIsolationExemptAndSuppressed) {
+  // The per-tier TUs are where intrinsics belong.
+  const auto avx = run("src/util/simd_avx2.cpp", "#include <immintrin.h>\n");
+  EXPECT_EQ(count_rule(avx, "simd-isolation"), 0);
+  const auto neon = run("src/util/simd_neon.cpp", "#include <arm_neon.h>\n");
+  EXPECT_EQ(count_rule(neon, "simd-isolation"), 0);
+  const auto allowed = run("src/hdc/packed.cpp",
+                           "// fhdnn-lint: allow(simd-isolation)\n"
+                           "#include <immintrin.h>\n");
+  EXPECT_EQ(count_rule(allowed, "simd-isolation"), 0);
+}
+
 // ---- arena-discipline ----------------------------------------------------
 
 TEST(LintRules, ArenaDisciplinePositive) {

@@ -1,0 +1,385 @@
+// Tests for the bit-packed binary-HD backend (hdc/packed) and the runtime
+// SIMD dispatch layer (util/cpu, util/simd): layout invariants, exact
+// agreement with the float/scalar oracle, and per-tier bit-exactness of
+// the dispatched kernels — including NaN/Inf/-0.0 payloads.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "hdc/binary_model.hpp"
+#include "hdc/classifier.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/packed.hpp"
+#include "util/cpu.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace fhdnn {
+namespace {
+
+using namespace fhdnn::hdc;
+
+// --------------------------------------------------------------- layout
+
+TEST(PackedLayout, WordsAndTailMask) {
+  EXPECT_EQ(words_for_bits(1), 1);
+  EXPECT_EQ(words_for_bits(63), 1);
+  EXPECT_EQ(words_for_bits(64), 1);
+  EXPECT_EQ(words_for_bits(65), 2);
+  EXPECT_EQ(words_for_bits(128), 2);
+  EXPECT_EQ(tail_mask(64), ~0ULL);
+  EXPECT_EQ(tail_mask(128), ~0ULL);
+  EXPECT_EQ(tail_mask(1), 1ULL);
+  EXPECT_EQ(tail_mask(63), (1ULL << 63) - 1ULL);
+  EXPECT_EQ(tail_mask(65), 1ULL);
+}
+
+TEST(PackedLayout, TailBitsStayZero) {
+  Rng rng(41);
+  const std::int64_t d = 70;  // 6 live bits in the second word
+  const Tensor v = random_bipolar(d, rng);
+  PackedHV p = pack_hv(v);
+  EXPECT_EQ(p.words.size(), 2U);
+  EXPECT_EQ(p.words[1] & ~tail_mask(d), 0ULL);
+  // ... and the invariant survives the packed ops.
+  const PackedHV q = pack_hv(random_bipolar(d, rng));
+  EXPECT_EQ(xor_bind(p, q).words[1] & ~tail_mask(d), 0ULL);
+  EXPECT_EQ(rotate(p, 13).words[1] & ~tail_mask(d), 0ULL);
+  EXPECT_EQ(bundle_majority_packed({p, q}).words[1] & ~tail_mask(d), 0ULL);
+}
+
+TEST(PackedLayout, PackedModelRowsAreWordAligned) {
+  Rng rng(42);
+  const Tensor m = sign(Tensor::randn(Shape{3, 70}, rng));
+  const PackedModel pm = pack_rows(m);
+  EXPECT_EQ(pm.words_per_row(), 2);
+  EXPECT_EQ(pm.words.size(), 6U);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(pm.row(r)[1] & ~tail_mask(70), 0ULL);
+  }
+  const Tensor back = unpack_rows(pm);
+  for (std::int64_t i = 0; i < m.numel(); ++i) EXPECT_EQ(back.at(i), m.at(i));
+}
+
+TEST(PackedLayout, SignZeroConvention) {
+  // pack follows the library's sign(0) := +1, and NaN packs as -1
+  // (matching the `>= 0` comparison it is defined by).
+  Tensor v(Shape{4}, {0.0F, -0.0F, 1.5F, -2.0F});
+  const PackedHV p = pack_hv(v);
+  EXPECT_EQ(p.element(0), 1.0F);
+  EXPECT_EQ(p.element(1), 1.0F);  // -0.0f >= 0.0f
+  EXPECT_EQ(p.element(2), 1.0F);
+  EXPECT_EQ(p.element(3), -1.0F);
+  Tensor w(Shape{2}, {std::numeric_limits<float>::quiet_NaN(),
+                      std::numeric_limits<float>::infinity()});
+  const PackedHV pw = pack_hv(w);
+  EXPECT_EQ(pw.element(0), -1.0F);  // NaN >= 0 is false
+  EXPECT_EQ(pw.element(1), 1.0F);
+}
+
+// ------------------------------------------------- scalar-oracle parity
+
+TEST(PackedOps, XorBindMatchesFloatBind) {
+  Rng rng(43);
+  const Tensor a = random_bipolar(1000, rng);
+  const Tensor b = random_bipolar(1000, rng);
+  const PackedHV got = xor_bind(pack_hv(a), pack_hv(b));
+  const PackedHV want = pack_hv(bind(a, b));
+  EXPECT_EQ(got.words, want.words);
+}
+
+TEST(PackedOps, RotateMatchesPermute) {
+  Rng rng(44);
+  const std::int64_t d = 200;
+  const Tensor v = random_bipolar(d, rng);
+  const PackedHV p = pack_hv(v);
+  for (const std::int64_t k : {0L, 1L, 37L, 63L, 64L, 65L, d - 1, d, d + 3,
+                               -1L, -64L, -129L}) {
+    const PackedHV got = rotate(p, k);
+    const PackedHV want = pack_hv(permute(v, k));
+    EXPECT_EQ(got.words, want.words) << "shift " << k;
+  }
+}
+
+TEST(PackedOps, HammingAndCosineMatchFloatPath) {
+  Rng rng(45);
+  const Tensor a = random_bipolar(999, rng);
+  const Tensor b = random_bipolar(999, rng);
+  const PackedHV pa = pack_hv(a), pb = pack_hv(b);
+  // hamming_distance returns differ/d; the packed count divided by d is
+  // the same division of the same integers — exactly equal doubles.
+  EXPECT_EQ(hamming_norm(pa, pb), hamming_distance(a, b));
+  EXPECT_EQ(hamming(pa, pa), 0ULL);
+  EXPECT_EQ(cosine(pa, pa), 1.0);
+  const double expect_cos = 1.0 - 2.0 * hamming_distance(a, b);
+  EXPECT_DOUBLE_EQ(cosine(pa, pb), expect_cos);
+}
+
+TEST(PackedOps, BundleMajorityMatchesFloatPath) {
+  Rng rng(46);
+  for (const int n : {1, 2, 3, 4, 5, 8}) {
+    std::vector<Tensor> vs;
+    std::vector<PackedHV> ps;
+    for (int i = 0; i < n; ++i) {
+      vs.push_back(random_bipolar(777, rng));
+      ps.push_back(pack_hv(vs.back()));
+    }
+    const PackedHV got = bundle_majority_packed(ps);
+    const PackedHV want = pack_hv(bundle_majority(vs));
+    EXPECT_EQ(got.words, want.words) << "n=" << n;
+  }
+}
+
+TEST(PackedOps, EvenSplitTieBreaksByIndexParity) {
+  // Regression for the tie bias: an exact 50/50 split must resolve +1 at
+  // even indices and -1 at odd ones — both float and packed paths.
+  Rng rng(47);
+  const std::int64_t d = 130;
+  const Tensor v = random_bipolar(d, rng);
+  Tensor nv = v;
+  nv.scale(-1.0F);
+  const Tensor maj = bundle_majority({v, nv});
+  for (std::int64_t i = 0; i < d; ++i) {
+    EXPECT_EQ(maj(i), i % 2 == 0 ? 1.0F : -1.0F) << "index " << i;
+  }
+  const PackedHV pmaj = bundle_majority_packed({pack_hv(v), pack_hv(nv)});
+  EXPECT_EQ(pmaj.words, pack_hv(maj).words);
+  // No net bias: the tied bundle sums to ~zero, not +d.
+  double total = 0.0;
+  for (std::int64_t i = 0; i < d; ++i) total += maj(i);
+  EXPECT_EQ(total, 0.0);
+}
+
+TEST(PackedOps, Validation) {
+  EXPECT_THROW(bundle_majority_packed({}), Error);
+  PackedHV a(64), b(65);
+  EXPECT_THROW(xor_bind(a, b), Error);
+  EXPECT_THROW(hamming(a, b), Error);
+  EXPECT_THROW(majority_aggregate_packed({}), Error);
+}
+
+// ------------------------------------------------- model-level agreement
+
+TEST(PackedModelOps, MajorityAggregateMatchesBinaryModel) {
+  Rng rng(48);
+  // Odd d: row 1 starts at an odd flat index, exercising the flipped
+  // tie-mask phase; even model count so ties actually occur.
+  const std::int64_t kk = 3, d = 77;
+  std::vector<BinaryModel> binary;
+  std::vector<PackedModel> packed;
+  for (int m = 0; m < 4; ++m) {
+    const Tensor t = sign(Tensor::randn(Shape{kk, d}, rng));
+    binary.push_back(binarize(t));
+    packed.push_back(pack_rows(t));
+  }
+  const BinaryModel want = majority_aggregate(binary);
+  const PackedModel got = majority_aggregate_packed(packed);
+  EXPECT_EQ(binary_from_packed(got).bits, want.bits);
+}
+
+TEST(PackedModelOps, BinaryModelBridgeRoundTrips) {
+  Rng rng(49);
+  const Tensor t = sign(Tensor::randn(Shape{5, 70}, rng));
+  const BinaryModel b = binarize(t);
+  const PackedModel p = packed_from_binary(b);
+  EXPECT_EQ(p.rows, b.classes);
+  EXPECT_EQ(p.d, b.hd_dim);
+  EXPECT_EQ(binary_from_packed(p).bits, b.bits);
+  // Row-aligned content equals a direct pack of the same matrix.
+  EXPECT_EQ(p.words, pack_rows(t).words);
+}
+
+TEST(PackedModelOps, ClassifyPackedMatchesPredict) {
+  Rng rng(50);
+  const std::int64_t kk = 7, d = 1000, n = 40;
+  const Tensor protos = sign(Tensor::randn(Shape{kk, d}, rng));
+  const Tensor queries = sign(Tensor::randn(Shape{n, d}, rng));
+  HdClassifier clf(kk, d);
+  clf.set_prototypes(protos);
+  const auto want = clf.predict(queries);
+  const auto got = classify_packed(pack_rows(protos), pack_rows(queries));
+  EXPECT_EQ(got, want);
+}
+
+// ------------------------------------------------------ runtime dispatch
+
+TEST(SimdDispatch, ParseNames) {
+  EXPECT_EQ(util::parse_simd_tier("scalar"), util::SimdTier::Scalar);
+  EXPECT_EQ(util::parse_simd_tier("neon"), util::SimdTier::Neon);
+  EXPECT_EQ(util::parse_simd_tier("avx2"), util::SimdTier::Avx2);
+  EXPECT_EQ(util::parse_simd_tier("avx512"), util::SimdTier::Avx512);
+  EXPECT_EQ(util::parse_simd_tier("native"), util::detected_simd());
+  EXPECT_THROW(util::parse_simd_tier("sse9"), Error);
+  for (const auto t :
+       {util::SimdTier::Scalar, util::SimdTier::Neon, util::SimdTier::Avx2,
+        util::SimdTier::Avx512}) {
+    EXPECT_EQ(util::parse_simd_tier(util::simd_tier_name(t)), t);
+  }
+}
+
+TEST(SimdDispatch, SetTierClampsToDetected) {
+  const util::SimdTier before = util::active_simd();
+  // Scalar is always accepted.
+  EXPECT_EQ(util::set_simd_tier(util::SimdTier::Scalar),
+            util::SimdTier::Scalar);
+  EXPECT_EQ(util::active_simd(), util::SimdTier::Scalar);
+  // Requesting the detected tier is exact; wider requests clamp down.
+  const util::SimdTier det = util::detected_simd();
+  EXPECT_EQ(util::set_simd_tier(det), det);
+  EXPECT_LE(static_cast<int>(util::set_simd_tier(util::SimdTier::Avx512)),
+            static_cast<int>(det));
+  util::set_simd_tier(before);
+}
+
+/// All tiers the current CPU (and build) can actually run.
+std::vector<util::SimdTier> available_tiers() {
+  std::vector<util::SimdTier> out{util::SimdTier::Scalar};
+  for (const auto t : {util::SimdTier::Neon, util::SimdTier::Avx2,
+                       util::SimdTier::Avx512}) {
+    if (util::set_simd_tier(t) == t) out.push_back(t);
+  }
+  util::set_simd_tier(util::detected_simd());
+  return out;
+}
+
+/// Float payload mixing ordinary values with the IEEE-754 specials that
+/// SIMD re-implementations most often mishandle. Specials are scattered so
+/// they land in different vector lanes and in the scalar tail.
+std::vector<float> special_payload(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  rng.fill_normal(v, 0.0F, 2.0F);
+  const float specials[] = {std::numeric_limits<float>::quiet_NaN(),
+                            std::numeric_limits<float>::infinity(),
+                            -std::numeric_limits<float>::infinity(),
+                            -0.0F,
+                            std::numeric_limits<float>::denorm_min(),
+                            -1e-38F};
+  for (std::size_t i = 0; i < n; i += 7) {
+    v[i] = specials[(i / 7) % 6];
+  }
+  return v;
+}
+
+void expect_bits_equal(const std::vector<float>& got,
+                       const std::vector<float>& want, const char* what,
+                       util::SimdTier tier) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(got[i]),
+              std::bit_cast<std::uint32_t>(want[i]))
+        << what << " diverges from scalar at i=" << i << " under tier "
+        << util::simd_tier_name(tier);
+  }
+}
+
+TEST(SimdKernels, FloatKernelsBitExactAcrossTiers) {
+  Rng rng(51);
+  // Odd length: exercises both the full vector body and the scalar tail.
+  const std::size_t n = 1013;
+  const std::vector<float> x = special_payload(n, rng);
+  std::vector<float> y0(n);
+  rng.fill_normal(y0, 1.0F, 3.0F);
+  const auto& scalar = simd::detail::scalar_table();
+  for (const auto tier : available_tiers()) {
+    const auto& k = simd::kernels_for(tier);
+    for (const float a : {0.5F, -1.25F, 0.0F, 1.0F}) {
+      std::vector<float> want = y0, got = y0;
+      scalar.axpy_f32(want.data(), a, x.data(), static_cast<std::int64_t>(n));
+      k.axpy_f32(got.data(), a, x.data(), static_cast<std::int64_t>(n));
+      expect_bits_equal(got, want, "axpy", tier);
+
+      std::vector<float> ws(n), gs(n);
+      scalar.scale_f32(ws.data(), x.data(), a, static_cast<std::int64_t>(n));
+      k.scale_f32(gs.data(), x.data(), a, static_cast<std::int64_t>(n));
+      expect_bits_equal(gs, ws, "scale", tier);
+    }
+    std::vector<float> w(n), g(n);
+    scalar.add_f32(w.data(), x.data(), y0.data(),
+                   static_cast<std::int64_t>(n));
+    k.add_f32(g.data(), x.data(), y0.data(), static_cast<std::int64_t>(n));
+    expect_bits_equal(g, w, "add", tier);
+    scalar.sub_f32(w.data(), x.data(), y0.data(),
+                   static_cast<std::int64_t>(n));
+    k.sub_f32(g.data(), x.data(), y0.data(), static_cast<std::int64_t>(n));
+    expect_bits_equal(g, w, "sub", tier);
+    scalar.mul_f32(w.data(), x.data(), y0.data(),
+                   static_cast<std::int64_t>(n));
+    k.mul_f32(g.data(), x.data(), y0.data(), static_cast<std::int64_t>(n));
+    expect_bits_equal(g, w, "mul", tier);
+  }
+}
+
+TEST(SimdKernels, BitKernelsExactAcrossTiers) {
+  Rng rng(52);
+  const std::int64_t nbits = 1013;
+  const std::int64_t nwords = (nbits + 63) / 64;
+  const std::vector<float> src = special_payload(
+      static_cast<std::size_t>(nbits), rng);
+  const auto& scalar = simd::detail::scalar_table();
+  std::vector<std::uint64_t> want_bits(static_cast<std::size_t>(nwords));
+  scalar.pack_signs(src.data(), want_bits.data(), nbits);
+  std::vector<std::uint64_t> other(static_cast<std::size_t>(nwords));
+  for (std::size_t w = 0; w < other.size(); ++w) {
+    other[w] = rng.next_u64();
+  }
+  other.back() &= tail_mask(nbits);
+  for (const auto tier : available_tiers()) {
+    const auto& k = simd::kernels_for(tier);
+    std::vector<std::uint64_t> got_bits(static_cast<std::size_t>(nwords));
+    k.pack_signs(src.data(), got_bits.data(), nbits);
+    EXPECT_EQ(got_bits, want_bits) << util::simd_tier_name(tier);
+
+    std::vector<float> want_f(static_cast<std::size_t>(nbits));
+    std::vector<float> got_f(static_cast<std::size_t>(nbits));
+    scalar.unpack_signs(want_bits.data(), want_f.data(), nbits);
+    k.unpack_signs(want_bits.data(), got_f.data(), nbits);
+    expect_bits_equal(got_f, want_f, "unpack_signs", tier);
+
+    std::vector<std::uint64_t> want_x(static_cast<std::size_t>(nwords));
+    std::vector<std::uint64_t> got_x(static_cast<std::size_t>(nwords));
+    scalar.xor_words(want_bits.data(), other.data(), want_x.data(), nwords);
+    k.xor_words(want_bits.data(), other.data(), got_x.data(), nwords);
+    EXPECT_EQ(got_x, want_x) << util::simd_tier_name(tier);
+
+    EXPECT_EQ(k.popcount_words(want_bits.data(), nwords),
+              scalar.popcount_words(want_bits.data(), nwords))
+        << util::simd_tier_name(tier);
+    EXPECT_EQ(k.hamming_words(want_bits.data(), other.data(), nwords),
+              scalar.hamming_words(want_bits.data(), other.data(), nwords))
+        << util::simd_tier_name(tier);
+  }
+}
+
+TEST(SimdKernels, PackedPipelineIdenticalUnderEveryTier) {
+  // End-to-end: the packed classify pipeline produces identical bits and
+  // predictions whichever tier is active.
+  Rng rng(53);
+  const Tensor protos = sign(Tensor::randn(Shape{5, 500}, rng));
+  const Tensor queries = sign(Tensor::randn(Shape{11, 500}, rng));
+  const util::SimdTier before = util::active_simd();
+  std::vector<std::int64_t> first;
+  std::vector<std::uint64_t> first_words;
+  bool have_first = false;
+  for (const auto tier : available_tiers()) {
+    util::set_simd_tier(tier);
+    const PackedModel pp = pack_rows(protos);
+    const auto preds = classify_packed(pp, pack_rows(queries));
+    if (!have_first) {
+      first = preds;
+      first_words = pp.words;
+      have_first = true;
+    } else {
+      EXPECT_EQ(preds, first) << util::simd_tier_name(tier);
+      EXPECT_EQ(pp.words, first_words) << util::simd_tier_name(tier);
+    }
+  }
+  util::set_simd_tier(before);
+}
+
+}  // namespace
+}  // namespace fhdnn

@@ -13,6 +13,8 @@
 #include "data/synthetic.hpp"
 #include "hdc/classifier.hpp"
 #include "hdc/encoder.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/packed.hpp"
 #include "hdc/quantizer.hpp"
 #include "nn/batchnorm.hpp"
 #include "tensor/conv.hpp"
@@ -312,6 +314,60 @@ TEST_P(LogitShift, SoftmaxShiftInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Shifts, LogitShift,
                          ::testing::Values(-100.0F, -1.0F, 3.0F, 50.0F));
+
+// ----------------------------------------------------------------------
+// Packed binary-HD backend: bit-for-bit agreement with the float/scalar
+// oracle at dimensions straddling the 64-bit word boundary and at the
+// paper-scale d = 10k (tail-mask handling is where packed code breaks).
+class PackedDim : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PackedDim, PackUnpackRoundTrip) {
+  const std::int64_t d = GetParam();
+  Rng rng(61);
+  const Tensor v = hdc::random_bipolar(d, rng);
+  const hdc::PackedHV p = hdc::pack_hv(v);
+  const Tensor back = hdc::unpack_hv(p);
+  for (std::int64_t i = 0; i < d; ++i) ASSERT_EQ(back(i), v(i)) << "i=" << i;
+  // Idempotent: repacking the unpacked vector reproduces the exact words.
+  EXPECT_EQ(hdc::pack_hv(back).words, p.words);
+}
+
+TEST_P(PackedDim, BindBundlePermuteHammingMatchScalar) {
+  const std::int64_t d = GetParam();
+  Rng rng(62);
+  const Tensor a = hdc::random_bipolar(d, rng);
+  const Tensor b = hdc::random_bipolar(d, rng);
+  const Tensor c = hdc::random_bipolar(d, rng);
+  const hdc::PackedHV pa = hdc::pack_hv(a), pb = hdc::pack_hv(b),
+                      pc = hdc::pack_hv(c);
+  EXPECT_EQ(hdc::xor_bind(pa, pb).words, hdc::pack_hv(hdc::bind(a, b)).words);
+  EXPECT_EQ(hdc::bundle_majority_packed({pa, pb, pc}).words,
+            hdc::pack_hv(hdc::bundle_majority({a, b, c})).words);
+  EXPECT_EQ(hdc::bundle_majority_packed({pa, pb}).words,
+            hdc::pack_hv(hdc::bundle_majority({a, b})).words);
+  for (const std::int64_t k : {1L, 63L, 64L, 65L, d / 2, d - 1, -7L}) {
+    EXPECT_EQ(hdc::rotate(pa, k).words, hdc::pack_hv(hdc::permute(a, k)).words)
+        << "shift " << k;
+  }
+  EXPECT_EQ(hdc::hamming_norm(pa, pb), hdc::hamming_distance(a, b));
+}
+
+TEST_P(PackedDim, ClassifyMatchesFloatPredict) {
+  const std::int64_t d = GetParam();
+  Rng rng(63);
+  const std::int64_t kk = 6, n = 30;
+  const Tensor protos = hdc::sign(Tensor::randn(Shape{kk, d}, rng));
+  const Tensor queries = hdc::sign(Tensor::randn(Shape{n, d}, rng));
+  hdc::HdClassifier clf(kk, d);
+  clf.set_prototypes(protos);
+  EXPECT_EQ(hdc::classify_packed(hdc::pack_rows(protos),
+                                 hdc::pack_rows(queries)),
+            clf.predict(queries));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PackedDim,
+                         ::testing::Values<std::int64_t>(63, 64, 65, 1000,
+                                                         10000));
 
 }  // namespace
 }  // namespace fhdnn

@@ -14,6 +14,9 @@
 //                       construction, new, make_unique/shared, or malloc
 //   into-alias-doc      every `_into` kernel declaration documents whether
 //                       its output may alias an input
+//   simd-isolation      CPU intrinsics live only in the per-tier
+//                       src/util/simd* translation units; everything else
+//                       goes through the util/simd dispatch table
 //   pragma-once         headers open with #pragma once
 //   include-style       project headers are included with quotes, not <>
 //   self-include-first  a .cpp that includes its own header includes it
@@ -469,6 +472,21 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
         std::vector<std::string>{"src/fl/", "src/hdc/", "src/channel/"});
     r->why("has unspecified iteration order; use std::map, a sorted vector, "
            "or index-addressed storage on aggregation paths");
+    rules.push_back(std::move(r));
+  }
+  {
+    auto r = std::make_unique<TokenBanRule>(
+        "simd-isolation",
+        "CPU intrinsics headers (immintrin.h, arm_neon.h, ...) are included "
+        "only by the per-tier src/util/simd* translation units; all other "
+        "code reaches SIMD through the util/simd kernel table, so the "
+        "bit-exactness contract has one enforcement point per tier",
+        std::vector<std::string>{"immintrin", "x86intrin", "emmintrin",
+                                 "arm_neon", "arm_sve"},
+        std::vector<std::string>{"src/util/simd"});
+    r->why("pulls CPU intrinsics outside src/util/simd*; add a kernel to the "
+           "util/simd dispatch table instead so every tier stays pinned "
+           "against the scalar oracle");
     rules.push_back(std::move(r));
   }
   rules.push_back(std::make_unique<ArenaDisciplineRule>());
