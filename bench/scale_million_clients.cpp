@@ -1,0 +1,315 @@
+// Discrete-event federation at AIoT fleet scale (DESIGN.md §12).
+//
+// Registers a sparse ClientPopulation of --registered clients (default one
+// million) and runs --rounds deadline-based rounds sampling --sampled of
+// them each, with a synthetic HD learner whose update is a pure function
+// of the client's rng fork — no per-client state, no datasets, so peak
+// memory is bounded by the round cohort, not the fleet. Aggregation runs
+// through the exact-sum fan-in tree (util/exactsum.hpp) at --fan-in, the
+// same primitive fl/hierarchy.cpp pins bit-exact against flat reduction.
+//
+// Reports peak RSS (VmHWM), processed events/sec, and rounds/sec, and
+// emits BENCH_scale.json for CI.
+//
+// Usage: scale_million_clients [--registered=N] [--sampled=N] [--rounds=N]
+//                              [--dim=N] [--fan-in=N] [--threads=N]
+//                              [--json=PATH]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <sys/resource.h>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "channel/transport.hpp"
+#include "fl/engine.hpp"
+#include "fl/population.hpp"
+#include "tensor/tensor.hpp"
+#include "util/exactsum.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fhdnn::Rng;
+using fhdnn::Shape;
+using fhdnn::Tensor;
+
+/// Synthetic HD learner: each client's "update" is a d-dimensional noisy
+/// class-anchor vector derived from its rng fork. Stateless across
+/// clients — exactly what lets the fleet scale past memory.
+class SyntheticHdLearner final : public fhdnn::fl::LocalLearner<Tensor> {
+ public:
+  explicit SyntheticHdLearner(std::int64_t dim) : dim_(dim) {}
+
+  TrainResult train(std::size_t client, Rng& client_rng) override {
+    TrainResult r;
+    r.update = Tensor(Shape{dim_});
+    auto out = r.update.data();
+    // Anchor sign pattern from the client id, jittered by the round fork.
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double anchor = ((client + i) % 7 < 3) ? 1.0 : -1.0;
+      out[i] = static_cast<float>(anchor + client_rng.uniform(-0.25, 0.25));
+    }
+    r.loss = 0.5;
+    return r;
+  }
+
+  double evaluate() override { return 0.0; }
+
+ private:
+  std::int64_t dim_;
+};
+
+/// Binary-HD uplink accounting: one bit per dimension on the air. The
+/// payload itself passes through unchanged (the bench measures the event
+/// machinery, not channel corruption).
+class BinaryHdTransport final : public fhdnn::channel::Transport<Tensor> {
+ public:
+  explicit BinaryHdTransport(std::int64_t dim) : dim_(dim) {}
+
+  fhdnn::channel::TransportStats transmit(Tensor& /*update*/,
+                                          std::size_t /*client*/,
+                                          Rng& /*client_rng*/,
+                                          const Rng& /*round_rng*/)
+      const override {
+    fhdnn::channel::TransportStats s;
+    s.payload_scalars = static_cast<std::uint64_t>(dim_);
+    s.payload_bytes = static_cast<std::uint64_t>((dim_ + 7) / 8);
+    s.bits_on_air = static_cast<std::uint64_t>(dim_);
+    return s;
+  }
+
+  std::uint64_t update_bytes(std::uint64_t scalars) const override {
+    return (scalars + 7) / 8;
+  }
+
+  std::string name() const override { return "binary-hd"; }
+
+ private:
+  std::int64_t dim_;
+};
+
+/// Streams updates through the exact-sum fan-in tree: leaves of `fan_in`
+/// updates merge into the root accumulator, so the reduction is the same
+/// shape hierarchical_sum pins — and, because ExactSumVector is exactly
+/// associative, bit-identical to a flat sum regardless of fan-in.
+class TreeSumAggregator final : public fhdnn::fl::Aggregator<Tensor> {
+ public:
+  TreeSumAggregator(std::int64_t dim, std::size_t fan_in)
+      : dim_(static_cast<std::size_t>(dim)),
+        fan_in_(std::max<std::size_t>(fan_in, 2)),
+        root_(dim_),
+        leaf_(dim_),
+        global_(Shape{dim}) {}
+
+  void begin_round() override {
+    root_.clear();
+    leaf_.clear();
+    leaf_count_ = 0;
+    weight_total_ = 0.0;
+    merges_ = 0;
+  }
+
+  void accumulate(std::size_t client, Tensor&& update) override {
+    accumulate_weighted(client, std::move(update), 1.0);
+  }
+
+  void accumulate_weighted(std::size_t /*client*/, Tensor&& update,
+                           double weight) override {
+    if (weight != 1.0) {
+      for (auto& v : update.data()) v *= static_cast<float>(weight);
+    }
+    leaf_.add(update.data());
+    weight_total_ += weight;
+    if (++leaf_count_ == fan_in_) flush_leaf();
+  }
+
+  void commit(std::size_t delivered) override {
+    commit_weighted(delivered, static_cast<double>(delivered));
+  }
+
+  void commit_weighted(std::size_t /*n_updates*/,
+                       double total_weight) override {
+    flush_leaf();
+    root_.round_to(global_.data());
+    if (total_weight > 0.0) {
+      const float inv = 1.0F / static_cast<float>(total_weight);
+      for (auto& v : global_.data()) v *= inv;
+    }
+  }
+
+  const Tensor& global() const { return global_; }
+  std::size_t merges() const { return merges_; }
+
+ private:
+  void flush_leaf() {
+    if (leaf_count_ == 0) return;
+    root_.add(leaf_);
+    leaf_.clear();
+    leaf_count_ = 0;
+    ++merges_;
+  }
+
+  std::size_t dim_;
+  std::size_t fan_in_;
+  fhdnn::util::ExactSumVector root_;
+  fhdnn::util::ExactSumVector leaf_;
+  std::size_t leaf_count_ = 0;
+  double weight_total_ = 0.0;
+  std::size_t merges_ = 0;
+  Tensor global_;
+};
+
+/// Peak resident set in MiB: VmHWM from /proc/self/status, falling back to
+/// getrusage (ru_maxrss is KiB on Linux).
+double peak_rss_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream is(line.substr(6));
+      double kib = 0.0;
+      is >> kib;
+      if (kib > 0.0) return kib / 1024.0;
+    }
+  }
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fhdnn::bench::init();
+  fhdnn::CliFlags flags;
+  flags.define_int("registered", 1'000'000, "registered fleet size");
+  flags.define_int("sampled", 10'000, "clients sampled per round");
+  flags.define_int("rounds", 3, "federated rounds to simulate");
+  flags.define_int("dim", 1000, "synthetic HD update dimensionality");
+  flags.define_int("fan-in", 16, "aggregation tree fan-in");
+  flags.define_int("threads", 0, "thread-pool width (0 = default)");
+  flags.define_string("json", "BENCH_scale.json",
+                      "output path for the machine-readable summary");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto registered = static_cast<std::size_t>(flags.get_int("registered"));
+  const auto sampled = static_cast<std::size_t>(flags.get_int("sampled"));
+  const int rounds = static_cast<int>(flags.get_int("rounds"));
+  const std::int64_t dim = flags.get_int("dim");
+  const auto fan_in = static_cast<std::size_t>(flags.get_int("fan-in"));
+  const int threads = static_cast<int>(flags.get_int("threads"));
+  const std::string json_path = flags.get_string("json");
+  if (threads > 0) fhdnn::parallel::set_num_threads(threads);
+
+  fhdnn::print_banner(std::cout, "scale: discrete-event million-client rounds");
+  fhdnn::bench::print_config_line(
+      "registered=" + std::to_string(registered) +
+      " sampled=" + std::to_string(sampled) +
+      " rounds=" + std::to_string(rounds) + " dim=" + std::to_string(dim) +
+      " fan_in=" + std::to_string(fan_in) +
+      " threads=" + std::to_string(fhdnn::parallel::num_threads()));
+
+  SyntheticHdLearner learner(dim);
+  BinaryHdTransport transport(dim);
+  TreeSumAggregator aggregator(dim, fan_in);
+  fhdnn::fl::ProtocolAdapter<Tensor> adapter(learner, transport, aggregator);
+
+  fhdnn::fl::EngineConfig cfg;
+  cfg.n_clients = 0;
+  cfg.client_fraction =
+      static_cast<double>(sampled) / static_cast<double>(registered);
+  cfg.rounds = rounds;
+  cfg.eval_every = rounds;  // evaluation is a stub; skip per-round calls
+  cfg.seed = 23;
+  cfg.name = "scale";
+  cfg.population.n_registered = registered;
+  cfg.population.mean_availability = 0.8;
+  cfg.population.straggler_fraction = 0.1;
+  cfg.population.straggler_slowdown = 4.0;
+  cfg.population.compute_spread = 0.5;
+  cfg.population.link_spread_max = 2.0;
+  cfg.deadline.enabled = true;
+  cfg.deadline.timeline.update_bits = static_cast<std::uint64_t>(dim);
+  cfg.deadline.timeline.fhdnn = true;
+  cfg.deadline.timeline.compute_jitter = 0.1;
+  cfg.deadline.deadline_factor = 4.0;
+  fhdnn::fl::RoundEngine engine(cfg, adapter);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto history = engine.run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::uint64_t events_total = 0;
+  std::uint64_t accepted_total = 0;
+  std::uint64_t sampled_total = 0;
+  for (const auto& m : history.rounds()) {
+    events_total += m.events;
+    accepted_total += m.clients;
+    sampled_total += m.sampled;
+  }
+  const double rss = peak_rss_mib();
+  const double events_per_sec =
+      wall > 0.0 ? static_cast<double>(events_total) / wall : 0.0;
+  const double rounds_per_sec =
+      wall > 0.0 ? static_cast<double>(rounds) / wall : 0.0;
+
+  fhdnn::TextTable table({"round", "sampled", "accepted", "dropped",
+                          "timed_out", "events", "sim_seconds"});
+  for (const auto& m : history.rounds()) {
+    table.add_row({fhdnn::TextTable::cell(static_cast<int>(m.round)),
+                   fhdnn::TextTable::cell(m.sampled),
+                   fhdnn::TextTable::cell(m.clients),
+                   fhdnn::TextTable::cell(m.dropped),
+                   fhdnn::TextTable::cell(m.timed_out),
+                   fhdnn::TextTable::cell(static_cast<std::size_t>(m.events)),
+                   fhdnn::TextTable::cell(m.simulated_round_seconds)});
+  }
+  table.print(std::cout);
+  std::cout << "peak_rss_mib=" << rss << " events=" << events_total
+            << " events_per_sec=" << events_per_sec
+            << " rounds_per_sec=" << rounds_per_sec
+            << " sim_seconds=" << engine.sim_seconds()
+            << " tree_merges=" << aggregator.merges() << "\n\n";
+
+  fhdnn::CsvWriter csv(std::cout, {"round", "sampled", "accepted", "dropped",
+                                   "timed_out", "events", "sim_seconds"});
+  for (const auto& m : history.rounds()) {
+    csv.add(static_cast<int>(m.round))
+        .add(static_cast<std::size_t>(m.sampled))
+        .add(static_cast<std::size_t>(m.clients))
+        .add(static_cast<std::size_t>(m.dropped))
+        .add(static_cast<std::size_t>(m.timed_out))
+        .add(static_cast<std::size_t>(m.events))
+        .add(m.simulated_round_seconds)
+        .end_row();
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"scale_million_clients\",\n"
+       << "  \"registered\": " << registered << ",\n"
+       << "  \"sampled_per_round\": " << sampled << ",\n"
+       << "  \"rounds\": " << rounds << ",\n"
+       << "  \"dim\": " << dim << ",\n"
+       << "  \"fan_in\": " << fan_in << ",\n"
+       << "  \"threads\": " << fhdnn::parallel::num_threads() << ",\n"
+       << "  \"wall_seconds\": " << wall << ",\n"
+       << "  \"peak_rss_mib\": " << rss << ",\n"
+       << "  \"events_total\": " << events_total << ",\n"
+       << "  \"events_per_sec\": " << events_per_sec << ",\n"
+       << "  \"rounds_per_sec\": " << rounds_per_sec << ",\n"
+       << "  \"sampled_total\": " << sampled_total << ",\n"
+       << "  \"accepted_total\": " << accepted_total << ",\n"
+       << "  \"sim_seconds\": " << engine.sim_seconds() << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

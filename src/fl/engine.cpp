@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "util/check.hpp"
@@ -17,7 +18,9 @@ RoundEngine::RoundEngine(EngineConfig config, RoundProtocol& protocol)
     : config_(std::move(config)),
       protocol_(protocol),
       root_rng_(config_.seed),
-      sampler_(config_.n_clients, config_.client_fraction),
+      sampler_(config_.population.enabled() ? config_.population.n_registered
+                                            : config_.n_clients,
+               config_.client_fraction),
       faults_(config_.faults, config_.n_clients, root_rng_.fork("faults")) {
   // Contract builds refuse to start training in an FP environment that
   // cannot reproduce the golden histories (FTZ/DAZ/non-nearest rounding).
@@ -25,6 +28,8 @@ RoundEngine::RoundEngine(EngineConfig config, RoundProtocol& protocol)
   FHDNN_CHECK(config_.rounds > 0, "engine rounds " << config_.rounds);
   FHDNN_CHECK(config_.dropout_prob >= 0.0 && config_.dropout_prob < 1.0,
               "dropout_prob " << config_.dropout_prob);
+  FHDNN_CHECK(!(config_.deadline.enabled && config_.async.enabled),
+              "deadline and buffered-async rounds are mutually exclusive");
   if (config_.deadline.enabled) {
     FHDNN_CHECK(config_.deadline.over_selection >= 0.0,
                 "deadline over_selection " << config_.deadline.over_selection);
@@ -32,30 +37,58 @@ RoundEngine::RoundEngine(EngineConfig config, RoundProtocol& protocol)
                 "deadline_factor " << config_.deadline.deadline_factor);
     config_.deadline.timeline.link.validate();
     timeline_.emplace(config_.deadline.timeline);
+  } else if (config_.async.enabled) {
+    FHDNN_CHECK(config_.async.over_selection >= 0.0,
+                "async over_selection " << config_.async.over_selection);
+    FHDNN_CHECK(config_.async.staleness_exponent >= 0.0,
+                "staleness_exponent " << config_.async.staleness_exponent);
+    FHDNN_CHECK(config_.async.max_staleness >= 0,
+                "max_staleness " << config_.async.max_staleness);
+    config_.async.timeline.link.validate();
+    timeline_.emplace(config_.async.timeline);
+  }
+  if (config_.population.enabled()) {
+    // Availability windows are predicates on simulated time, so the sparse
+    // fleet only makes sense under a timed acceptance mode.
+    FHDNN_CHECK(timeline_.has_value(),
+                "population mode requires deadline or async rounds");
+    population_.emplace(config_.population, root_rng_);
   }
 }
 
 double RoundEngine::deadline_seconds() const {
-  if (!timeline_) return 0.0;
+  if (!config_.deadline.enabled || !timeline_) return 0.0;
   return config_.deadline.deadline_factor * timeline_->nominal_round_seconds();
 }
 
 RoundMetrics RoundEngine::round(int round_index) {
+  // Wall-clock measurement for RoundMetrics::wall_seconds — the one field
+  // outside the simulated-time contract, and the one sanctioned wall-clock
+  // read in src/fl/ (everything else runs on the event clock).
+  // fhdnn-lint: allow(sim-clock)
   const auto start = std::chrono::steady_clock::now();
   Rng round_rng = root_rng_.fork("round-" + std::to_string(round_index));
   Rng sample_rng = round_rng.fork("sample");
 
-  // Deadline rounds over-select so late/faulty participants can be replaced
+  // Timed rounds over-select so late/faulty participants can be replaced
   // by faster ones without shrinking the effective round size.
-  const bool deadline_on = timeline_.has_value();
+  const bool deadline_on = config_.deadline.enabled;
+  const bool async_on = config_.async.enabled;
+  const bool timed = timeline_.has_value();
+  const bool pop_on = population_.has_value();
   const std::size_t target = sampler_.clients_per_round();
   std::size_t draw = target;
   if (deadline_on) {
     draw = static_cast<std::size_t>(
         std::ceil(static_cast<double>(target) *
                   (1.0 + config_.deadline.over_selection)));
+  } else if (async_on) {
+    draw = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(target) *
+                  (1.0 + config_.async.over_selection)));
   }
-  const auto participants = sampler_.sample(sample_rng, draw);
+  const auto participants = pop_on ? population_->sample(sample_rng, draw)
+                                   : sampler_.sample(sample_rng, draw);
   const std::size_t n = participants.size();
 
   RoundMetrics metrics;
@@ -82,10 +115,25 @@ RoundMetrics RoundEngine::round(int round_index) {
     }
   }
 
-  // Deadline rounds: pre-draw per-slot compute jitter serially in slot
+  // Sparse population: a sampled client asleep at round start (its
+  // availability window is a pure function of (seed, id, sim clock))
+  // never trains and never reaches the channel — it just counts dropped.
+  // This is also what bounds per-round work by the awake cohort.
+  std::vector<char> awake;
+  if (pop_on) {
+    awake.assign(n, 1);
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (!population_->available_at(participants[slot], sim_now_)) {
+        awake[slot] = 0;
+        delivered_flag[slot] = 0;
+      }
+    }
+  }
+
+  // Timed rounds: pre-draw per-slot compute jitter serially in slot
   // order, same contract as the dropout coins.
   std::vector<double> jitter;
-  if (deadline_on) {
+  if (timed) {
     Rng jitter_rng = round_rng.fork("jitter");
     const double j = timeline_->config().compute_jitter;
     jitter.resize(n, 1.0);
@@ -104,6 +152,7 @@ RoundMetrics RoundEngine::round(int round_index) {
         util::tls_workspace().reset();
         for (std::int64_t i = i0; i < i1; ++i) {
           const auto slot = static_cast<std::size_t>(i);
+          if (pop_on && !awake[slot]) continue;  // asleep: no local work
           reports[slot] = protocol_.run_client(
               slot, participants[slot], round_rng, delivered_flag[slot] != 0);
           // Client boundary: every kernel/layer Scope opened while running
@@ -115,46 +164,99 @@ RoundMetrics RoundEngine::round(int round_index) {
         }
       });
 
-  // Deadline acceptance: simulate each delivery's duration from its
-  // measured transport stats (retransmitted bits lengthen the upload, ARQ
-  // backoff adds directly), then accept the first `target` finishers
-  // within the deadline, ties broken by slot — a deterministic order at
-  // any thread count. Late deliveries were on the air (traffic charged
-  // below) but never reach the aggregator.
+  // Discrete-event acceptance (timed modes). Each delivered participant
+  // schedules its kTrainDone and kUploadArrival instants; the server
+  // replays the queue in the deterministic (time, client, seq) order and
+  // decides acceptance event by event:
+  //   * deadline rounds — accept arrivals until the deadline event fires
+  //     or `target` are in; bit-identical to the pre-event sort-based
+  //     acceptance (the kDeadline event carries client = SIZE_MAX, so an
+  //     arrival exactly at the deadline still pops first, matching the
+  //     old `seconds <= deadline` rule; ties among arrivals break by
+  //     client id, which equals the old slot-order tie-break because
+  //     participants are sorted).
+  //   * buffered-async rounds — the Kth arrival closes the round; later
+  //     arrivals are marked late and handed to the protocol's staleness
+  //     buffer instead of being discarded.
   std::vector<char> accepted = delivered_flag;
+  std::vector<char> late(n, 0);
   double simulated_seconds = 0.0;
-  if (deadline_on) {
+  if (timed) {
     const double deadline = deadline_seconds();
-    std::vector<std::pair<double, std::size_t>> finishers;
-    finishers.reserve(n);
+    std::size_t cap = target;
+    if (async_on && config_.async.buffer_size > 0) {
+      cap = config_.async.buffer_size;
+    }
+    events_.clear(0.0);
     for (std::size_t slot = 0; slot < n; ++slot) {
       if (!delivered_flag[slot]) continue;
-      finishers.emplace_back(
-          timeline_->client_round_seconds(reports[slot].stats,
-                                          faults_.slowdown(participants[slot]),
-                                          jitter[slot]),
-          slot);
+      double slowdown = faults_.slowdown(participants[slot]);
+      double link_factor = 1.0;
+      if (pop_on) {
+        const ClientProfile prof = population_->profile(participants[slot]);
+        slowdown *= prof.compute_factor;
+        link_factor = prof.link_factor;
+      }
+      const double train_done =
+          timeline_->client_compute_seconds(slowdown, jitter[slot]);
+      // Dense mode reuses client_round_seconds wholesale so the arrival
+      // instant is the exact double the pre-event acceptance sorted on.
+      const double arrival =
+          pop_on ? train_done + timeline_->client_upload_seconds(
+                                    reports[slot].stats, link_factor)
+                 : timeline_->client_round_seconds(reports[slot].stats,
+                                                   slowdown, jitter[slot]);
+      events_.push(Event{train_done, participants[slot], 0,
+                         EventKind::kTrainDone, slot});
+      events_.push(Event{arrival, participants[slot], 1,
+                         EventKind::kUploadArrival, slot});
     }
-    std::sort(finishers.begin(), finishers.end());
+    if (deadline_on) {
+      events_.push(Event{deadline, std::numeric_limits<std::size_t>::max(), 0,
+                         EventKind::kDeadline, 0});
+    }
     std::fill(accepted.begin(), accepted.end(), 0);
+    bool deadline_passed = false;
     std::size_t taken = 0;
-    double slowest_accepted = 0.0;
-    for (const auto& [seconds, slot] : finishers) {
-      if (taken < target && seconds <= deadline) {
-        accepted[slot] = 1;
-        slowest_accepted = seconds;
+    std::size_t arrivals = 0;
+    double last_accept = 0.0;
+    double last_arrival = 0.0;
+    while (!events_.empty()) {
+      const Event e = events_.pop();
+      if (e.kind == EventKind::kDeadline) {
+        deadline_passed = true;
+        continue;
+      }
+      if (e.kind != EventKind::kUploadArrival) continue;
+      ++arrivals;
+      last_arrival = e.time;
+      if (!deadline_passed && taken < cap) {
+        accepted[e.slot] = 1;
+        last_accept = e.time;
         ++taken;
+      } else if (async_on) {
+        late[e.slot] = 1;
       }
     }
-    // The round ends the moment the server has its target count of
-    // updates; short rounds wait out the full deadline.
-    simulated_seconds = (taken == target) ? slowest_accepted : deadline;
+    metrics.events = events_.processed();
+    if (deadline_on) {
+      // The round ends the moment the server has its target count of
+      // updates; short rounds wait out the full deadline.
+      simulated_seconds = (taken == cap) ? last_accept : deadline;
+    } else {
+      // Async: the buffer filling closes the round; a round whose arrivals
+      // all fit under the cap ends at the final arrival, and a round with
+      // no arrivals at all idles for one nominal round.
+      simulated_seconds = arrivals == 0
+                              ? timeline_->nominal_round_seconds()
+                              : (taken == cap ? last_accept : last_arrival);
+    }
   }
 
   // Serial accounting in fixed participant order. Traffic is charged for
-  // everything that went on the air (accepted or timed out); loss averages
-  // over the accepted participants only — they are the round's effective
-  // cohort.
+  // everything that went on the air (accepted, buffered late, or timed
+  // out); loss averages over the accepted participants only — they are
+  // the round's effective cohort.
   double loss_total = 0.0;
   std::size_t delivered = 0;
   std::size_t accepted_n = 0;
@@ -173,14 +275,30 @@ RoundMetrics RoundEngine::round(int round_index) {
       loss_total += reports[slot].loss;
     }
   }
-  protocol_.reduce(participants, accepted);
+  if (async_on) {
+    const auto async_stats = protocol_.reduce_async(
+        participants, accepted, late, config_.async.staleness_exponent,
+        config_.async.max_staleness);
+    metrics.stale_accepted = async_stats.stale_applied;
+  } else {
+    protocol_.reduce(participants, accepted);
+  }
 
   metrics.clients = accepted_n;
   metrics.dropped = n - delivered;
   metrics.timed_out = delivered - accepted_n;
   metrics.simulated_round_seconds = simulated_seconds;
+  sim_now_ += simulated_seconds;
   metrics.train_loss =
       accepted_n ? loss_total / static_cast<double>(accepted_n) : 0.0;
+  // The documented RoundMetrics invariant, enforced at round commit:
+  // every sampled participant is accounted exactly once.
+  FHDNN_CHECKED_ASSERT(
+      metrics.clients + metrics.dropped + metrics.timed_out == metrics.sampled,
+      "round accounting: clients " << metrics.clients << " + dropped "
+                                   << metrics.dropped << " + timed_out "
+                                   << metrics.timed_out << " != sampled "
+                                   << metrics.sampled);
   if (round_index % std::max(1, config_.eval_every) == 0 ||
       round_index == config_.rounds) {
     metrics.test_accuracy = protocol_.evaluate();
@@ -188,9 +306,9 @@ RoundMetrics RoundEngine::round(int round_index) {
     metrics.test_accuracy =
         history_.empty() ? 0.0 : history_.rounds().back().test_accuracy;
   }
-  metrics.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  // fhdnn-lint: allow(sim-clock)
+  const auto wall_end = std::chrono::steady_clock::now();
+  metrics.wall_seconds = std::chrono::duration<double>(wall_end - start).count();
   return metrics;
 }
 

@@ -28,6 +28,28 @@
 // traffic is charged (RoundMetrics::timed_out). Both layers are off by
 // default and change nothing when off.
 //
+// Timed rounds are DISCRETE-EVENT (DESIGN.md §12): whenever a timeline is
+// configured (deadline or buffered-async mode), each delivered
+// participant schedules kTrainDone and kUploadArrival events on the
+// engine's EventQueue and the server's acceptance decision replays them
+// in deterministic simulated-time order — (time, client, seq), never
+// insertion or thread order. On top of the event clock sit two opt-in
+// scale layers:
+//   * PopulationConfig — a sparse ClientPopulation of millions of
+//     registered clients (fl/population.hpp) whose availability windows,
+//     compute factors, and link quality are pure functions of
+//     (seed, client id); only the sampled clients of a round hold any
+//     state, so memory is bounded by the round size, not the fleet size.
+//     Sampled clients asleep at round start never train (counted as
+//     dropped); awake clients' compute/link factors stretch their event
+//     times. Requires a timed mode (deadline or async).
+//   * AsyncConfig — FedBuff-style buffered-async acceptance: the round
+//     commits when the first K uploads have arrived; later arrivals are
+//     buffered (RoundMetrics::timed_out in their arrival round) and
+//     folded into a later round's aggregate with staleness weight
+//     (1 + staleness)^-exponent (RoundMetrics::stale_accepted), or
+//     expired past max_staleness. Mutually exclusive with deadline mode.
+//
 // Determinism contract (DESIGN.md §6): every round forks a named stream
 // root.fork("round-<r>"), from which the engine forks "sample", "dropout",
 // "jitter" (deadline rounds), and "client-<id>" per participant; seams
@@ -39,15 +61,19 @@
 // at every FHDNN_THREADS setting (wall_seconds excepted).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "channel/transport.hpp"
+#include "fl/events.hpp"
 #include "fl/faults.hpp"
 #include "fl/history.hpp"
+#include "fl/population.hpp"
 #include "fl/sampler.hpp"
 #include "fl/timeline.hpp"
 #include "util/rng.hpp"
@@ -91,6 +117,24 @@ class Aggregator {
   virtual void begin_round() = 0;
   virtual void accumulate(std::size_t client, Update&& update) = 0;
   virtual void commit(std::size_t delivered) = 0;
+
+  /// Buffered-async rounds fold updates in with a staleness weight (fresh
+  /// arrivals get 1.0). The default ignores the weight — correct only for
+  /// aggregators whose commit doesn't normalize by count; weighted
+  /// protocols override both weighted hooks together.
+  virtual void accumulate_weighted(std::size_t client, Update&& update,
+                                   double weight) {
+    (void)weight;
+    accumulate(client, std::move(update));
+  }
+
+  /// Commit `n_updates` accumulated with total weight `total_weight`
+  /// (fresh count 1.0 each + staleness-weighted late ones). Default
+  /// delegates to commit(n_updates), ignoring the weights.
+  virtual void commit_weighted(std::size_t n_updates, double total_weight) {
+    (void)total_weight;
+    commit(n_updates);
+  }
 };
 
 /// What the engine learns about one participant's parallel task.
@@ -121,6 +165,31 @@ class RoundProtocol {
   /// pre-drawn delivery coin.
   virtual void reduce(const std::vector<std::size_t>& participants,
                       const std::vector<char>& delivered) = 0;
+
+  /// What a buffered-async reduction did with the cross-round buffer.
+  struct AsyncReduceStats {
+    std::size_t stale_applied = 0;  ///< buffered updates folded in (weighted)
+    std::size_t stale_expired = 0;  ///< buffered updates dropped (too stale)
+    std::size_t buffered = 0;       ///< this round's late arrivals buffered
+  };
+
+  /// Buffered-async reduction: fold the `accepted` slots in at weight 1.0
+  /// plus any buffered late updates from earlier rounds at
+  /// (1 + staleness)^-staleness_exponent, then buffer this round's `late`
+  /// slots for a later round (expired past max_staleness). The default
+  /// ignores the buffer and reduces the accepted slots synchronously —
+  /// protocols that can hold updates across rounds (ProtocolAdapter)
+  /// override it.
+  virtual AsyncReduceStats reduce_async(
+      const std::vector<std::size_t>& participants,
+      const std::vector<char>& accepted, const std::vector<char>& late,
+      double staleness_exponent, int max_staleness) {
+    (void)late;
+    (void)staleness_exponent;
+    (void)max_staleness;
+    reduce(participants, accepted);
+    return {};
+  }
 
   virtual double evaluate() = 0;
 };
@@ -170,13 +239,71 @@ class ProtocolAdapter final : public RoundProtocol {
     if (n > 0) aggregator_.commit(n);
   }
 
+  /// FedBuff-style buffered reduction. Serial, deterministic order:
+  /// surviving buffered updates first (in the order they were buffered),
+  /// then this round's accepted slots in slot order; late slots move into
+  /// the buffer at staleness 0 and age by one each subsequent round.
+  AsyncReduceStats reduce_async(const std::vector<std::size_t>& participants,
+                                const std::vector<char>& accepted,
+                                const std::vector<char>& late,
+                                double staleness_exponent,
+                                int max_staleness) override {
+    AsyncReduceStats stats;
+    aggregator_.begin_round();
+    // Age the buffer; expire entries past max_staleness before applying.
+    std::vector<StaleUpdate> survivors;
+    survivors.reserve(stale_.size());
+    for (auto& entry : stale_) {
+      ++entry.staleness;
+      if (entry.staleness > max_staleness) {
+        ++stats.stale_expired;
+      } else {
+        survivors.push_back(std::move(entry));
+      }
+    }
+    stale_ = std::move(survivors);
+    double total_weight = 0.0;
+    std::size_t applied = 0;
+    for (auto& entry : stale_) {
+      const double w =
+          std::pow(1.0 + static_cast<double>(entry.staleness),
+                   -staleness_exponent);
+      aggregator_.accumulate_weighted(entry.client, std::move(entry.update), w);
+      total_weight += w;
+      ++applied;
+      ++stats.stale_applied;
+    }
+    stale_.clear();
+    for (std::size_t slot = 0; slot < participants.size(); ++slot) {
+      if (accepted[slot]) {
+        aggregator_.accumulate_weighted(participants[slot],
+                                        std::move(outcomes_[slot]), 1.0);
+        total_weight += 1.0;
+        ++applied;
+      } else if (late[slot]) {
+        stale_.push_back(
+            StaleUpdate{participants[slot], 0, std::move(outcomes_[slot])});
+        ++stats.buffered;
+      }
+    }
+    if (applied > 0) aggregator_.commit_weighted(applied, total_weight);
+    return stats;
+  }
+
   double evaluate() override { return learner_.evaluate(); }
 
  private:
+  struct StaleUpdate {
+    std::size_t client = 0;
+    int staleness = 0;  ///< rounds since arrival (0 = arrived this round)
+    Update update{};
+  };
+
   LocalLearner<Update>& learner_;
   channel::Transport<Update>& transport_;
   Aggregator<Update>& aggregator_;
   std::vector<Update> outcomes_;
+  std::vector<StaleUpdate> stale_;  ///< cross-round buffered-async backlog
 };
 
 /// Deadline-based round policy (paper §4.4's timing model driving the
@@ -199,6 +326,23 @@ struct DeadlineConfig {
   double deadline_factor = 1.5;  ///< deadline = factor * nominal round time
 };
 
+/// Buffered-async acceptance (FedBuff-style). The round boundary is the
+/// Kth upload arrival instead of a deadline: the server aggregates as
+/// soon as its buffer fills, and anything still in flight lands in a
+/// later round's aggregate, down-weighted by how many rounds it missed.
+/// Mutually exclusive with DeadlineConfig.
+struct AsyncConfig {
+  bool enabled = false;
+  /// Device / LTE model the event times come from; timeline.update_bits
+  /// must be set when enabled.
+  TimelineConfig timeline;
+  /// Arrivals that close the round; 0 means clients_per_round().
+  std::size_t buffer_size = 0;
+  double over_selection = 0.25;     ///< eps: extra participants sampled
+  double staleness_exponent = 0.5;  ///< weight = (1+staleness)^-exponent
+  int max_staleness = 2;            ///< buffered rounds before expiry
+};
+
 /// Engine knobs shared by every federated protocol (paper notation).
 struct EngineConfig {
   std::size_t n_clients = 0;
@@ -210,6 +354,13 @@ struct EngineConfig {
   std::string name = "engine";   ///< log prefix ("fedavg", "fedhd", ...)
   FaultConfig faults;            ///< per-client fault injection (off by default)
   DeadlineConfig deadline;       ///< deadline-based rounds (off by default)
+  /// Sparse registered-client fleet (off by default). When enabled,
+  /// n_clients is ignored for sampling: participants are drawn from
+  /// population.n_registered ids, and client_fraction applies to the
+  /// registered count. Requires deadline or async mode (availability
+  /// windows need a simulated clock).
+  PopulationConfig population;
+  AsyncConfig async;             ///< buffered-async rounds (off by default)
 };
 
 /// The shared synchronous round loop. See the file header for the seam
@@ -237,6 +388,16 @@ class RoundEngine {
   /// rounds are disabled.
   double deadline_seconds() const;
 
+  /// Simulated campaign clock: total simulated seconds elapsed across the
+  /// rounds run so far (0 when no timed mode is configured). Availability
+  /// windows of the sparse population are evaluated against this clock.
+  double sim_seconds() const { return sim_now_; }
+
+  /// The sparse registered fleet, when population mode is on.
+  const ClientPopulation* population() const {
+    return population_ ? &*population_ : nullptr;
+  }
+
  private:
   EngineConfig config_;
   RoundProtocol& protocol_;
@@ -244,6 +405,9 @@ class RoundEngine {
   ClientSampler sampler_;
   FaultModel faults_;
   std::optional<FlTimeline> timeline_;
+  std::optional<ClientPopulation> population_;
+  EventQueue events_;
+  double sim_now_ = 0.0;
   TrainingHistory history_;
 };
 

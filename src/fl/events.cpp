@@ -1,0 +1,55 @@
+#include "fl/events.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fhdnn::fl {
+
+namespace {
+
+// std::push_heap/pop_heap build a max-heap under the supplied comparator;
+// inverting event_before turns it into a min-heap on the total order.
+bool heap_after(const Event& a, const Event& b) { return event_before(b, a); }
+
+}  // namespace
+
+void EventQueue::push(const Event& e) {
+  FHDNN_CHECK(std::isfinite(e.time), "EventQueue::push: non-finite event time");
+  std::lock_guard<std::mutex> lock(mutex_);
+  FHDNN_CHECK(e.time >= now_, "EventQueue::push: event scheduled before now()");
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
+}
+
+Event EventQueue::pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FHDNN_CHECK(!heap_.empty(), "EventQueue::pop: queue is empty");
+  std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+  Event e = heap_.back();
+  heap_.pop_back();
+  now_ = e.time;
+  ++processed_;
+  return e;
+}
+
+bool EventQueue::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.empty();
+}
+
+std::size_t EventQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size();
+}
+
+void EventQueue::clear(double start) {
+  FHDNN_CHECK(std::isfinite(start), "EventQueue::clear: non-finite start time");
+  std::lock_guard<std::mutex> lock(mutex_);
+  heap_.clear();
+  now_ = start;
+  processed_ = 0;
+}
+
+}  // namespace fhdnn::fl

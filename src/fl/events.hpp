@@ -1,0 +1,101 @@
+// Discrete-event scheduling for federated rounds (DESIGN.md §12).
+//
+// The round engine models client behaviour in *simulated* seconds: a client
+// finishes local training at one instant, its upload arrives at the server
+// at a later one, and the server's deadline fires at a third. EventQueue is
+// the single source of that ordering. It subsumes PR 3's FlTimeline-driven
+// acceptance sort: instead of collecting (finish_time, slot) pairs and
+// sorting once, the engine schedules kTrainDone / kUploadArrival /
+// kDeadline events and pops them in simulated-time order, which is also
+// the shape that buffered-async rounds and sparse-population availability
+// windows need.
+//
+// Determinism contract: the pop order is the total order
+//     (time, client, seq, kind, slot)
+// and NEVER depends on insertion order or on which thread pushed an event.
+// (client, seq) is the documented tie-break for simultaneous events —
+// callers give each of a client's events within a round distinct seq
+// numbers; kind/slot only break ties between pathological fully-identical
+// keys so the comparator stays a strict total order. push() is guarded by
+// a mutex so parallel workers may publish events concurrently; pop() is
+// single-consumer (the engine's serial acceptance loop).
+//
+// The queue carries its own simulated clock: now() is the timestamp of the
+// last popped event, and pushing an event earlier than now() throws —
+// simulated time never runs backwards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fhdnn::fl {
+
+/// What happened at a simulated instant. The engine only acts on
+/// kUploadArrival and kDeadline; kTrainDone events advance the clock and
+/// make the trace auditable.
+enum class EventKind : std::uint8_t {
+  kTrainDone = 0,      ///< a client finished local compute
+  kUploadArrival = 1,  ///< a client's update fully arrived at the server
+  kDeadline = 2,       ///< the round's acceptance deadline fired
+};
+
+struct Event {
+  double time = 0.0;        ///< simulated seconds
+  std::size_t client = 0;   ///< client id (kDeadline uses SIZE_MAX)
+  std::uint64_t seq = 0;    ///< per-client tie-break within a round
+  EventKind kind = EventKind::kTrainDone;
+  std::size_t slot = 0;     ///< engine slot / payload index
+};
+
+/// Strict total order: (time, client, seq, kind, slot) ascending. A
+/// kDeadline event at client = SIZE_MAX therefore sorts *after* every
+/// same-instant arrival — an upload landing exactly at the deadline is
+/// accepted, matching the `<=` deadline rule of the pre-event engine.
+constexpr bool event_before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.client != b.client) return a.client < b.client;
+  if (a.seq != b.seq) return a.seq < b.seq;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.slot < b.slot;
+}
+
+/// Min-queue over Event under event_before. See the file header for the
+/// determinism and clock contracts.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedule `e`. Thread-safe; the pop order is independent of push order
+  /// and pushing thread. Throws if e.time is non-finite or before now().
+  void push(const Event& e);
+
+  /// Remove and return the next event in (time, client, seq, kind, slot)
+  /// order, advancing now(). Throws when empty. Single-consumer.
+  Event pop();
+
+  bool empty() const;
+  std::size_t size() const;
+
+  /// Simulated timestamp of the last popped event (0 before the first pop,
+  /// after clear(), or on a fresh queue). Monotone non-decreasing.
+  double now() const { return now_; }
+
+  /// Events popped since construction / the last clear().
+  std::uint64_t processed() const { return processed_; }
+
+  /// Drop all pending events and rewind now() to `start` (a new round may
+  /// legitimately restart the clock at the campaign time).
+  void clear(double start = 0.0);
+
+ private:
+  // Binary min-heap under event_before; push locks, pop does not (the
+  // consumer is serial by contract).
+  std::vector<Event> heap_;
+  mutable std::mutex mutex_;
+  double now_ = 0.0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace fhdnn::fl

@@ -23,6 +23,10 @@ FaultModel::FaultModel(FaultConfig config, std::size_t n_clients,
               "outage_rounds " << config_.outage_rounds);
   FHDNN_CHECK(config_.error_multiplier_max >= 1.0,
               "error_multiplier_max " << config_.error_multiplier_max);
+  // A disabled model keeps no per-client state: slowdown()/error_scale()
+  // fall back to 1.0 for any client, so a sparse million-client engine
+  // with faults off stays O(1) here instead of building dense tables.
+  if (!enabled_) return;
   slowdown_.reserve(n_clients);
   error_scale_.reserve(n_clients);
   // Static traits, drawn in client order from per-client named forks.

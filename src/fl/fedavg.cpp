@@ -204,8 +204,16 @@ class FedAvgAggregator final : public Aggregator<std::vector<float>> {
   }
 
   void accumulate(std::size_t client, std::vector<float>&& state) override {
+    accumulate_weighted(client, std::move(state), 1.0);
+  }
+
+  /// Buffered-async staleness weight multiplies the data-size weight, so a
+  /// stale update from a big client still outweighs a fresh tiny one —
+  /// and the weight it adds to the normalizer is discounted the same way.
+  void accumulate_weighted(std::size_t client, std::vector<float>&& state,
+                           double weight) override {
     const double w =
-        static_cast<double>(learner_.parts()[client].size());
+        static_cast<double>(learner_.parts()[client].size()) * weight;
     for (std::size_t i = 0; i < state.size(); ++i) {
       aggregate_[i] += static_cast<float>(w) * state[i];
     }
@@ -217,6 +225,12 @@ class FedAvgAggregator final : public Aggregator<std::vector<float>> {
     const float inv = static_cast<float>(1.0 / weight_total_);
     for (auto& v : aggregate_) v *= inv;
     nn::set_state(learner_.global_model(), aggregate_);
+  }
+
+  void commit_weighted(std::size_t delivered,
+                       double /*total_weight*/) override {
+    // weight_total_ already folds the staleness discounts in.
+    commit(delivered);
   }
 
  private:
@@ -262,7 +276,7 @@ FedAvgTrainer::FedAvgTrainer(ModelFactory factory, const data::Dataset& train,
       engine_(std::make_unique<RoundEngine>(
           EngineConfig{config.n_clients, config.client_fraction, config.rounds,
                        config.eval_every, config.dropout_prob, config.seed,
-                       "fedavg", config.faults, config.deadline},
+                       "fedavg", config.faults, config.deadline, {}, {}},
           protocol_->protocol())) {
   // The engine's fault layer owns the per-client link-quality multipliers;
   // the transport scales channel error rates by them per delivery.

@@ -4,6 +4,7 @@
 
 #include "channel/transport.hpp"
 #include "util/error.hpp"
+#include "util/exactsum.hpp"
 
 namespace fhdnn::fl {
 
@@ -89,30 +90,80 @@ class FedHdLearner final : public LocalLearner<Tensor> {
 
 /// Aggregator seam: Eq. 1 bundling, serial in fixed participant order;
 /// optional division by the delivered count (see the file header).
+///
+/// With aggregation_fan_in >= 2 the sum runs through an ExactSumVector
+/// (fl/hierarchy.hpp): accumulation becomes error-free fixed-point, so the
+/// committed prototypes are the correctly-rounded exact sum — identical to
+/// hierarchical_sum of the same updates at ANY edge fan-in. That is what
+/// lets a deployment put edge aggregators between clients and the server
+/// without changing the model by a single bit.
 class FedHdAggregator final : public Aggregator<Tensor> {
  public:
   FedHdAggregator(FedHdLearner& learner, const FedHdConfig& config)
       : learner_(learner), config_(config) {}
 
   void begin_round() override {
-    aggregate_ = Tensor(Shape{config_.num_classes, config_.hd_dim});
+    if (hierarchical()) {
+      const auto n = static_cast<std::size_t>(config_.num_classes) *
+                     static_cast<std::size_t>(config_.hd_dim);
+      if (exact_.size() != n) exact_ = util::ExactSumVector(n);
+      exact_.clear();
+    } else {
+      aggregate_ = Tensor(Shape{config_.num_classes, config_.hd_dim});
+    }
   }
 
   void accumulate(std::size_t /*client*/, Tensor&& update) override {
-    aggregate_.axpy(1.0F, update);
+    if (hierarchical()) {
+      exact_.add(update.data());
+    } else {
+      aggregate_.axpy(1.0F, update);
+    }
+  }
+
+  void accumulate_weighted(std::size_t client, Tensor&& update,
+                           double weight) override {
+    if (weight == 1.0) {
+      accumulate(client, std::move(update));
+      return;
+    }
+    // Stale updates fold in pre-scaled; the exact path then sums the
+    // scaled floats exactly, same as any edge aggregator would see them.
+    if (hierarchical()) {
+      update.scale(static_cast<float>(weight));
+      exact_.add(update.data());
+    } else {
+      aggregate_.axpy(static_cast<float>(weight), update);
+    }
   }
 
   void commit(std::size_t delivered) override {
+    commit_scaled(static_cast<double>(delivered));
+  }
+
+  void commit_weighted(std::size_t /*n_updates*/,
+                       double total_weight) override {
+    commit_scaled(total_weight);
+  }
+
+ private:
+  bool hierarchical() const { return config_.aggregation_fan_in >= 2; }
+
+  void commit_scaled(double denom) {
+    if (hierarchical()) {
+      aggregate_ = Tensor(Shape{config_.num_classes, config_.hd_dim});
+      exact_.round_to(aggregate_.data());
+    }
     if (config_.average_aggregation) {
-      aggregate_.scale(1.0F / static_cast<float>(delivered));
+      aggregate_.scale(1.0F / static_cast<float>(denom));
     }
     learner_.global().set_prototypes(std::move(aggregate_));
   }
 
- private:
   FedHdLearner& learner_;
   const FedHdConfig& config_;
   Tensor aggregate_;
+  util::ExactSumVector exact_;
 };
 
 /// Owns the three seams and the adapter gluing them into a RoundProtocol.
@@ -150,8 +201,18 @@ FedHdTrainer::FedHdTrainer(std::vector<HdClientData> clients, HdClientData test,
       engine_(std::make_unique<RoundEngine>(
           EngineConfig{config.n_clients, config.client_fraction, config.rounds,
                        config.eval_every, config.dropout_prob, config.seed,
-                       "fedhd", config.faults, config.deadline},
+                       "fedhd", config.faults, config.deadline,
+                       config.population, config.async},
           protocol_->protocol())) {
+  // Registered client ids index the per-client dataset vector here, so a
+  // fleet larger than the data is a config error for THIS trainer —
+  // million-client fleets drive RoundEngine with a synthetic learner
+  // instead (bench/scale_million_clients.cpp).
+  FHDNN_CHECK(!config.population.enabled() ||
+                  config.population.n_registered <= config.n_clients,
+              "FedHdTrainer population: n_registered "
+                  << config.population.n_registered << " exceeds datasets "
+                  << config.n_clients);
   // The engine's fault layer owns the per-client link-quality multipliers;
   // the transport scales channel error rates by them per delivery.
   protocol_->transport().set_error_scales(&engine_->faults().error_scales());

@@ -65,6 +65,19 @@ struct FedHdConfig {
   /// Deadline-based rounds with over-selection — fl/engine.hpp. Off by
   /// default.
   DeadlineConfig deadline;
+  /// Hierarchical aggregation fan-in (fl/hierarchy.hpp). 0 (default)
+  /// keeps the legacy serial float bundling; >= 2 switches the aggregator
+  /// to the exact-summation path, whose result is independent of the edge
+  /// fan-in tree shape by construction (bundling is associative) — the
+  /// committed prototypes equal hierarchical_sum(updates, fan_in) for any
+  /// fan_in. Opt-in because the correctly-rounded exact sum can differ
+  /// from the legacy left-to-right float sum in the last ulp.
+  std::size_t aggregation_fan_in = 0;
+  /// Sparse registered-client fleet — fl/population.hpp. Off by default;
+  /// requires deadline or async mode.
+  PopulationConfig population;
+  /// FedBuff-style buffered-async rounds — fl/engine.hpp. Off by default.
+  AsyncConfig async;
 };
 
 namespace detail {

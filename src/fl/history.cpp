@@ -70,6 +70,12 @@ std::uint64_t TrainingHistory::total_residual_errors() const {
   return total;
 }
 
+std::uint64_t TrainingHistory::total_events() const {
+  std::uint64_t total = 0;
+  for (const auto& m : rounds_) total += m.events;
+  return total;
+}
+
 double TrainingHistory::total_simulated_seconds() const {
   double total = 0.0;
   for (const auto& m : rounds_) total += m.simulated_round_seconds;

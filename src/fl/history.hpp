@@ -14,9 +14,17 @@ struct RoundMetrics {
   std::size_t clients = 0;          ///< participants *accepted* this round
   std::size_t sampled = 0;          ///< participants drawn by the sampler
   std::size_t dropped = 0;          ///< sampled but failed to deliver
-  /// Delivered on the air but discarded by the round deadline (deadline
-  /// rounds only); clients + dropped + timed_out == sampled.
+  /// Delivered on the air but not folded in this round: rejected by the
+  /// round deadline (deadline rounds), or arrived after the Kth
+  /// acceptance and buffered for a later round (buffered-async rounds).
+  /// Invariant — enforced by an FHDNN_CHECKED assertion at round commit:
+  /// clients + dropped + timed_out == sampled.
   std::size_t timed_out = 0;
+  /// Buffered-async rounds only: late updates from *earlier* rounds
+  /// applied this round with a staleness weight (FedBuff-style). Not part
+  /// of the sampled-count invariant — their arrival round already
+  /// accounted them as timed_out.
+  std::size_t stale_accepted = 0;
   std::uint64_t bytes_uplink = 0;   ///< total client->server payload bytes
   std::uint64_t bits_on_air = 0;    ///< channel-level bits transmitted
   std::uint64_t bit_flips = 0;      ///< corruption events (BSC)
@@ -26,6 +34,9 @@ struct RoundMetrics {
   /// Simulated duration of the round under the deadline model (device
   /// compute + LTE upload + ARQ backoff); 0 when deadline rounds are off.
   double simulated_round_seconds = 0.0;
+  /// Discrete events processed by the round's event queue (train-done,
+  /// upload-arrival, deadline); 0 when the engine ran without a timeline.
+  std::uint64_t events = 0;
   /// Engine-measured wall-clock time of the round (local training +
   /// transport + reduction + evaluation). The one RoundMetrics field that
   /// is *not* covered by the bit-identical determinism contract.
@@ -67,6 +78,9 @@ class TrainingHistory {
 
   /// Total simulated campaign time under the deadline model, seconds.
   double total_simulated_seconds() const;
+
+  /// Total discrete events processed across all rounds.
+  std::uint64_t total_events() const;
 
  private:
   std::vector<RoundMetrics> rounds_;

@@ -22,7 +22,11 @@ std::vector<std::size_t> ClientSampler::sample(Rng& rng) const {
 }
 
 std::vector<std::size_t> ClientSampler::sample(Rng& rng, std::size_t k) const {
-  k = std::min(std::max<std::size_t>(1, k), n_clients_);
+  // k == 0 is a legitimate empty draw (e.g. an empty round), not a
+  // request for "at least one client" — clamping it up would silently run
+  // a participant nobody asked for.
+  if (k == 0) return {};
+  k = std::min(k, n_clients_);
   auto picks = rng.sample_without_replacement(n_clients_, k);
   std::sort(picks.begin(), picks.end());
   return picks;

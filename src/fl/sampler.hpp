@@ -22,8 +22,9 @@ class ClientSampler {
 
   /// Same, but drawing `k` participants instead of clients_per_round() —
   /// the engine's deadline rounds over-select with k = ceil(C*N*(1+eps)).
-  /// k is clamped to [1, n_clients]; k == clients_per_round() draws the
-  /// exact same stream as sample(rng).
+  /// k == 0 returns an empty draw (no clamping to 1); otherwise k is
+  /// clamped to n_clients. k == clients_per_round() draws the exact same
+  /// stream as sample(rng).
   std::vector<std::size_t> sample(Rng& rng, std::size_t k) const;
 
  private:

@@ -73,14 +73,29 @@ double FlTimeline::nominal_round_seconds() const {
 double FlTimeline::client_round_seconds(const channel::TransportStats& stats,
                                         double slowdown,
                                         double jitter_factor) const {
-  FHDNN_CHECK(slowdown >= 1.0, "client slowdown " << slowdown);
-  FHDNN_CHECK(jitter_factor > 0.0, "client jitter factor " << jitter_factor);
-  const double compute = base_compute_seconds_ * slowdown * jitter_factor;
+  const double compute = client_compute_seconds(slowdown, jitter_factor);
   const double upload =
       stats.bits_on_air > 0
           ? config_.link.upload_seconds(stats.bits_on_air, config_.fhdnn)
           : 0.0;
   return compute + upload + stats.backoff_seconds;
+}
+
+double FlTimeline::client_compute_seconds(double slowdown,
+                                          double jitter_factor) const {
+  FHDNN_CHECK(slowdown >= 1.0, "client slowdown " << slowdown);
+  FHDNN_CHECK(jitter_factor > 0.0, "client jitter factor " << jitter_factor);
+  return base_compute_seconds_ * slowdown * jitter_factor;
+}
+
+double FlTimeline::client_upload_seconds(const channel::TransportStats& stats,
+                                         double link_factor) const {
+  FHDNN_CHECK(link_factor >= 1.0, "client link factor " << link_factor);
+  const double upload =
+      stats.bits_on_air > 0
+          ? config_.link.upload_seconds(stats.bits_on_air, config_.fhdnn)
+          : 0.0;
+  return upload * link_factor + stats.backoff_seconds;
 }
 
 }  // namespace fhdnn::fl

@@ -69,6 +69,18 @@ class FlTimeline {
   double client_round_seconds(const channel::TransportStats& stats,
                               double slowdown, double jitter_factor) const;
 
+  /// The local-compute leg of a client's round in isolation — the instant
+  /// of its kTrainDone event: base compute x slowdown x jitter. Same
+  /// expression (and FP evaluation order) as the compute term inside
+  /// client_round_seconds.
+  double client_compute_seconds(double slowdown, double jitter_factor) const;
+
+  /// The uplink leg in isolation: LTE upload of the measured on-air bits,
+  /// stretched by a per-client link-quality factor (>= 1; sparse
+  /// population profiles), plus the delivery's accumulated ARQ backoff.
+  double client_upload_seconds(const channel::TransportStats& stats,
+                               double link_factor = 1.0) const;
+
   const TimelineConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,70 @@
+// Exact (error-free, associative) float32 summation (DESIGN.md §12).
+//
+// Floating-point addition is not associative, so a fan-in tree of plain
+// `+` reductions gives a different result than a flat left-to-right sum —
+// which would make hierarchical aggregation depend on tree shape and
+// break the engine's bit-exactness contract. ExactSumVector sidesteps the
+// problem instead of bounding it: every float32 is an integer multiple of
+// 2^-149 (the subnormal quantum), so a wide fixed-point accumulator can
+// represent ANY finite sum of float32 values exactly.
+//
+// Layout: per element, a 384-bit two's-complement integer (6 x uint64
+// limbs, little-endian) counting multiples of 2^-149. A finite float32
+// spans bit positions [0, 277) (24-bit significand shifted by up to
+// 2^253), leaving ~107 bits of headroom — over 10^32 accumulated terms
+// before overflow is even possible, unreachable in practice.
+//
+// Because limb addition is integer addition, accumulation is exactly
+// associative and commutative: any grouping of add() calls — flat, a
+// fan-in-2 tree, fan-in-16, or merges of partial accumulators via
+// add(const ExactSumVector&) — yields bit-identical limbs, and round_to()
+// performs the ONLY rounding step (single round-to-nearest-even back to
+// float32). This is the primitive the hierarchical aggregation tree is
+// pinned against.
+//
+// Inputs must be finite (FHDNN_CHECK); NaN/Inf have no fixed-point image.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fhdnn::util {
+
+class ExactSumVector {
+ public:
+  /// Limbs per element: 384 bits = 277-bit float32 span + headroom.
+  static constexpr std::size_t kLimbs = 6;
+
+  ExactSumVector() = default;
+  explicit ExactSumVector(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Accumulate `values` element-wise (values.size() must equal size()).
+  /// Error-free: the accumulator afterwards represents the exact real
+  /// sum. Throws on non-finite input.
+  void add(std::span<const float> values);
+
+  /// Merge another accumulator of the same size (limb-wise integer add).
+  /// This is the fan-in-tree merge step, exact by construction.
+  void add(const ExactSumVector& other);
+
+  /// Round each element's exact sum to the nearest float32 (ties to
+  /// even), writing into `out` (out.size() must equal size()). Values
+  /// beyond float32 range become +/-inf. Does not modify the accumulator.
+  void round_to(std::span<float> out) const;
+
+  /// Reset all elements to zero, keeping the size.
+  void clear();
+
+ private:
+  std::size_t n_ = 0;
+  // Element i occupies limbs_[i*kLimbs .. i*kLimbs+kLimbs), little-endian
+  // two's complement, in units of 2^-149.
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace fhdnn::util

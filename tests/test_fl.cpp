@@ -40,6 +40,18 @@ TEST(Sampler, DistinctSortedInRange) {
   }
 }
 
+TEST(Sampler, ExplicitCountZeroDrawsNothing) {
+  // Regression: sample(rng, 0) used to clamp k to 1 and return one
+  // participant; an empty draw must stay empty (the engine's timed modes
+  // compute k themselves and rely on exact counts). Oversized k still
+  // clamps to the fleet.
+  fl::ClientSampler s(8, 0.5);
+  Rng rng(4);
+  EXPECT_TRUE(s.sample(rng, 0).empty());
+  EXPECT_EQ(s.sample(rng, 3).size(), 3U);
+  EXPECT_EQ(s.sample(rng, 100).size(), 8U);  // clamped to n_clients
+}
+
 TEST(Sampler, SameSeedSameParticipantsEveryRound) {
   fl::ClientSampler s(40, 0.25);
   Rng a(123);

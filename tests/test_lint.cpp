@@ -304,6 +304,37 @@ TEST(LintRules, SelfIncludeFirstSatisfiedAndSuppressed) {
   EXPECT_EQ(count_rule(none, "self-include-first"), 0);
 }
 
+// ---- sim-clock -----------------------------------------------------------
+
+TEST(LintRules, SimClockPositive) {
+  const auto d = run("src/fl/engine.cpp",
+                     "auto t0 = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(count_rule(d, "sim-clock"), 1);
+  const auto sys = run("src/fl/timeline.cpp",
+                       "auto t = std::chrono::system_clock::now();\n"
+                       "auto h = std::chrono::high_resolution_clock::now();\n");
+  EXPECT_EQ(count_rule(sys, "sim-clock"), 2);
+}
+
+TEST(LintRules, SimClockSuppressedAndOutOfScope) {
+  // The sanctioned wall_seconds measurement sites carry inline allow()s.
+  const auto sup = run("src/fl/engine.cpp",
+                       "// fhdnn-lint: allow(sim-clock)\n"
+                       "auto t0 = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(count_rule(sup, "sim-clock"), 0);
+  // Outside src/fl/ wall clocks are fine (benches, kernels, tests).
+  const auto bench = run("bench/micro_memory.cpp",
+                         "auto t0 = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(count_rule(bench, "sim-clock"), 0);
+  const auto util = run("src/util/log.cpp",
+                        "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_EQ(count_rule(util, "sim-clock"), 0);
+  // Durations and chrono types that read no clock are fine even in fl/.
+  const auto dur = run("src/fl/engine.cpp",
+                       "std::chrono::duration<double> d(seconds);\n");
+  EXPECT_EQ(count_rule(dur, "sim-clock"), 0);
+}
+
 // ---- framework behaviour -------------------------------------------------
 
 TEST(LintFramework, SuppressionIsPerRule) {

@@ -3,14 +3,19 @@
 // claims rest on, not specific configurations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numbers>
 #include <tuple>
+#include <vector>
 
 #include "channel/channel.hpp"
 #include "channel/fading.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
+#include "fl/events.hpp"
+#include "fl/hierarchy.hpp"
 #include "hdc/classifier.hpp"
 #include "hdc/encoder.hpp"
 #include "hdc/ops.hpp"
@@ -19,6 +24,7 @@
 #include "nn/batchnorm.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/ops.hpp"
+#include "util/exactsum.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -368,6 +374,105 @@ TEST_P(PackedDim, ClassifyMatchesFloatPredict) {
 INSTANTIATE_TEST_SUITE_P(Dims, PackedDim,
                          ::testing::Values<std::int64_t>(63, 64, 65, 1000,
                                                          10000));
+
+// ----------------------------------------------------------------------
+// Event queue: the pop sequence is the (time, client, seq, kind, slot)
+// total order for EVERY insertion order — the determinism the engine's
+// timed rounds rest on. Param: shuffle seed.
+class EventShuffle : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventShuffle, PopOrderIndependentOfPushOrder) {
+  Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  // Dense collisions: few distinct times and clients, unique (client, seq).
+  std::vector<fl::Event> events;
+  for (std::size_t client = 0; client < 6; ++client) {
+    for (std::uint64_t seq = 0; seq < 5; ++seq) {
+      events.push_back({static_cast<double>(rng.randint(0, 2)), client, seq,
+                        fl::EventKind::kUploadArrival, events.size()});
+    }
+  }
+  std::vector<fl::Event> reference = events;
+  std::sort(reference.begin(), reference.end(), fl::event_before);
+
+  // Seeded Fisher–Yates shuffle, then push in that order.
+  for (std::size_t i = events.size() - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(i)));
+    std::swap(events[i], events[j]);
+  }
+  fl::EventQueue q;
+  for (const auto& e : events) q.push(e);
+  for (const auto& want : reference) {
+    const fl::Event got = q.pop();
+    ASSERT_EQ(got.time, want.time);
+    ASSERT_EQ(got.client, want.client);
+    ASSERT_EQ(got.seq, want.seq);
+    ASSERT_EQ(got.slot, want.slot);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shuffles, EventShuffle, ::testing::Range(0, 8));
+
+// ----------------------------------------------------------------------
+// Hierarchical aggregation: a fan-in tree of edge aggregators produces
+// the BIT-IDENTICAL result of flat aggregation — for the float path
+// (exact fixed-point summation, single rounding) and the packed binary
+// path (associative vote counts, one majority threshold). Param: fan-in.
+class FanInTree : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FanInTree, FloatTreeSumMatchesFlatBitExact) {
+  const std::size_t fan_in = GetParam();
+  Rng rng(200 + static_cast<std::uint64_t>(fan_in));
+  for (const std::size_t parts_n : {1UL, 2UL, 5UL, 17UL, 48UL}) {
+    // Adversarial magnitudes: catastrophic cancellation and wide exponent
+    // spread, where naive float trees diverge from flat sums.
+    std::vector<Tensor> parts;
+    for (std::size_t p = 0; p < parts_n; ++p) {
+      Tensor t(Shape{257});
+      for (auto& v : t.data()) {
+        v = static_cast<float>(rng.uniform(-1.0, 1.0) *
+                               std::ldexp(1.0, static_cast<int>(
+                                                   rng.randint(-40, 40))));
+      }
+      parts.push_back(std::move(t));
+    }
+    util::ExactSumVector flat(257);
+    for (const auto& t : parts) flat.add(t.data());
+    Tensor flat_out(Shape{257});
+    flat.round_to(flat_out.data());
+
+    const Tensor tree_out = fl::hierarchical_sum(parts, fan_in);
+    for (std::int64_t i = 0; i < 257; ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(flat_out(i)),
+                std::bit_cast<std::uint32_t>(tree_out(i)))
+          << "fan_in=" << fan_in << " parts=" << parts_n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(FanInTree, PackedTreeMajorityMatchesFlatKernel) {
+  const std::size_t fan_in = GetParam();
+  Rng rng(300 + static_cast<std::uint64_t>(fan_in));
+  // Both tie parities (even member counts exercise the index-parity rule)
+  // and a dimension with a ragged tail word.
+  for (const std::size_t members : {1UL, 2UL, 4UL, 9UL, 16UL, 31UL}) {
+    std::vector<hdc::PackedModel> models;
+    for (std::size_t m = 0; m < members; ++m) {
+      models.push_back(
+          hdc::pack_rows(hdc::sign(Tensor::randn(Shape{3, 131}, rng))));
+    }
+    const hdc::PackedModel flat = hdc::majority_aggregate_packed(models);
+    const hdc::PackedModel tree = fl::hierarchical_majority(models, fan_in);
+    ASSERT_EQ(tree.rows, flat.rows);
+    ASSERT_EQ(tree.d, flat.d);
+    ASSERT_EQ(tree.words, flat.words)
+        << "fan_in=" << fan_in << " members=" << members;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FanIns, FanInTree,
+                         ::testing::Values<std::size_t>(2, 3, 16));
 
 }  // namespace
 }  // namespace fhdnn

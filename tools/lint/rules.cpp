@@ -21,6 +21,10 @@
 //   include-style       project headers are included with quotes, not <>
 //   self-include-first  a .cpp that includes its own header includes it
 //                       before anything else
+//   sim-clock           src/fl/ runs on the engine's simulated event clock;
+//                       wall-clock reads (std::chrono system/steady clocks)
+//                       are confined to the documented wall_seconds
+//                       measurement sites (suppressed inline)
 #include "lint.hpp"
 
 #include <array>
@@ -487,6 +491,23 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
     r->why("pulls CPU intrinsics outside src/util/simd*; add a kernel to the "
            "util/simd dispatch table instead so every tier stays pinned "
            "against the scalar oracle");
+    rules.push_back(std::move(r));
+  }
+  {
+    auto r = std::make_unique<TokenBanRule>(
+        "sim-clock",
+        "federated-round logic in src/fl/ is simulated-time only (the "
+        "EventQueue clock); reading wall clocks there breaks the "
+        "bit-identical history contract — the sanctioned wall_seconds "
+        "measurement sites carry inline allow() suppressions",
+        std::vector<std::string>{"std::chrono::steady_clock",
+                                 "std::chrono::system_clock",
+                                 "std::chrono::high_resolution_clock"},
+        std::vector<std::string>{},
+        std::vector<std::string>{"src/fl/"});
+    r->why("reads a wall clock inside src/fl/; round logic must use the "
+           "engine's simulated event clock (fl/events.hpp), except the "
+           "documented wall_seconds sites");
     rules.push_back(std::move(r));
   }
   rules.push_back(std::make_unique<ArenaDisciplineRule>());
