@@ -11,8 +11,8 @@
 //                     [--json=PATH]
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -144,7 +144,7 @@ int main(int argc, char** argv) {
         .end_row();
   }
 
-  std::ofstream json(json_path);
+  std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"micro_memory\",\n"
        << "  \"model\": \"mini_resnet_base4\",\n"
@@ -162,6 +162,6 @@ int main(int argc, char** argv) {
        << "  \"arena_capacity_bytes\": " << ws.capacity_bytes << ",\n"
        << "  \"arena_heap_allocations\": " << ws.heap_allocations << "\n"
        << "}\n";
-  std::cout << "wrote " << json_path << "\n";
+  fhdnn::bench::write_json_atomic(json_path, json.str());
   return 0;
 }

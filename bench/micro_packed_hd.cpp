@@ -20,8 +20,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -263,7 +263,7 @@ int main(int argc, char** argv) {
         .end_row();
   }
 
-  std::ofstream json(json_path);
+  std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"micro_packed_hd\",\n"
        << "  \"d\": " << d << ",\n"
@@ -295,6 +295,6 @@ int main(int argc, char** argv) {
        << "  \"fedhd_round_ms\": " << fedhd_round_ms << ",\n"
        << "  \"meets_8x_target\": " << (meets_target ? "true" : "false")
        << "\n}\n";
-  std::cout << "wrote " << json_path << "\n";
+  fhdnn::bench::write_json_atomic(json_path, json.str());
   return 0;
 }

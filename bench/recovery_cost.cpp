@@ -1,0 +1,367 @@
+// Cost of crash-consistent checkpointing at fleet scale (DESIGN.md §13).
+//
+// For each registered-fleet size (10k / 100k / 1M, capped by
+// --max-registered so CI can run the small points only), drives the
+// discrete-event engine with a synthetic learner and measures:
+//   * boundary snapshot: bytes on disk and write latency of a checkpoint
+//     taken between rounds (engine at rest — no pending cohort state);
+//   * boundary resume: latency of restoring that snapshot into a fresh
+//     engine;
+//   * mid-round snapshot: bytes and write/restore latency of a checkpoint
+//     taken between two events of a timed round, when the accepted
+//     updates of the cohort are still buffered in the protocol adapter.
+// The headline property the numbers demonstrate: snapshot size scales
+// with the SAMPLED cohort (times the update dimensionality), not with the
+// registered fleet — the sparse population and sampler are pure functions
+// of (seed, config) and are covered by the config fingerprint, so a
+// million-client fleet checkpoints in the same bytes as a 10k one.
+//
+// Emits BENCH_recovery.json for CI.
+//
+// Usage: recovery_cost [--max-registered=N] [--sampled=N] [--rounds=N]
+//                      [--dim=N] [--threads=N] [--dir=PATH] [--json=PATH]
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "channel/transport.hpp"
+#include "fl/engine.hpp"
+#include "fl/faults.hpp"
+#include "tensor/tensor.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fhdnn::Rng;
+using fhdnn::Shape;
+using fhdnn::Tensor;
+
+/// Synthetic learner: each client's update is a pure function of its rng
+/// fork — no per-client state, so the fleet size is bounded only by the
+/// population bitmask, exactly like bench/scale_million_clients.cpp.
+class SyntheticLearner final : public fhdnn::fl::LocalLearner<Tensor> {
+ public:
+  explicit SyntheticLearner(std::int64_t dim) : dim_(dim) {}
+
+  TrainResult train(std::size_t client, Rng& client_rng) override {
+    TrainResult r;
+    r.update = Tensor(Shape{dim_});
+    auto out = r.update.data();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const double anchor = ((client + i) % 7 < 3) ? 1.0 : -1.0;
+      out[i] = static_cast<float>(anchor + client_rng.uniform(-0.25, 0.25));
+    }
+    r.loss = 0.5;
+    return r;
+  }
+
+  double evaluate() override { return 0.0; }
+
+ private:
+  std::int64_t dim_;
+};
+
+/// Binary-HD uplink accounting; payload passes through unchanged.
+class BitTransport final : public fhdnn::channel::Transport<Tensor> {
+ public:
+  explicit BitTransport(std::int64_t dim) : dim_(dim) {}
+
+  fhdnn::channel::TransportStats transmit(Tensor& /*update*/,
+                                          std::size_t /*client*/,
+                                          Rng& /*client_rng*/,
+                                          const Rng& /*round_rng*/)
+      const override {
+    fhdnn::channel::TransportStats s;
+    s.payload_scalars = static_cast<std::uint64_t>(dim_);
+    s.payload_bytes = static_cast<std::uint64_t>((dim_ + 7) / 8);
+    s.bits_on_air = static_cast<std::uint64_t>(dim_);
+    return s;
+  }
+
+  std::uint64_t update_bytes(std::uint64_t scalars) const override {
+    return (scalars + 7) / 8;
+  }
+
+  std::string name() const override { return "binary-hd"; }
+
+ private:
+  std::int64_t dim_;
+};
+
+/// Plain running mean; the aggregator has no cross-event state (the engine
+/// reduces after the event loop), so the default no-op snapshot hooks are
+/// the correct implementation here.
+class MeanAggregator final : public fhdnn::fl::Aggregator<Tensor> {
+ public:
+  explicit MeanAggregator(std::int64_t dim) : dim_(dim) {}
+
+  void begin_round() override {
+    aggregate_ = Tensor(Shape{dim_});
+    weight_total_ = 0.0;
+  }
+
+  void accumulate(std::size_t client, Tensor&& update) override {
+    accumulate_weighted(client, std::move(update), 1.0);
+  }
+
+  void accumulate_weighted(std::size_t /*client*/, Tensor&& update,
+                           double weight) override {
+    aggregate_.axpy(static_cast<float>(weight), update);
+    weight_total_ += weight;
+  }
+
+  void commit(std::size_t delivered) override {
+    commit_weighted(delivered, static_cast<double>(delivered));
+  }
+
+  void commit_weighted(std::size_t /*n_updates*/,
+                       double total_weight) override {
+    if (total_weight > 0.0) {
+      aggregate_.scale(1.0F / static_cast<float>(total_weight));
+    }
+  }
+
+ private:
+  std::int64_t dim_;
+  Tensor aggregate_;
+  double weight_total_ = 0.0;
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint64_t file_bytes(const std::string& path) {
+  struct stat st{};
+  return stat(path.c_str(), &st) == 0 ? static_cast<std::uint64_t>(st.st_size)
+                                      : 0;
+}
+
+struct CaseResult {
+  std::size_t registered = 0;
+  std::size_t sampled = 0;
+  std::uint64_t events_round1 = 0;
+  std::uint64_t boundary_bytes = 0;
+  double boundary_write_ms = 0.0;
+  double boundary_resume_ms = 0.0;
+  std::uint64_t midround_bytes = 0;
+  double midround_write_ms = 0.0;
+  double midround_resume_ms = 0.0;
+};
+
+fhdnn::fl::EngineConfig base_config(std::size_t registered,
+                                    std::size_t sampled, int rounds,
+                                    std::int64_t dim) {
+  fhdnn::fl::EngineConfig cfg;
+  cfg.n_clients = 0;
+  cfg.client_fraction =
+      static_cast<double>(sampled) / static_cast<double>(registered);
+  cfg.rounds = rounds;
+  cfg.eval_every = rounds;
+  cfg.seed = 23;
+  cfg.name = "recovery";
+  cfg.population.n_registered = registered;
+  cfg.population.mean_availability = 0.8;
+  cfg.population.straggler_fraction = 0.1;
+  cfg.population.straggler_slowdown = 4.0;
+  cfg.population.compute_spread = 0.5;
+  cfg.population.link_spread_max = 2.0;
+  cfg.deadline.enabled = true;
+  cfg.deadline.timeline.update_bits = static_cast<std::uint64_t>(dim);
+  cfg.deadline.timeline.fhdnn = true;
+  cfg.deadline.timeline.compute_jitter = 0.1;
+  cfg.deadline.deadline_factor = 4.0;
+  return cfg;
+}
+
+CaseResult run_case(std::size_t registered, std::size_t sampled, int rounds,
+                    std::int64_t dim, const std::string& dir) {
+  CaseResult res;
+  res.registered = registered;
+  res.sampled = sampled;
+  const std::string boundary_path =
+      dir + "/ckpt_boundary_" + std::to_string(registered) + ".snap";
+  const std::string mid_path =
+      dir + "/ckpt_mid_" + std::to_string(registered) + ".snap";
+  const auto cfg = base_config(registered, sampled, rounds, dim);
+
+  // Golden run: full rounds, then a boundary snapshot timed in isolation.
+  {
+    SyntheticLearner learner(dim);
+    BitTransport transport(dim);
+    MeanAggregator aggregator(dim);
+    fhdnn::fl::ProtocolAdapter<Tensor> adapter(learner, transport, aggregator);
+    fhdnn::fl::RoundEngine engine(cfg, adapter);
+    const auto history = engine.run();
+    res.events_round1 = history.rounds().front().events;
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.checkpoint(boundary_path);
+    res.boundary_write_ms = ms_since(t0);
+    res.boundary_bytes = file_bytes(boundary_path);
+  }
+
+  // Boundary resume into a fresh engine.
+  {
+    SyntheticLearner learner(dim);
+    BitTransport transport(dim);
+    MeanAggregator aggregator(dim);
+    fhdnn::fl::ProtocolAdapter<Tensor> adapter(learner, transport, aggregator);
+    fhdnn::fl::RoundEngine engine(cfg, adapter);
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.resume(boundary_path);
+    res.boundary_resume_ms = ms_since(t0);
+  }
+
+  // Mid-round: kill the engine halfway through round 1's event stream,
+  // right after the automatic checkpoint at the same boundary commits.
+  const std::uint64_t kill_at = std::max<std::uint64_t>(res.events_round1 / 2,
+                                                        1);
+  {
+    auto crash_cfg = cfg;
+    crash_cfg.checkpoint.path = mid_path;
+    crash_cfg.checkpoint.every_n_events = kill_at;
+    crash_cfg.crash.enabled = true;
+    crash_cfg.crash.at_event = kill_at;
+    SyntheticLearner learner(dim);
+    BitTransport transport(dim);
+    MeanAggregator aggregator(dim);
+    fhdnn::fl::ProtocolAdapter<Tensor> adapter(learner, transport, aggregator);
+    fhdnn::fl::RoundEngine engine(crash_cfg, adapter);
+    bool crashed = false;
+    try {
+      engine.run();
+    } catch (const fhdnn::fl::AggregatorCrash&) {
+      crashed = true;
+    }
+    if (!crashed) std::cout << "warning: crash plan did not fire\n";
+    res.midround_bytes = file_bytes(mid_path);
+  }
+
+  // Mid-round resume + a mid-round re-checkpoint timed in isolation, then
+  // the run is driven to completion to exercise the continue path.
+  {
+    SyntheticLearner learner(dim);
+    BitTransport transport(dim);
+    MeanAggregator aggregator(dim);
+    fhdnn::fl::ProtocolAdapter<Tensor> adapter(learner, transport, aggregator);
+    fhdnn::fl::RoundEngine engine(cfg, adapter);
+    auto t0 = std::chrono::steady_clock::now();
+    engine.resume(mid_path);
+    res.midround_resume_ms = ms_since(t0);
+    t0 = std::chrono::steady_clock::now();
+    engine.checkpoint(mid_path + ".re");
+    res.midround_write_ms = ms_since(t0);
+    engine.run();
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fhdnn::bench::init();
+  fhdnn::CliFlags flags;
+  flags.define_int("max-registered", 1'000'000,
+                   "largest fleet point to run (10k/100k/1M are skipped "
+                   "when above this)");
+  flags.define_int("sampled", 1'000, "clients sampled per round");
+  flags.define_int("rounds", 2, "federated rounds per fleet point");
+  flags.define_int("dim", 500, "synthetic update dimensionality");
+  flags.define_int("threads", 0, "thread-pool width (0 = default)");
+  flags.define_string("dir", ".", "directory for snapshot files");
+  flags.define_string("json", "BENCH_recovery.json",
+                      "output path for the machine-readable summary");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto max_registered =
+      static_cast<std::size_t>(flags.get_int("max-registered"));
+  const auto sampled_flag = static_cast<std::size_t>(flags.get_int("sampled"));
+  const int rounds = std::max(2, static_cast<int>(flags.get_int("rounds")));
+  const std::int64_t dim = flags.get_int("dim");
+  const int threads = static_cast<int>(flags.get_int("threads"));
+  const std::string dir = flags.get_string("dir");
+  const std::string json_path = flags.get_string("json");
+  if (threads > 0) fhdnn::parallel::set_num_threads(threads);
+
+  fhdnn::print_banner(std::cout, "recovery: snapshot cost vs fleet size");
+  fhdnn::bench::print_config_line(
+      "max_registered=" + std::to_string(max_registered) +
+      " sampled=" + std::to_string(sampled_flag) +
+      " rounds=" + std::to_string(rounds) + " dim=" + std::to_string(dim) +
+      " threads=" + std::to_string(fhdnn::parallel::num_threads()));
+
+  std::vector<CaseResult> results;
+  for (const std::size_t registered :
+       {std::size_t{10'000}, std::size_t{100'000}, std::size_t{1'000'000}}) {
+    if (registered > max_registered) continue;
+    const std::size_t sampled =
+        std::min(sampled_flag, registered / 10);
+    results.push_back(run_case(registered, sampled, rounds, dim, dir));
+  }
+
+  fhdnn::TextTable table({"registered", "sampled", "boundary_bytes",
+                          "boundary_write_ms", "boundary_resume_ms",
+                          "midround_bytes", "midround_resume_ms"});
+  for (const auto& r : results) {
+    table.add_row({fhdnn::TextTable::cell(r.registered),
+                   fhdnn::TextTable::cell(r.sampled),
+                   fhdnn::TextTable::cell(static_cast<std::size_t>(
+                       r.boundary_bytes)),
+                   fhdnn::TextTable::cell(r.boundary_write_ms),
+                   fhdnn::TextTable::cell(r.boundary_resume_ms),
+                   fhdnn::TextTable::cell(static_cast<std::size_t>(
+                       r.midround_bytes)),
+                   fhdnn::TextTable::cell(r.midround_resume_ms)});
+  }
+  table.print(std::cout);
+
+  fhdnn::CsvWriter csv(std::cout,
+                       {"registered", "sampled", "boundary_bytes",
+                        "boundary_write_ms", "boundary_resume_ms",
+                        "midround_bytes", "midround_write_ms",
+                        "midround_resume_ms"});
+  for (const auto& r : results) {
+    csv.add(r.registered)
+        .add(r.sampled)
+        .add(static_cast<std::size_t>(r.boundary_bytes))
+        .add(r.boundary_write_ms)
+        .add(r.boundary_resume_ms)
+        .add(static_cast<std::size_t>(r.midround_bytes))
+        .add(r.midround_write_ms)
+        .add(r.midround_resume_ms)
+        .end_row();
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"recovery_cost\",\n"
+       << "  \"rounds\": " << rounds << ",\n"
+       << "  \"dim\": " << dim << ",\n"
+       << "  \"threads\": " << fhdnn::parallel::num_threads() << ",\n"
+       << "  \"fleets\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"registered\": " << r.registered
+         << ", \"sampled\": " << r.sampled
+         << ", \"events_round1\": " << r.events_round1
+         << ", \"boundary_bytes\": " << r.boundary_bytes
+         << ", \"boundary_write_ms\": " << r.boundary_write_ms
+         << ", \"boundary_resume_ms\": " << r.boundary_resume_ms
+         << ", \"midround_bytes\": " << r.midround_bytes
+         << ", \"midround_write_ms\": " << r.midround_write_ms
+         << ", \"midround_resume_ms\": " << r.midround_resume_ms << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  fhdnn::bench::write_json_atomic(json_path, json.str());
+  return 0;
+}

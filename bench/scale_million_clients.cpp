@@ -292,7 +292,7 @@ int main(int argc, char** argv) {
         .end_row();
   }
 
-  std::ofstream json(json_path);
+  std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"scale_million_clients\",\n"
        << "  \"registered\": " << registered << ",\n"
@@ -310,6 +310,6 @@ int main(int argc, char** argv) {
        << "  \"accepted_total\": " << accepted_total << ",\n"
        << "  \"sim_seconds\": " << engine.sim_seconds() << "\n"
        << "}\n";
-  std::cout << "wrote " << json_path << "\n";
+  fhdnn::bench::write_json_atomic(json_path, json.str());
   return 0;
 }

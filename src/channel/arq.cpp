@@ -1,44 +1,18 @@
 #include "channel/arq.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cstring>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/snapshot.hpp"
 
 namespace fhdnn::channel {
 
-namespace {
-
-/// Reflected CRC-32 lookup table for polynomial 0xEDB88320, built once.
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1U) ? (0xEDB88320U ^ (c >> 1U)) : (c >> 1U);
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const auto table = make_crc_table();
-  return table;
-}
-
-}  // namespace
-
 std::uint32_t crc32(const void* data, std::size_t len) {
-  const auto& table = crc_table();
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  std::uint32_t c = 0xFFFFFFFFU;
-  for (std::size_t i = 0; i < len; ++i) {
-    c = table[(c ^ bytes[i]) & 0xFFU] ^ (c >> 8U);
-  }
-  return c ^ 0xFFFFFFFFU;
+  // One CRC-32 in the codebase: the snapshot subsystem owns the table
+  // (util/snapshot.cpp); ARQ frames and snapshot chunks share it.
+  return util::crc32(data, len);
 }
 
 std::uint32_t crc32(const float* data, std::size_t count) {

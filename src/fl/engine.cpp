@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "tensor/tensor.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -13,6 +14,40 @@
 #include "util/workspace.hpp"
 
 namespace fhdnn::fl {
+
+void UpdateSnapshotCodec<std::vector<float>>::save(util::SnapshotWriter& w,
+                                                   const std::vector<float>& u) {
+  w.write_floats(u);
+}
+
+std::vector<float> UpdateSnapshotCodec<std::vector<float>>::load(
+    util::SnapshotReader& r) {
+  return r.read_floats();
+}
+
+void UpdateSnapshotCodec<Tensor>::save(util::SnapshotWriter& w,
+                                       const Tensor& u) {
+  // Moved-from / never-filled slots carry the default (rank-0) tensor;
+  // write a presence flag so load() restores exactly that.
+  const bool present = u.ndim() > 0;
+  w.write_u8(present ? 1 : 0);
+  if (!present) return;
+  w.write_u64(static_cast<std::uint64_t>(u.ndim()));
+  for (std::int64_t d = 0; d < u.ndim(); ++d) {
+    w.write_i64(u.dim(d));
+  }
+  w.write_floats(u.vec());
+}
+
+Tensor UpdateSnapshotCodec<Tensor>::load(util::SnapshotReader& r) {
+  if (r.read_u8() == 0) return Tensor{};
+  const auto ndim = static_cast<std::size_t>(r.read_u64());
+  Shape shape(ndim);
+  for (auto& d : shape) d = r.read_i64();
+  Tensor t(std::move(shape), r.read_floats());
+  t.assert_invariant();
+  return t;
+}
 
 RoundEngine::RoundEngine(EngineConfig config, RoundProtocol& protocol)
     : config_(std::move(config)),
@@ -67,8 +102,6 @@ RoundMetrics RoundEngine::round(int round_index) {
   // read in src/fl/ (everything else runs on the event clock).
   // fhdnn-lint: allow(sim-clock)
   const auto start = std::chrono::steady_clock::now();
-  Rng round_rng = root_rng_.fork("round-" + std::to_string(round_index));
-  Rng sample_rng = round_rng.fork("sample");
 
   // Timed rounds over-select so late/faulty participants can be replaced
   // by faster ones without shrinking the effective round size.
@@ -77,97 +110,162 @@ RoundMetrics RoundEngine::round(int round_index) {
   const bool timed = timeline_.has_value();
   const bool pop_on = population_.has_value();
   const std::size_t target = sampler_.clients_per_round();
-  std::size_t draw = target;
-  if (deadline_on) {
-    draw = static_cast<std::size_t>(
-        std::ceil(static_cast<double>(target) *
-                  (1.0 + config_.deadline.over_selection)));
-  } else if (async_on) {
-    draw = static_cast<std::size_t>(
-        std::ceil(static_cast<double>(target) *
-                  (1.0 + config_.async.over_selection)));
-  }
-  const auto participants = pop_on ? population_->sample(sample_rng, draw)
-                                   : sampler_.sample(sample_rng, draw);
-  const std::size_t n = participants.size();
 
+  if (pending_.active) {
+    // Mid-round resume: the prologue below (sampling, local training,
+    // transport, event scheduling) ran before the snapshot was taken; only
+    // the event loop and the serial epilogue remain. Everything they need
+    // lives in pending_, the restored event queue, and the protocol state.
+    FHDNN_CHECK(pending_.round_index == round_index,
+                "pending round " << pending_.round_index << " != requested "
+                                 << round_index);
+  } else {
+    Rng round_rng = root_rng_.fork("round-" + std::to_string(round_index));
+    Rng sample_rng = round_rng.fork("sample");
+    std::size_t draw = target;
+    if (deadline_on) {
+      draw = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(target) *
+                    (1.0 + config_.deadline.over_selection)));
+    } else if (async_on) {
+      draw = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(target) *
+                    (1.0 + config_.async.over_selection)));
+    }
+    pending_ = PendingRound{};
+    pending_.active = true;
+    pending_.round_index = round_index;
+    pending_.participants = pop_on ? population_->sample(sample_rng, draw)
+                                   : sampler_.sample(sample_rng, draw);
+    const std::size_t n = pending_.participants.size();
+    const auto& participants = pending_.participants;
+
+    // Serial prologue: the protocol refreshes the broadcast copy clients
+    // start from and sizes its per-slot update buffer.
+    protocol_.begin_round(round_rng, n);
+
+    // Pre-draw delivery outcomes in participant order so the dropout
+    // stream never depends on client execution order; fault-layer crashes
+    // and outage windows fold in as additional delivery failures (both are
+    // pure functions of (client, round), so the fold is order-independent
+    // too).
+    Rng dropout_rng = round_rng.fork("dropout");
+    pending_.delivered =
+        draw_delivery_flags(n, config_.dropout_prob, dropout_rng);
+    if (faults_.enabled()) {
+      for (std::size_t slot = 0; slot < n; ++slot) {
+        if (pending_.delivered[slot] &&
+            !faults_.available(participants[slot], round_index)) {
+          pending_.delivered[slot] = 0;
+        }
+      }
+    }
+
+    // Sparse population: a sampled client asleep at round start (its
+    // availability window is a pure function of (seed, id, sim clock))
+    // never trains and never reaches the channel — it just counts dropped.
+    // This is also what bounds per-round work by the awake cohort.
+    std::vector<char> awake;
+    if (pop_on) {
+      awake.assign(n, 1);
+      for (std::size_t slot = 0; slot < n; ++slot) {
+        if (!population_->available_at(participants[slot], sim_now_)) {
+          awake[slot] = 0;
+          pending_.delivered[slot] = 0;
+        }
+      }
+    }
+
+    // Timed rounds: pre-draw per-slot compute jitter serially in slot
+    // order, same contract as the dropout coins. Spent entirely on event
+    // scheduling below, so it never needs to survive a checkpoint.
+    std::vector<double> jitter;
+    if (timed) {
+      Rng jitter_rng = round_rng.fork("jitter");
+      const double j = timeline_->config().compute_jitter;
+      jitter.resize(n, 1.0);
+      for (auto& factor : jitter) factor = 1.0 + jitter_rng.uniform(-j, j);
+    }
+
+    // Client-parallel local updates + transport. Each task draws only from
+    // named forks of the round stream; global state is read-only until the
+    // serial reduction below.
+    pending_.reports.assign(n, ClientReport{});
+    parallel::parallel_for(
+        0, static_cast<std::int64_t>(n), 1,
+        [&](std::int64_t i0, std::int64_t i1) {
+          // Coalesce this worker's arena into one block before the batch
+          // of clients; scratch is then bump-allocated with no heap
+          // traffic.
+          util::tls_workspace().reset();
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const auto slot = static_cast<std::size_t>(i);
+            if (pop_on && !awake[slot]) continue;  // asleep: no local work
+            pending_.reports[slot] =
+                protocol_.run_client(slot, participants[slot], round_rng,
+                                     pending_.delivered[slot] != 0);
+            // Client boundary: every kernel/layer Scope opened while
+            // running this client must have closed again (DESIGN.md
+            // §9/§10).
+            FHDNN_CHECKED_ASSERT(
+                util::tls_workspace().scope_depth() == 0,
+                "workspace Scope leaked across client " << participants[slot]
+                                                        << " boundary");
+          }
+        });
+
+    // Schedule the round's events (timed modes): each delivered
+    // participant posts its kTrainDone and kUploadArrival instants, and a
+    // deadline round posts its kDeadline sentinel.
+    pending_.accepted = pending_.delivered;
+    pending_.late.assign(n, 0);
+    pending_.cap = target;
+    if (async_on && config_.async.buffer_size > 0) {
+      pending_.cap = config_.async.buffer_size;
+    }
+    if (timed) {
+      events_.clear(0.0);
+      for (std::size_t slot = 0; slot < n; ++slot) {
+        if (!pending_.delivered[slot]) continue;
+        double slowdown = faults_.slowdown(participants[slot]);
+        double link_factor = 1.0;
+        if (pop_on) {
+          const ClientProfile prof = population_->profile(participants[slot]);
+          slowdown *= prof.compute_factor;
+          link_factor = prof.link_factor;
+        }
+        const double train_done =
+            timeline_->client_compute_seconds(slowdown, jitter[slot]);
+        // Dense mode reuses client_round_seconds wholesale so the arrival
+        // instant is the exact double the pre-event acceptance sorted on.
+        const double arrival =
+            pop_on ? train_done + timeline_->client_upload_seconds(
+                                      pending_.reports[slot].stats,
+                                      link_factor)
+                   : timeline_->client_round_seconds(
+                         pending_.reports[slot].stats, slowdown, jitter[slot]);
+        events_.push(Event{train_done, participants[slot], 0,
+                           EventKind::kTrainDone, slot});
+        events_.push(Event{arrival, participants[slot], 1,
+                           EventKind::kUploadArrival, slot});
+      }
+      if (deadline_on) {
+        events_.push(Event{deadline_seconds(),
+                           std::numeric_limits<std::size_t>::max(), 0,
+                           EventKind::kDeadline, 0});
+      }
+      std::fill(pending_.accepted.begin(), pending_.accepted.end(), 0);
+    }
+  }
+
+  const std::size_t n = pending_.participants.size();
   RoundMetrics metrics;
   metrics.round = round_index;
   metrics.sampled = n;
 
-  // Serial prologue: the protocol refreshes the broadcast copy clients
-  // start from and sizes its per-slot update buffer.
-  protocol_.begin_round(round_rng, n);
-
-  // Pre-draw delivery outcomes in participant order so the dropout stream
-  // never depends on client execution order; fault-layer crashes and
-  // outage windows fold in as additional delivery failures (both are pure
-  // functions of (client, round), so the fold is order-independent too).
-  Rng dropout_rng = round_rng.fork("dropout");
-  auto delivered_flag =
-      draw_delivery_flags(n, config_.dropout_prob, dropout_rng);
-  if (faults_.enabled()) {
-    for (std::size_t slot = 0; slot < n; ++slot) {
-      if (delivered_flag[slot] &&
-          !faults_.available(participants[slot], round_index)) {
-        delivered_flag[slot] = 0;
-      }
-    }
-  }
-
-  // Sparse population: a sampled client asleep at round start (its
-  // availability window is a pure function of (seed, id, sim clock))
-  // never trains and never reaches the channel — it just counts dropped.
-  // This is also what bounds per-round work by the awake cohort.
-  std::vector<char> awake;
-  if (pop_on) {
-    awake.assign(n, 1);
-    for (std::size_t slot = 0; slot < n; ++slot) {
-      if (!population_->available_at(participants[slot], sim_now_)) {
-        awake[slot] = 0;
-        delivered_flag[slot] = 0;
-      }
-    }
-  }
-
-  // Timed rounds: pre-draw per-slot compute jitter serially in slot
-  // order, same contract as the dropout coins.
-  std::vector<double> jitter;
-  if (timed) {
-    Rng jitter_rng = round_rng.fork("jitter");
-    const double j = timeline_->config().compute_jitter;
-    jitter.resize(n, 1.0);
-    for (auto& factor : jitter) factor = 1.0 + jitter_rng.uniform(-j, j);
-  }
-
-  // Client-parallel local updates + transport. Each task draws only from
-  // named forks of the round stream; global state is read-only until the
-  // serial reduction below.
-  std::vector<ClientReport> reports(n);
-  parallel::parallel_for(
-      0, static_cast<std::int64_t>(n), 1,
-      [&](std::int64_t i0, std::int64_t i1) {
-        // Coalesce this worker's arena into one block before the batch of
-        // clients; scratch is then bump-allocated with no heap traffic.
-        util::tls_workspace().reset();
-        for (std::int64_t i = i0; i < i1; ++i) {
-          const auto slot = static_cast<std::size_t>(i);
-          if (pop_on && !awake[slot]) continue;  // asleep: no local work
-          reports[slot] = protocol_.run_client(
-              slot, participants[slot], round_rng, delivered_flag[slot] != 0);
-          // Client boundary: every kernel/layer Scope opened while running
-          // this client must have closed again (DESIGN.md §9/§10).
-          FHDNN_CHECKED_ASSERT(
-              util::tls_workspace().scope_depth() == 0,
-              "workspace Scope leaked across client " << participants[slot]
-                                                      << " boundary");
-        }
-      });
-
-  // Discrete-event acceptance (timed modes). Each delivered participant
-  // schedules its kTrainDone and kUploadArrival instants; the server
-  // replays the queue in the deterministic (time, client, seq) order and
-  // decides acceptance event by event:
+  // Discrete-event acceptance (timed modes). The server replays the queue
+  // in the deterministic (time, client, seq) order and decides acceptance
+  // event by event:
   //   * deadline rounds — accept arrivals until the deadline event fires
   //     or `target` are in; bit-identical to the pre-event sort-based
   //     acceptance (the kDeadline event carries client = SIZE_MAX, so an
@@ -178,78 +276,52 @@ RoundMetrics RoundEngine::round(int round_index) {
   //   * buffered-async rounds — the Kth arrival closes the round; later
   //     arrivals are marked late and handed to the protocol's staleness
   //     buffer instead of being discarded.
-  std::vector<char> accepted = delivered_flag;
-  std::vector<char> late(n, 0);
+  // Every pop is a crash-consistency boundary: a due checkpoint commits
+  // first, then a due CrashPlan fires — so a run killed at event k resumes
+  // from a snapshot at (or deterministically before) k.
   double simulated_seconds = 0.0;
   if (timed) {
-    const double deadline = deadline_seconds();
-    std::size_t cap = target;
-    if (async_on && config_.async.buffer_size > 0) {
-      cap = config_.async.buffer_size;
-    }
-    events_.clear(0.0);
-    for (std::size_t slot = 0; slot < n; ++slot) {
-      if (!delivered_flag[slot]) continue;
-      double slowdown = faults_.slowdown(participants[slot]);
-      double link_factor = 1.0;
-      if (pop_on) {
-        const ClientProfile prof = population_->profile(participants[slot]);
-        slowdown *= prof.compute_factor;
-        link_factor = prof.link_factor;
-      }
-      const double train_done =
-          timeline_->client_compute_seconds(slowdown, jitter[slot]);
-      // Dense mode reuses client_round_seconds wholesale so the arrival
-      // instant is the exact double the pre-event acceptance sorted on.
-      const double arrival =
-          pop_on ? train_done + timeline_->client_upload_seconds(
-                                    reports[slot].stats, link_factor)
-                 : timeline_->client_round_seconds(reports[slot].stats,
-                                                   slowdown, jitter[slot]);
-      events_.push(Event{train_done, participants[slot], 0,
-                         EventKind::kTrainDone, slot});
-      events_.push(Event{arrival, participants[slot], 1,
-                         EventKind::kUploadArrival, slot});
-    }
-    if (deadline_on) {
-      events_.push(Event{deadline, std::numeric_limits<std::size_t>::max(), 0,
-                         EventKind::kDeadline, 0});
-    }
-    std::fill(accepted.begin(), accepted.end(), 0);
-    bool deadline_passed = false;
-    std::size_t taken = 0;
-    std::size_t arrivals = 0;
-    double last_accept = 0.0;
-    double last_arrival = 0.0;
     while (!events_.empty()) {
       const Event e = events_.pop();
       if (e.kind == EventKind::kDeadline) {
-        deadline_passed = true;
-        continue;
+        pending_.deadline_passed = true;
+      } else if (e.kind == EventKind::kUploadArrival) {
+        ++pending_.arrivals;
+        pending_.last_arrival = e.time;
+        if (!pending_.deadline_passed && pending_.taken < pending_.cap) {
+          pending_.accepted[e.slot] = 1;
+          pending_.last_accept = e.time;
+          ++pending_.taken;
+        } else if (async_on) {
+          pending_.late[e.slot] = 1;
+        }
       }
-      if (e.kind != EventKind::kUploadArrival) continue;
-      ++arrivals;
-      last_arrival = e.time;
-      if (!deadline_passed && taken < cap) {
-        accepted[e.slot] = 1;
-        last_accept = e.time;
-        ++taken;
-      } else if (async_on) {
-        late[e.slot] = 1;
+      ++total_events_;
+      if (config_.checkpoint.enabled() &&
+          config_.checkpoint.every_n_events > 0 &&
+          total_events_ % config_.checkpoint.every_n_events == 0) {
+        write_checkpoint();
+      }
+      if (config_.crash.enabled && total_events_ == config_.crash.at_event) {
+        throw AggregatorCrash(total_events_);
       }
     }
     metrics.events = events_.processed();
     if (deadline_on) {
       // The round ends the moment the server has its target count of
       // updates; short rounds wait out the full deadline.
-      simulated_seconds = (taken == cap) ? last_accept : deadline;
+      simulated_seconds = (pending_.taken == pending_.cap)
+                              ? pending_.last_accept
+                              : deadline_seconds();
     } else {
       // Async: the buffer filling closes the round; a round whose arrivals
       // all fit under the cap ends at the final arrival, and a round with
       // no arrivals at all idles for one nominal round.
-      simulated_seconds = arrivals == 0
-                              ? timeline_->nominal_round_seconds()
-                              : (taken == cap ? last_accept : last_arrival);
+      simulated_seconds =
+          pending_.arrivals == 0
+              ? timeline_->nominal_round_seconds()
+              : (pending_.taken == pending_.cap ? pending_.last_accept
+                                                : pending_.last_arrival);
     }
   }
 
@@ -261,28 +333,29 @@ RoundMetrics RoundEngine::round(int round_index) {
   std::size_t delivered = 0;
   std::size_t accepted_n = 0;
   for (std::size_t slot = 0; slot < n; ++slot) {
-    if (!delivered_flag[slot]) continue;
+    if (!pending_.delivered[slot]) continue;
     ++delivered;
-    const auto& stats = reports[slot].stats;
+    const auto& stats = pending_.reports[slot].stats;
     metrics.bytes_uplink += stats.payload_bytes;
     metrics.bits_on_air += stats.bits_on_air;
     metrics.bit_flips += stats.bit_flips;
     metrics.packets_lost += stats.packets_lost;
     metrics.retransmissions += stats.retransmissions;
     metrics.residual_errors += stats.residual_errors;
-    if (accepted[slot]) {
+    if (pending_.accepted[slot]) {
       ++accepted_n;
-      loss_total += reports[slot].loss;
+      loss_total += pending_.reports[slot].loss;
     }
   }
   if (async_on) {
     const auto async_stats = protocol_.reduce_async(
-        participants, accepted, late, config_.async.staleness_exponent,
-        config_.async.max_staleness);
+        pending_.participants, pending_.accepted, pending_.late,
+        config_.async.staleness_exponent, config_.async.max_staleness);
     metrics.stale_accepted = async_stats.stale_applied;
   } else {
-    protocol_.reduce(participants, accepted);
+    protocol_.reduce(pending_.participants, pending_.accepted);
   }
+  pending_ = PendingRound{};  // round committed; nothing mid-round remains
 
   metrics.clients = accepted_n;
   metrics.dropped = n - delivered;
@@ -313,9 +386,16 @@ RoundMetrics RoundEngine::round(int round_index) {
 }
 
 TrainingHistory RoundEngine::run() {
-  for (int r = 1; r <= config_.rounds; ++r) {
+  // history_.size() rounds are already committed (zero on a fresh engine,
+  // more after resume()); continue from the next one.
+  for (int r = static_cast<int>(history_.size()) + 1; r <= config_.rounds;
+       ++r) {
     const RoundMetrics m = round(r);
     history_.add(m);
+    if (config_.checkpoint.enabled()) {
+      // Round-boundary checkpoint: a crash between rounds resumes here.
+      write_checkpoint();
+    }
     log_debug() << config_.name << " round " << r << " acc=" << m.test_accuracy
                 << " loss=" << m.train_loss << " accepted=" << m.clients << "/"
                 << m.sampled << " (dropped=" << m.dropped
@@ -323,6 +403,228 @@ TrainingHistory RoundEngine::run() {
                 << "s";
   }
   return history_;
+}
+
+std::uint32_t RoundEngine::config_fingerprint() const {
+  // Canonical serialization of every knob the deterministic trajectory
+  // depends on. FaultModel / ClientPopulation / FlTimeline / ClientSampler
+  // are pure in (seed, config), so fingerprinting the config covers them —
+  // no derived tables need snapshotting.
+  std::vector<std::uint8_t> buf;
+  const auto put = [&buf](const void* p, std::size_t len) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf.insert(buf.end(), b, b + len);
+  };
+  const auto put_u64 = [&put](std::uint64_t v) { put(&v, sizeof(v)); };
+  const auto put_f64 = [&put](double v) { put(&v, sizeof(v)); };
+  const EngineConfig& c = config_;
+  put_u64(c.n_clients);
+  put_f64(c.client_fraction);
+  put_u64(static_cast<std::uint64_t>(c.rounds));
+  put_u64(static_cast<std::uint64_t>(c.eval_every));
+  put_f64(c.dropout_prob);
+  put_u64(c.seed);
+  put(c.name.data(), c.name.size());
+  put_f64(c.faults.crash_prob);
+  put_f64(c.faults.straggler_fraction);
+  put_f64(c.faults.straggler_slowdown);
+  put_f64(c.faults.outage_prob);
+  put_u64(static_cast<std::uint64_t>(c.faults.outage_rounds));
+  put_f64(c.faults.error_multiplier_max);
+  put_u64(c.deadline.enabled ? 1 : 0);
+  put_f64(c.deadline.over_selection);
+  put_f64(c.deadline.deadline_factor);
+  put_u64(c.deadline.timeline.update_bits);
+  put_u64(c.deadline.timeline.fhdnn ? 1 : 0);
+  put_f64(c.deadline.timeline.compute_jitter);
+  put_u64(c.async.enabled ? 1 : 0);
+  put_u64(c.async.buffer_size);
+  put_f64(c.async.over_selection);
+  put_f64(c.async.staleness_exponent);
+  put_u64(static_cast<std::uint64_t>(c.async.max_staleness));
+  put_u64(c.async.timeline.update_bits);
+  put_u64(c.async.timeline.fhdnn ? 1 : 0);
+  put_f64(c.async.timeline.compute_jitter);
+  put_u64(c.population.n_registered);
+  put_f64(c.population.mean_availability);
+  put_f64(c.population.window_seconds);
+  put_f64(c.population.straggler_fraction);
+  put_f64(c.population.straggler_slowdown);
+  put_f64(c.population.compute_spread);
+  put_f64(c.population.link_spread_max);
+  // One derived double folds the device/link/workload profiles in without
+  // enumerating every field of the active timeline.
+  put_f64(timeline_ ? timeline_->nominal_round_seconds() : 0.0);
+  return util::crc32(buf.data(), buf.size());
+}
+
+void RoundEngine::save_snapshot(util::SnapshotWriter& w) {
+  w.begin_chunk("META");
+  w.write_u32(config_fingerprint());
+  w.write_u8(pending_.active ? 1 : 0);
+  w.write_i64(pending_.active
+                  ? static_cast<std::int64_t>(pending_.round_index)
+                  : static_cast<std::int64_t>(history_.size()));
+  w.write_u64(total_events_);
+  w.end_chunk();
+
+  w.begin_chunk("RNGS");
+  const RngState rng = root_rng_.state();
+  for (const std::uint64_t word : rng.s) w.write_u64(word);
+  w.write_u8(rng.has_cached_normal ? 1 : 0);
+  w.write_f64(rng.cached_normal);
+  w.end_chunk();
+
+  w.begin_chunk("CLCK");
+  w.write_f64(sim_now_);
+  w.end_chunk();
+
+  w.begin_chunk("HIST");
+  history_.save(w);
+  w.end_chunk();
+
+  w.begin_chunk("PROT");
+  protocol_.save_state(w);
+  w.end_chunk();
+
+  if (pending_.active) {
+    w.begin_chunk("PEND");
+    w.write_i64(pending_.round_index);
+    w.write_sizes(pending_.participants);
+    w.write_flags(pending_.delivered);
+    w.write_u64(pending_.reports.size());
+    for (const ClientReport& rep : pending_.reports) {
+      w.write_f64(rep.loss);
+      const channel::TransportStats& s = rep.stats;
+      w.write_u64(s.payload_scalars);
+      w.write_u64(s.payload_bytes);
+      w.write_u64(s.bits_on_air);
+      w.write_u64(s.bit_flips);
+      w.write_u64(s.packets_total);
+      w.write_u64(s.packets_lost);
+      w.write_u64(s.retransmissions);
+      w.write_u64(s.residual_errors);
+      w.write_f64(s.backoff_seconds);
+      w.write_f64(s.noise_power);
+    }
+    w.write_flags(pending_.accepted);
+    w.write_flags(pending_.late);
+    w.write_u8(pending_.deadline_passed ? 1 : 0);
+    w.write_u64(pending_.taken);
+    w.write_u64(pending_.arrivals);
+    w.write_f64(pending_.last_accept);
+    w.write_f64(pending_.last_arrival);
+    w.write_u64(pending_.cap);
+    w.end_chunk();
+
+    w.begin_chunk("EVTQ");
+    events_.save(w);
+    w.end_chunk();
+  }
+}
+
+void RoundEngine::write_checkpoint() { checkpoint(config_.checkpoint.path); }
+
+void RoundEngine::checkpoint(const std::string& path) {
+  FHDNN_CHECK(!path.empty(), "checkpoint path is empty");
+  util::SnapshotWriter w;
+  save_snapshot(w);
+  w.commit(path);
+}
+
+void RoundEngine::resume(const std::string& path) {
+  util::SnapshotReader r = util::SnapshotReader::open_with_fallback(path);
+
+  r.enter_chunk("META");
+  const std::uint32_t fingerprint = r.read_u32();
+  if (fingerprint != config_fingerprint()) {
+    throw util::SnapshotError(
+        util::SnapshotErrorKind::kState, 0,
+        "snapshot was written under a different engine config (" +
+            r.source_path() + ")");
+  }
+  const bool mid_round = r.read_u8() != 0;
+  const std::int64_t snap_round = r.read_i64();
+  total_events_ = r.read_u64();
+  r.leave_chunk();
+
+  r.enter_chunk("RNGS");
+  RngState rng;
+  for (std::uint64_t& word : rng.s) word = r.read_u64();
+  rng.has_cached_normal = r.read_u8() != 0;
+  rng.cached_normal = r.read_f64();
+  root_rng_.set_state(rng);
+  r.leave_chunk();
+
+  r.enter_chunk("CLCK");
+  sim_now_ = r.read_f64();
+  r.leave_chunk();
+
+  r.enter_chunk("HIST");
+  history_.load(r);
+  r.leave_chunk();
+
+  r.enter_chunk("PROT");
+  protocol_.load_state(r);
+  r.leave_chunk();
+
+  pending_ = PendingRound{};
+  if (mid_round) {
+    r.enter_chunk("PEND");
+    pending_.active = true;
+    pending_.round_index = static_cast<int>(r.read_i64());
+    pending_.participants = r.read_sizes();
+    pending_.delivered = r.read_flags();
+    const auto n_reports = static_cast<std::size_t>(r.read_u64());
+    pending_.reports.assign(n_reports, ClientReport{});
+    for (ClientReport& rep : pending_.reports) {
+      rep.loss = r.read_f64();
+      channel::TransportStats& s = rep.stats;
+      s.payload_scalars = r.read_u64();
+      s.payload_bytes = r.read_u64();
+      s.bits_on_air = r.read_u64();
+      s.bit_flips = r.read_u64();
+      s.packets_total = r.read_u64();
+      s.packets_lost = r.read_u64();
+      s.retransmissions = r.read_u64();
+      s.residual_errors = r.read_u64();
+      s.backoff_seconds = r.read_f64();
+      s.noise_power = r.read_f64();
+    }
+    pending_.accepted = r.read_flags();
+    pending_.late = r.read_flags();
+    pending_.deadline_passed = r.read_u8() != 0;
+    pending_.taken = static_cast<std::size_t>(r.read_u64());
+    pending_.arrivals = static_cast<std::size_t>(r.read_u64());
+    pending_.last_accept = r.read_f64();
+    pending_.last_arrival = r.read_f64();
+    pending_.cap = static_cast<std::size_t>(r.read_u64());
+    r.leave_chunk();
+
+    const std::size_t n = pending_.participants.size();
+    FHDNN_CHECK(pending_.round_index == static_cast<int>(snap_round) &&
+                    pending_.delivered.size() == n &&
+                    pending_.reports.size() == n &&
+                    pending_.accepted.size() == n && pending_.late.size() == n,
+                "snapshot pending-round state is inconsistent");
+    FHDNN_CHECK(pending_.round_index == static_cast<int>(history_.size()) + 1,
+                "snapshot pending round " << pending_.round_index
+                                          << " does not follow its history of "
+                                          << history_.size() << " rounds");
+    FHDNN_CHECK(timeline_.has_value(),
+                "mid-round snapshot requires a timed engine config");
+
+    r.enter_chunk("EVTQ");
+    events_.load(r);
+    r.leave_chunk();
+  } else {
+    FHDNN_CHECK(snap_round == static_cast<std::int64_t>(history_.size()),
+                "snapshot round index " << snap_round
+                                        << " != restored history size "
+                                        << history_.size());
+  }
+  r.enter_chunk("END ");
+  r.leave_chunk();
 }
 
 }  // namespace fhdnn::fl

@@ -77,8 +77,48 @@
 #include "fl/sampler.hpp"
 #include "fl/timeline.hpp"
 #include "util/rng.hpp"
+#include "util/snapshot.hpp"
+
+namespace fhdnn {
+class Tensor;  // codec specialization below; engine.cpp sees the full type
+}  // namespace fhdnn
 
 namespace fhdnn::fl {
+
+/// How a protocol's Update type crosses a snapshot boundary. The primary
+/// template throws at runtime instead of failing to compile: virtual
+/// members of a class template are instantiated with its vtable, so a
+/// compile-time error here would break every ProtocolAdapter whose update
+/// type never checkpoints (synthetic bench seams). Engines whose protocols
+/// should checkpoint use the std::vector<float> / Tensor specializations.
+template <typename Update>
+struct UpdateSnapshotCodec {
+  static void save(util::SnapshotWriter& w, const Update& u) {
+    (void)w;
+    (void)u;
+    throw util::SnapshotError(util::SnapshotErrorKind::kState, 0,
+                              "update type has no snapshot codec");
+  }
+  static Update load(util::SnapshotReader& r) {
+    (void)r;
+    throw util::SnapshotError(util::SnapshotErrorKind::kState, 0,
+                              "update type has no snapshot codec");
+  }
+};
+
+/// Flat float states (FedAvg). Defined in engine.cpp.
+template <>
+struct UpdateSnapshotCodec<std::vector<float>> {
+  static void save(util::SnapshotWriter& w, const std::vector<float>& u);
+  static std::vector<float> load(util::SnapshotReader& r);
+};
+
+/// Prototype matrices (FedHd). Defined in engine.cpp.
+template <>
+struct UpdateSnapshotCodec<Tensor> {
+  static void save(util::SnapshotWriter& w, const Tensor& u);
+  static Tensor load(util::SnapshotReader& r);
+};
 
 /// Trains one client from the current broadcast model — the learner seam.
 template <typename Update>
@@ -103,6 +143,13 @@ class LocalLearner {
 
   /// Test-set accuracy of the current global model.
   virtual double evaluate() = 0;
+
+  /// Snapshot seam: persist / restore whatever learner state feeds future
+  /// rounds (the global model, broadcast caches derivable from it may be
+  /// skipped). Default: stateless. Non-const because model extraction
+  /// (nn::get_state) takes mutable module references.
+  virtual void save_state(util::SnapshotWriter& w) { (void)w; }
+  virtual void load_state(util::SnapshotReader& r) { (void)r; }
 };
 
 /// Folds delivered updates into the global model — the aggregation seam.
@@ -135,6 +182,11 @@ class Aggregator {
     (void)total_weight;
     commit(n_updates);
   }
+
+  /// Snapshot seam: persist / restore mid-aggregation accumulator state.
+  /// Default: stateless.
+  virtual void save_state(util::SnapshotWriter& w) { (void)w; }
+  virtual void load_state(util::SnapshotReader& r) { (void)r; }
 };
 
 /// What the engine learns about one participant's parallel task.
@@ -192,6 +244,13 @@ class RoundProtocol {
   }
 
   virtual double evaluate() = 0;
+
+  /// Snapshot seam driven by RoundEngine checkpoints: persist / restore
+  /// everything the protocol carries across or within rounds (per-slot
+  /// update buffers, the cross-round staleness backlog, the seams' own
+  /// state). Default: stateless, so mocks and synthetic protocols opt out.
+  virtual void save_state(util::SnapshotWriter& w) { (void)w; }
+  virtual void load_state(util::SnapshotReader& r) { (void)r; }
 };
 
 /// Glues the three typed seams into a RoundProtocol, holding the per-slot
@@ -237,6 +296,10 @@ class ProtocolAdapter final : public RoundProtocol {
       aggregator_.accumulate(participants[slot], std::move(outcomes_[slot]));
     }
     if (n > 0) aggregator_.commit(n);
+    // Canonical end-of-round state: an empty buffer, not a vector of
+    // moved-from husks — keeps round-boundary snapshots small and makes
+    // snapshot -> restore -> snapshot byte-identical.
+    outcomes_.clear();
   }
 
   /// FedBuff-style buffered reduction. Serial, deterministic order:
@@ -287,10 +350,47 @@ class ProtocolAdapter final : public RoundProtocol {
       }
     }
     if (applied > 0) aggregator_.commit_weighted(applied, total_weight);
+    outcomes_.clear();  // canonical end-of-round state (see reduce())
     return stats;
   }
 
   double evaluate() override { return learner_.evaluate(); }
+
+  void save_state(util::SnapshotWriter& w) override {
+    w.write_u64(outcomes_.size());
+    for (const Update& u : outcomes_) {
+      UpdateSnapshotCodec<Update>::save(w, u);
+    }
+    w.write_u64(stale_.size());
+    for (const StaleUpdate& s : stale_) {
+      w.write_u64(static_cast<std::uint64_t>(s.client));
+      w.write_i64(s.staleness);
+      UpdateSnapshotCodec<Update>::save(w, s.update);
+    }
+    learner_.save_state(w);
+    aggregator_.save_state(w);
+  }
+
+  void load_state(util::SnapshotReader& r) override {
+    const auto n = static_cast<std::size_t>(r.read_u64());
+    outcomes_.clear();
+    outcomes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      outcomes_.push_back(UpdateSnapshotCodec<Update>::load(r));
+    }
+    const auto n_stale = static_cast<std::size_t>(r.read_u64());
+    stale_.clear();
+    stale_.reserve(n_stale);
+    for (std::size_t i = 0; i < n_stale; ++i) {
+      StaleUpdate s;
+      s.client = static_cast<std::size_t>(r.read_u64());
+      s.staleness = static_cast<int>(r.read_i64());
+      s.update = UpdateSnapshotCodec<Update>::load(r);
+      stale_.push_back(std::move(s));
+    }
+    learner_.load_state(r);
+    aggregator_.load_state(r);
+  }
 
  private:
   struct StaleUpdate {
@@ -343,6 +443,18 @@ struct AsyncConfig {
   int max_staleness = 2;            ///< buffered rounds before expiry
 };
 
+/// Crash-consistent checkpointing (DESIGN.md §13). When `path` is set the
+/// engine commits a snapshot there after every completed round, and — when
+/// `every_n_events` > 0 — additionally after every Nth processed discrete
+/// event, so a killed aggregator resumes mid-round. Each commit is atomic
+/// and rotates the prior generation to `<path>.prev` for torn-write
+/// fallback.
+struct CheckpointConfig {
+  std::string path;                   ///< empty disables checkpointing
+  std::uint64_t every_n_events = 0;   ///< 0: round boundaries only
+  bool enabled() const { return !path.empty(); }
+};
+
 /// Engine knobs shared by every federated protocol (paper notation).
 struct EngineConfig {
   std::size_t n_clients = 0;
@@ -361,6 +473,9 @@ struct EngineConfig {
   /// windows need a simulated clock).
   PopulationConfig population;
   AsyncConfig async;             ///< buffered-async rounds (off by default)
+  CheckpointConfig checkpoint;   ///< crash-consistent snapshots (off by default)
+  /// Injected aggregator kill for crash-recovery testing (off by default).
+  CrashPlan crash;
 };
 
 /// The shared synchronous round loop. See the file header for the seam
@@ -398,7 +513,55 @@ class RoundEngine {
     return population_ ? &*population_ : nullptr;
   }
 
+  /// Discrete events processed across the whole run so far (cumulative
+  /// over rounds — the counter CrashPlan::at_event and
+  /// CheckpointConfig::every_n_events are expressed in).
+  std::uint64_t total_events() const { return total_events_; }
+
+  /// Commit a snapshot of the engine's full deterministic state to `path`
+  /// (atomic; rotates the prior generation to `<path>.prev`). Captures
+  /// mid-round state when called between events of a timed round.
+  void checkpoint(const std::string& path);
+
+  /// Restore a snapshot written by checkpoint() / automatic checkpointing.
+  /// Tries `path` first, then `<path>.prev` (torn-write fallback). The
+  /// engine must be freshly constructed with the SAME config (fingerprint
+  /// checked) — afterwards run() continues from the snapshot and produces
+  /// a history bit-identical to the uninterrupted run. Throws
+  /// util::SnapshotError when no generation validates or the config does
+  /// not match.
+  void resume(const std::string& path);
+
  private:
+  /// Everything the event-acceptance loop of a timed round has decided so
+  /// far. Populated by the serial+parallel round prologue, consumed by the
+  /// post-loop reduction; snapshotting it between two events is what makes
+  /// mid-round resume possible. The prologue-only intermediates (awake
+  /// flags, jitter draws) are deliberately absent: they are fully spent by
+  /// the time the first event pops.
+  struct PendingRound {
+    bool active = false;
+    int round_index = 0;
+    std::vector<std::size_t> participants;
+    std::vector<char> delivered;
+    std::vector<ClientReport> reports;
+    std::vector<char> accepted;
+    std::vector<char> late;
+    bool deadline_passed = false;
+    std::size_t taken = 0;
+    std::size_t arrivals = 0;
+    double last_accept = 0.0;
+    double last_arrival = 0.0;
+    std::size_t cap = 0;
+  };
+
+  /// CRC-32 over the determinism-relevant config knobs; stored in META and
+  /// verified on resume so a snapshot never silently resumes under a
+  /// different experiment.
+  std::uint32_t config_fingerprint() const;
+  void save_snapshot(util::SnapshotWriter& w);
+  void write_checkpoint();
+
   EngineConfig config_;
   RoundProtocol& protocol_;
   Rng root_rng_;
@@ -409,6 +572,8 @@ class RoundEngine {
   EventQueue events_;
   double sim_now_ = 0.0;
   TrainingHistory history_;
+  PendingRound pending_;
+  std::uint64_t total_events_ = 0;
 };
 
 }  // namespace fhdnn::fl

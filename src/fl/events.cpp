@@ -52,4 +52,41 @@ void EventQueue::clear(double start) {
   processed_ = 0;
 }
 
+void EventQueue::save(util::SnapshotWriter& w) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> sorted = heap_;
+  std::sort(sorted.begin(), sorted.end(), event_before);
+  w.write_u64(sorted.size());
+  for (const Event& e : sorted) {
+    w.write_f64(e.time);
+    w.write_u64(static_cast<std::uint64_t>(e.client));
+    w.write_u64(e.seq);
+    w.write_u8(static_cast<std::uint8_t>(e.kind));
+    w.write_u64(static_cast<std::uint64_t>(e.slot));
+  }
+  w.write_f64(now_);
+  w.write_u64(processed_);
+}
+
+void EventQueue::load(util::SnapshotReader& r) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto n = static_cast<std::size_t>(r.read_u64());
+  heap_.clear();
+  heap_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e;
+    e.time = r.read_f64();
+    e.client = static_cast<std::size_t>(r.read_u64());
+    e.seq = r.read_u64();
+    e.kind = static_cast<EventKind>(r.read_u8());
+    e.slot = static_cast<std::size_t>(r.read_u64());
+    FHDNN_CHECK(std::isfinite(e.time),
+                "EventQueue::load: non-finite event time");
+    heap_.push_back(e);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), heap_after);
+  now_ = r.read_f64();
+  processed_ = r.read_u64();
+}
+
 }  // namespace fhdnn::fl

@@ -30,6 +30,8 @@
 #include <mutex>
 #include <vector>
 
+#include "util/snapshot.hpp"
+
 namespace fhdnn::fl {
 
 /// What happened at a simulated instant. The engine only acts on
@@ -63,7 +65,7 @@ constexpr bool event_before(const Event& a, const Event& b) {
 
 /// Min-queue over Event under event_before. See the file header for the
 /// determinism and clock contracts.
-class EventQueue {
+class EventQueue : public util::Snapshotable {
  public:
   EventQueue() = default;
 
@@ -88,6 +90,17 @@ class EventQueue {
   /// Drop all pending events and rewind now() to `start` (a new round may
   /// legitimately restart the clock at the campaign time).
   void clear(double start = 0.0);
+
+  /// Snapshot the pending events plus the clock and processed counter.
+  /// Events are written in event_before order — the *canonical* form, so
+  /// snapshot -> restore -> snapshot is byte-identical even though the
+  /// in-memory heap layout depends on push order.
+  void save(util::SnapshotWriter& w) const override;
+
+  /// Restore a snapshot, rebuilding the heap. Bypasses push()'s
+  /// time >= now() guard: pending events are naturally at or after the
+  /// snapshotted clock, which save() captured *after* the last pop.
+  void load(util::SnapshotReader& r) override;
 
  private:
   // Binary min-heap under event_before; push locks, pop does not (the

@@ -16,11 +16,39 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <vector>
 
 #include "util/rng.hpp"
 
 namespace fhdnn::fl {
+
+/// Fault injection for the *aggregator itself*: kill the engine after it
+/// has processed `at_event` discrete events (1-based, cumulative across
+/// rounds — the same counter RoundEngine::total_events() reports). The
+/// engine throws AggregatorCrash at that boundary, after any checkpoint
+/// due at the same boundary has been committed; tests sweep `at_event`
+/// over every boundary and assert resumed runs match the golden history.
+struct CrashPlan {
+  bool enabled = false;
+  std::uint64_t at_event = 0;
+};
+
+/// Thrown by RoundEngine when a CrashPlan fires. Deliberately NOT derived
+/// from fhdnn::Error: a planned crash is not a contract violation, and
+/// callers must be able to catch it specifically.
+class AggregatorCrash : public std::exception {
+ public:
+  explicit AggregatorCrash(std::uint64_t at_event) : at_event_(at_event) {}
+  const char* what() const noexcept override {
+    return "injected aggregator crash";
+  }
+  std::uint64_t at_event() const noexcept { return at_event_; }
+
+ private:
+  std::uint64_t at_event_;
+};
 
 struct FaultConfig {
   /// Per-client per-round probability of crashing after training but before

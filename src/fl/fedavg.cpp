@@ -105,6 +105,17 @@ class FedAvgLearner final : public LocalLearner<std::vector<float>> {
   std::int64_t state_scalars() const { return state_scalars_; }
   const data::ClientIndices& parts() const { return parts_; }
 
+  /// The global weights are the learner's only load-bearing state: the
+  /// worker pool is overwritten by copy_state before every use, and the
+  /// subsampling broadcast snapshot is re-derived by begin_round.
+  void save_state(util::SnapshotWriter& w) override {
+    w.write_floats(nn::get_state(*global_));
+  }
+
+  void load_state(util::SnapshotReader& r) override {
+    nn::set_state(*global_, r.read_floats());
+  }
+
  private:
   /// Check out / return a local-training model instance.
   std::unique_ptr<nn::Module> acquire_worker() {
@@ -233,6 +244,16 @@ class FedAvgAggregator final : public Aggregator<std::vector<float>> {
     commit(delivered);
   }
 
+  void save_state(util::SnapshotWriter& w) override {
+    w.write_floats(aggregate_);
+    w.write_f64(weight_total_);
+  }
+
+  void load_state(util::SnapshotReader& r) override {
+    aggregate_ = r.read_floats();
+    weight_total_ = r.read_f64();
+  }
+
  private:
   FedAvgLearner& learner_;
   std::vector<float> aggregate_;
@@ -276,7 +297,8 @@ FedAvgTrainer::FedAvgTrainer(ModelFactory factory, const data::Dataset& train,
       engine_(std::make_unique<RoundEngine>(
           EngineConfig{config.n_clients, config.client_fraction, config.rounds,
                        config.eval_every, config.dropout_prob, config.seed,
-                       "fedavg", config.faults, config.deadline, {}, {}},
+                       "fedavg", config.faults, config.deadline, {},
+                       config.async, config.checkpoint, config.crash},
           protocol_->protocol())) {
   // The engine's fault layer owns the per-client link-quality multipliers;
   // the transport scales channel error rates by them per delivery.
@@ -290,6 +312,12 @@ TrainingHistory FedAvgTrainer::run() { return engine_->run(); }
 RoundMetrics FedAvgTrainer::round(int round_index) {
   return engine_->round(round_index);
 }
+
+void FedAvgTrainer::checkpoint(const std::string& path) {
+  engine_->checkpoint(path);
+}
+
+void FedAvgTrainer::resume(const std::string& path) { engine_->resume(path); }
 
 double FedAvgTrainer::evaluate() { return protocol_->learner().evaluate(); }
 

@@ -53,6 +53,13 @@ struct FedAvgConfig {
   /// Deadline-based rounds with over-selection — fl/engine.hpp. Off by
   /// default.
   DeadlineConfig deadline;
+  /// Buffered-async (FedBuff-style) rounds — fl/engine.hpp. Off by
+  /// default; mutually exclusive with deadline rounds.
+  AsyncConfig async;
+  /// Crash-consistent snapshots (fl/engine.hpp). Off by default.
+  CheckpointConfig checkpoint;
+  /// Injected aggregator kill for crash-recovery testing (fl/faults.hpp).
+  CrashPlan crash;
 };
 
 namespace detail {
@@ -74,6 +81,15 @@ class FedAvgTrainer {
 
   /// Execute a single round (exposed for tests and custom loops).
   RoundMetrics round(int round_index);
+
+  /// Snapshot the full engine + protocol state to `path` (atomic commit,
+  /// previous generation kept as `<path>.prev`).
+  void checkpoint(const std::string& path);
+
+  /// Restore a snapshot into this freshly-constructed trainer (same config
+  /// required); run() then continues bit-identically to an uninterrupted
+  /// run. Falls back to `<path>.prev` on a torn/corrupt primary.
+  void resume(const std::string& path);
 
   /// Accuracy of the current global model on the test set.
   double evaluate();

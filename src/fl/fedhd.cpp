@@ -79,6 +79,25 @@ class FedHdLearner final : public LocalLearner<Tensor> {
   hdc::HdClassifier& global() { return global_; }
   const hdc::HdClassifier& global() const { return global_; }
 
+  /// The prototypes are the learner's only load-bearing state across
+  /// snapshot boundaries: global_empty_ and the broadcast copy are only
+  /// read inside the round prologue (begin_round + train), which runs
+  /// entirely before the first event — a mid-round resume never needs
+  /// them, and the next round's begin_round re-derives both.
+  void save_state(util::SnapshotWriter& w) override {
+    w.write_floats(global_.prototypes().vec());
+  }
+
+  void load_state(util::SnapshotReader& r) override {
+    auto v = r.read_floats();
+    if (v.empty()) return;
+    FHDNN_CHECK(v.size() == static_cast<std::size_t>(config_.num_classes) *
+                                static_cast<std::size_t>(config_.hd_dim),
+                "snapshot prototype scalars " << v.size());
+    global_.set_prototypes(
+        Tensor(Shape{config_.num_classes, config_.hd_dim}, std::move(v)));
+  }
+
  private:
   std::vector<HdClientData> clients_;
   HdClientData test_;
@@ -146,6 +165,31 @@ class FedHdAggregator final : public Aggregator<Tensor> {
     commit_scaled(total_weight);
   }
 
+  void save_state(util::SnapshotWriter& w) override {
+    w.write_u8(hierarchical() ? 1 : 0);
+    if (hierarchical()) exact_.save(w);
+    // Outside reduce() — the only place checkpoints happen — aggregate_ is
+    // either the default 0-d scalar or a moved-from husk, never meaningful
+    // state; persist it only when it actually has the round shape.
+    const auto n = config_.num_classes * config_.hd_dim;
+    if (aggregate_.numel() == n && aggregate_.ndim() == 2) {
+      w.write_floats(aggregate_.vec());
+    } else {
+      w.write_floats({});
+    }
+  }
+
+  void load_state(util::SnapshotReader& r) override {
+    FHDNN_CHECK((r.read_u8() != 0) == hierarchical(),
+                "snapshot aggregation mode mismatch");
+    if (hierarchical()) exact_.load(r);
+    auto v = r.read_floats();
+    aggregate_ = v.empty()
+                     ? Tensor{}
+                     : Tensor(Shape{config_.num_classes, config_.hd_dim},
+                              std::move(v));
+  }
+
  private:
   bool hierarchical() const { return config_.aggregation_fan_in >= 2; }
 
@@ -202,7 +246,8 @@ FedHdTrainer::FedHdTrainer(std::vector<HdClientData> clients, HdClientData test,
           EngineConfig{config.n_clients, config.client_fraction, config.rounds,
                        config.eval_every, config.dropout_prob, config.seed,
                        "fedhd", config.faults, config.deadline,
-                       config.population, config.async},
+                       config.population, config.async, config.checkpoint,
+                       config.crash},
           protocol_->protocol())) {
   // Registered client ids index the per-client dataset vector here, so a
   // fleet larger than the data is a config error for THIS trainer —
@@ -225,6 +270,12 @@ TrainingHistory FedHdTrainer::run() { return engine_->run(); }
 RoundMetrics FedHdTrainer::round(int round_index) {
   return engine_->round(round_index);
 }
+
+void FedHdTrainer::checkpoint(const std::string& path) {
+  engine_->checkpoint(path);
+}
+
+void FedHdTrainer::resume(const std::string& path) { engine_->resume(path); }
 
 double FedHdTrainer::evaluate() const { return protocol_->learner().accuracy(); }
 

@@ -78,6 +78,10 @@ struct FedHdConfig {
   PopulationConfig population;
   /// FedBuff-style buffered-async rounds — fl/engine.hpp. Off by default.
   AsyncConfig async;
+  /// Crash-consistent snapshots (fl/engine.hpp). Off by default.
+  CheckpointConfig checkpoint;
+  /// Injected aggregator kill for crash-recovery testing (fl/faults.hpp).
+  CrashPlan crash;
 };
 
 namespace detail {
@@ -93,6 +97,15 @@ class FedHdTrainer {
   TrainingHistory run();
   RoundMetrics round(int round_index);
   double evaluate() const;
+
+  /// Snapshot the full engine + protocol state to `path` (atomic commit,
+  /// previous generation kept as `<path>.prev`).
+  void checkpoint(const std::string& path);
+
+  /// Restore a snapshot into this freshly-constructed trainer (same config
+  /// required); run() then continues bit-identically to an uninterrupted
+  /// run. Falls back to `<path>.prev` on a torn/corrupt primary.
+  void resume(const std::string& path);
 
   const hdc::HdClassifier& global() const;
   hdc::HdClassifier& global();

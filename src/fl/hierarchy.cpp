@@ -171,6 +171,32 @@ Tensor hierarchical_sum(const std::vector<Tensor>& parts, std::size_t fan_in) {
   return out;
 }
 
+void PackedVoteAccumulator::save(util::SnapshotWriter& w) const {
+  w.write_i64(rows_);
+  w.write_i64(d_);
+  w.write_u64(total_words_);
+  w.write_u64(members_);
+  w.write_u64(planes_.size());
+  for (const auto& plane : planes_) {
+    w.write_u64s(plane);
+  }
+}
+
+void PackedVoteAccumulator::load(util::SnapshotReader& r) {
+  rows_ = r.read_i64();
+  d_ = r.read_i64();
+  total_words_ = static_cast<std::size_t>(r.read_u64());
+  members_ = static_cast<std::size_t>(r.read_u64());
+  const auto n_planes = static_cast<std::size_t>(r.read_u64());
+  planes_.assign(n_planes, {});
+  for (auto& plane : planes_) {
+    plane = r.read_u64s();
+    FHDNN_CHECK(plane.size() == total_words_,
+                "vote snapshot: plane of " << plane.size() << " words, expected "
+                                           << total_words_);
+  }
+}
+
 hdc::PackedModel hierarchical_majority(
     const std::vector<hdc::PackedModel>& models, std::size_t fan_in) {
   FHDNN_CHECK(!models.empty(), "hierarchical_majority: no models");

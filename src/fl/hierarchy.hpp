@@ -28,6 +28,7 @@
 #include "hdc/packed.hpp"
 #include "tensor/tensor.hpp"
 #include "util/exactsum.hpp"
+#include "util/snapshot.hpp"
 
 namespace fhdnn::fl {
 
@@ -35,7 +36,7 @@ namespace fhdnn::fl {
 /// vote counts in bit-sliced planes. Votes are integers, so merging
 /// accumulators (a parent absorbing an edge) is exact and associative;
 /// finalize() applies the majority threshold + tie rule exactly once.
-class PackedVoteAccumulator {
+class PackedVoteAccumulator : public util::Snapshotable {
  public:
   PackedVoteAccumulator() = default;
   PackedVoteAccumulator(std::int64_t rows, std::int64_t d);
@@ -62,6 +63,11 @@ class PackedVoteAccumulator {
 
   /// Reset to an empty accumulator, keeping the (rows, d) geometry.
   void clear();
+
+  /// Snapshot geometry, member count, and raw vote planes; a restored
+  /// accumulator finalizes to the identical packed model.
+  void save(util::SnapshotWriter& w) const override;
+  void load(util::SnapshotReader& r) override;
 
  private:
   std::int64_t rows_ = 0;

@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "util/snapshot.hpp"
+
 namespace fhdnn::fl {
 
 struct RoundMetrics {
@@ -43,7 +45,7 @@ struct RoundMetrics {
   double wall_seconds = 0.0;
 };
 
-class TrainingHistory {
+class TrainingHistory : public util::Snapshotable {
  public:
   void add(RoundMetrics m) { rounds_.push_back(m); }
   const std::vector<RoundMetrics>& rounds() const { return rounds_; }
@@ -81,6 +83,11 @@ class TrainingHistory {
 
   /// Total discrete events processed across all rounds.
   std::uint64_t total_events() const;
+
+  /// Snapshot every RoundMetrics field bit-exactly (doubles as raw IEEE
+  /// bits, wall_seconds included — it is state, just not golden-compared).
+  void save(util::SnapshotWriter& w) const override;
+  void load(util::SnapshotReader& r) override;
 
  private:
   std::vector<RoundMetrics> rounds_;

@@ -1,7 +1,9 @@
 #include "tensor/io.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 
 #include "util/error.hpp"
 
@@ -17,13 +19,44 @@ void write_pod(std::ofstream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::ifstream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  FHDNN_CHECK(static_cast<bool>(is), "truncated tensor file");
-  return v;
-}
+/// Streaming reader that knows where it is, so every failure is reported
+/// with the byte offset of the first undecodable byte.
+class OffsetReader {
+ public:
+  OffsetReader(std::ifstream& is, const std::string& path)
+      : is_(is), path_(path) {}
+
+  void read_bytes(void* dst, std::size_t len, const char* what) {
+    is_.read(static_cast<char*>(dst), static_cast<std::streamsize>(len));
+    if (!is_) {
+      const auto got = is_.gcount() < 0
+                           ? std::size_t{0}
+                           : static_cast<std::size_t>(is_.gcount());
+      fail(what, offset_ + got);
+    }
+    offset_ += len;
+  }
+
+  template <typename T>
+  T read_pod(const char* what) {
+    T v{};
+    read_bytes(&v, sizeof(T), what);
+    return v;
+  }
+
+  [[noreturn]] void fail(const std::string& what, std::size_t at) const {
+    std::ostringstream os;
+    os << "'" << path_ << "': " << what << " at byte " << at;
+    throw TensorIoError(os.str(), at);
+  }
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::ifstream& is_;
+  const std::string& path_;
+  std::size_t offset_ = 0;
+};
 
 }  // namespace
 
@@ -42,25 +75,41 @@ void save_tensor(const Tensor& t, const std::string& path) {
 Tensor load_tensor(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   FHDNN_CHECK(is.is_open(), "cannot open '" << path << "'");
+  OffsetReader r(is, path);
   char magic[4];
-  is.read(magic, sizeof(magic));
-  FHDNN_CHECK(static_cast<bool>(is) && std::equal(magic, magic + 4, kMagic),
-              "'" << path << "' is not an FHDnn tensor file");
-  const auto version = read_pod<std::uint32_t>(is);
-  FHDNN_CHECK(version == kVersion,
-              "'" << path << "' has unsupported version " << version);
-  const auto ndim = read_pod<std::uint32_t>(is);
-  FHDNN_CHECK(ndim <= 8, "'" << path << "' has implausible rank " << ndim);
+  r.read_bytes(magic, sizeof(magic), "truncated magic");
+  if (!std::equal(magic, magic + 4, kMagic)) {
+    r.fail("not an FHDnn tensor file (bad magic)", 0);
+  }
+  const auto version = r.read_pod<std::uint32_t>("truncated version field");
+  if (version != kVersion) {
+    std::ostringstream os;
+    os << "unsupported version " << version;
+    r.fail(os.str(), r.offset() - sizeof(std::uint32_t));
+  }
+  const auto ndim = r.read_pod<std::uint32_t>("truncated rank field");
+  if (ndim > 8) {
+    std::ostringstream os;
+    os << "implausible rank " << ndim;
+    r.fail(os.str(), r.offset() - sizeof(std::uint32_t));
+  }
   Shape shape;
   for (std::uint32_t i = 0; i < ndim; ++i) {
-    shape.push_back(read_pod<std::int64_t>(is));
-    FHDNN_CHECK(shape.back() > 0 && shape.back() < (1LL << 40),
-                "'" << path << "' has implausible dim " << shape.back());
+    shape.push_back(r.read_pod<std::int64_t>("truncated shape header"));
+    if (shape.back() <= 0 || shape.back() >= (1LL << 40)) {
+      std::ostringstream os;
+      os << "implausible dim " << shape.back();
+      r.fail(os.str(), r.offset() - sizeof(std::int64_t));
+    }
   }
   Tensor t(shape);
-  is.read(reinterpret_cast<char*>(t.data().data()),
-          static_cast<std::streamsize>(t.data().size() * sizeof(float)));
-  FHDNN_CHECK(static_cast<bool>(is), "truncated tensor data in '" << path << "'");
+  r.read_bytes(t.data().data(), t.data().size() * sizeof(float),
+               "truncated tensor data");
+  // A well-formed container ends exactly after the payload; trailing bytes
+  // mean the header lies about the shape, which must not load silently.
+  if (is.peek() != std::ifstream::traits_type::eof()) {
+    r.fail("trailing bytes after tensor data", r.offset());
+  }
   t.assert_invariant();
   return t;
 }

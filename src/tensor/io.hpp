@@ -5,16 +5,36 @@
 // i64 dims[ndim], f32 data[numel].
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "tensor/tensor.hpp"
+#include "util/error.hpp"
 
 namespace fhdnn::io {
+
+/// Thrown by load_tensor on a malformed or truncated container. Carries the
+/// byte offset at which decoding failed so a corrupted checkpoint can be
+/// localized ("truncated tensor data at byte 52428812"), not just rejected.
+/// Derives from fhdnn::Error so existing catch sites keep working.
+class TensorIoError : public Error {
+ public:
+  TensorIoError(const std::string& message, std::size_t byte_offset)
+      : Error(message), byte_offset_(byte_offset) {}
+
+  /// Offset of the first byte that could not be decoded.
+  std::size_t byte_offset() const noexcept { return byte_offset_; }
+
+ private:
+  std::size_t byte_offset_;
+};
 
 /// Write `t` to `path`; throws fhdnn::Error on I/O failure.
 void save_tensor(const Tensor& t, const std::string& path);
 
-/// Read a tensor written by save_tensor; throws on missing/corrupt files.
+/// Read a tensor written by save_tensor. Throws TensorIoError (with the
+/// failing byte offset) on a short read, bad magic/version, implausible
+/// header, or trailing bytes; the loaded tensor is invariant-checked.
 Tensor load_tensor(const std::string& path);
 
 }  // namespace fhdnn::io

@@ -178,4 +178,17 @@ void ExactSumVector::clear() {
   for (auto& limb : limbs_) limb = 0;
 }
 
+void ExactSumVector::save(SnapshotWriter& w) const {
+  w.write_u64(n_);
+  w.write_u64s(limbs_);
+}
+
+void ExactSumVector::load(SnapshotReader& r) {
+  n_ = static_cast<std::size_t>(r.read_u64());
+  limbs_ = r.read_u64s();
+  FHDNN_CHECK(limbs_.size() == n_ * kLimbs,
+              "exactsum snapshot: " << limbs_.size() << " limbs for " << n_
+                                    << " elements");
+}
+
 }  // namespace fhdnn::util

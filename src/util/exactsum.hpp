@@ -31,9 +31,11 @@
 #include <span>
 #include <vector>
 
+#include "util/snapshot.hpp"
+
 namespace fhdnn::util {
 
-class ExactSumVector {
+class ExactSumVector : public Snapshotable {
  public:
   /// Limbs per element: 384 bits = 277-bit float32 span + headroom.
   static constexpr std::size_t kLimbs = 6;
@@ -59,6 +61,11 @@ class ExactSumVector {
 
   /// Reset all elements to zero, keeping the size.
   void clear();
+
+  /// Snapshot the exact fixed-point state (size + raw limbs) bit-for-bit;
+  /// a restored accumulator continues mid-aggregation with no rounding.
+  void save(SnapshotWriter& w) const override;
+  void load(SnapshotReader& r) override;
 
  private:
   std::size_t n_ = 0;

@@ -18,6 +18,15 @@
 
 namespace fhdnn {
 
+/// Full generator state: the xoshiro256** words plus the cached Box-Muller
+/// sample. Restoring it resumes the stream mid-sequence bit-exactly — the
+/// snapshot/resume path depends on this.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Counter-based deterministic RNG built on splitmix64 state advancement and
 /// xoshiro256** output. Cheap to copy; copies continue independently.
 class Rng {
@@ -77,6 +86,19 @@ class Rng {
   /// weights[i] (weights need not be normalized; must be non-negative with a
   /// positive sum).
   std::size_t categorical(const std::vector<double>& weights);
+
+  /// Capture the exact stream position (see RngState).
+  [[nodiscard]] RngState state() const {
+    return RngState{{s_[0], s_[1], s_[2], s_[3]}, has_cached_normal_,
+                    cached_normal_};
+  }
+
+  /// Restore a previously captured stream position.
+  void set_state(const RngState& st) {
+    std::copy(std::begin(st.s), std::end(st.s), std::begin(s_));
+    has_cached_normal_ = st.has_cached_normal;
+    cached_normal_ = st.cached_normal;
+  }
 
  private:
   // xoshiro256** state.

@@ -335,6 +335,36 @@ TEST(LintRules, SimClockSuppressedAndOutOfScope) {
   EXPECT_EQ(count_rule(dur, "sim-clock"), 0);
 }
 
+// ---- io-isolation --------------------------------------------------------
+
+TEST(LintRules, IoIsolationPositive) {
+  const auto d = run("src/fl/engine.cpp",
+                     "std::ofstream os(path);\n"
+                     "FILE* f = fopen(path.c_str(), \"wb\");\n"
+                     "fwrite(buf, 1, n, f);\n");
+  EXPECT_EQ(count_rule(d, "io-isolation"), 3);
+  const auto fs = run("src/fl/history.cpp", "std::fstream io(path);\n");
+  EXPECT_EQ(count_rule(fs, "io-isolation"), 1);
+}
+
+TEST(LintRules, IoIsolationSuppressedAndOutOfScope) {
+  // A documented site may carry an inline allow().
+  const auto sup = run("src/fl/engine.cpp",
+                       "// fhdnn-lint: allow(io-isolation)\n"
+                       "std::ofstream os(path);\n");
+  EXPECT_EQ(count_rule(sup, "io-isolation"), 0);
+  // The snapshot writer itself and everything outside src/fl/ are free to
+  // open files (tensor/io, bench JSON, tests).
+  const auto util = run("src/util/snapshot.cpp", "std::ofstream os(tmp);\n");
+  EXPECT_EQ(count_rule(util, "io-isolation"), 0);
+  const auto bench = run("bench/micro_memory.cpp",
+                         "std::ofstream json(json_path);\n");
+  EXPECT_EQ(count_rule(bench, "io-isolation"), 0);
+  // Reads are not writes: ifstream stays legal inside src/fl/.
+  const auto read = run("src/fl/engine.cpp", "std::ifstream is(path);\n");
+  EXPECT_EQ(count_rule(read, "io-isolation"), 0);
+}
+
 // ---- framework behaviour -------------------------------------------------
 
 TEST(LintFramework, SuppressionIsPerRule) {

@@ -1,0 +1,421 @@
+// Kill-and-resume equivalence for the round engine (DESIGN.md §13).
+//
+// For each trainer fixture (FedAvg and FedHd, in deadline and
+// buffered-async modes) a golden uninterrupted run pins the history; the
+// sweep then kills the aggregator at EVERY event boundary k (CrashPlan,
+// with a checkpoint after every event), resumes a fresh trainer from the
+// surviving snapshot, and requires the completed history to match the
+// golden bit-for-bit (exact doubles — the hexfloat contract), at 1 and 4
+// threads. Also covered: boundary-checkpoint resume via run(), the
+// snapshot -> restore -> snapshot byte-identity property, and fallback to
+// the previous generation when the primary checkpoint is corrupted.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "fl/engine.hpp"
+#include "fl/faults.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/fedhd.hpp"
+#include "hdc/encoder.hpp"
+#include "nn/resnet.hpp"
+#include "util/parallel.hpp"
+#include "util/snapshot.hpp"
+
+namespace fhdnn {
+namespace {
+
+/// Restores the configured thread count when a test exits.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(parallel::num_threads()) {}
+  ~ThreadGuard() { parallel::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + "fhdnn_resume_" + name;
+}
+
+void remove_generations(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << path;
+  return {std::istreambuf_iterator<char>(is), {}};
+}
+
+void expect_same_history(const fl::TrainingHistory& golden,
+                         const fl::TrainingHistory& resumed) {
+  ASSERT_EQ(resumed.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    const auto& a = golden.rounds()[i];
+    const auto& b = resumed.rounds()[i];
+    SCOPED_TRACE("round " + std::to_string(i + 1));
+    EXPECT_EQ(a.round, b.round);
+    EXPECT_EQ(a.test_accuracy, b.test_accuracy);  // exact doubles
+    EXPECT_EQ(a.train_loss, b.train_loss);
+    EXPECT_EQ(a.clients, b.clients);
+    EXPECT_EQ(a.sampled, b.sampled);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.timed_out, b.timed_out);
+    EXPECT_EQ(a.stale_accepted, b.stale_accepted);
+    EXPECT_EQ(a.bytes_uplink, b.bytes_uplink);
+    EXPECT_EQ(a.bits_on_air, b.bits_on_air);
+    EXPECT_EQ(a.bit_flips, b.bit_flips);
+    EXPECT_EQ(a.packets_lost, b.packets_lost);
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.residual_errors, b.residual_errors);
+    EXPECT_EQ(a.simulated_round_seconds, b.simulated_round_seconds);
+    EXPECT_EQ(a.events, b.events);
+    // wall_seconds is the one non-contract field: real time, not simulated.
+  }
+}
+
+/// A fixture hands the sweep a factory: build a trainer with the given
+/// checkpoint + crash plan. Returned object must own all its data.
+template <typename Trainer>
+struct Fixture {
+  std::function<std::unique_ptr<Trainer>(fl::CheckpointConfig,
+                                         fl::CrashPlan)>
+      make;
+};
+
+/// The sweep itself: golden run, then kill at every event boundary and
+/// resume from the surviving checkpoint.
+template <typename Trainer>
+void kill_resume_sweep(const Fixture<Trainer>& fx, const std::string& tag) {
+  const std::string path = tmp_path(tag + ".snap");
+
+  auto golden_trainer = fx.make({}, {});
+  const auto golden = golden_trainer->run();
+  const std::uint64_t total = golden_trainer->engine().total_events();
+  ASSERT_GT(total, 0U) << tag << ": fixture produced no events";
+
+  for (std::uint64_t k = 1; k <= total; ++k) {
+    SCOPED_TRACE(tag + " killed at event " + std::to_string(k));
+    remove_generations(path);
+    auto victim = fx.make({path, 1}, {true, k});
+    bool crashed = false;
+    try {
+      victim->run();
+    } catch (const fl::AggregatorCrash& e) {
+      crashed = true;
+      EXPECT_EQ(e.at_event(), k);
+    }
+    ASSERT_TRUE(crashed);
+
+    auto survivor = fx.make({}, {});
+    survivor->resume(path);
+    const auto resumed = survivor->run();
+    expect_same_history(golden, resumed);
+  }
+}
+
+// ------------------------------------------------------------- fixtures
+
+/// FedAvg on synthetic MNIST, deliberately tiny (the sweep runs the full
+/// training once per event boundary). Every robustness knob that shapes
+/// the event stream is on: dropout, crashes, stragglers, link multipliers.
+struct FedAvgFixtureData {
+  data::Dataset train;
+  data::Dataset test;
+  data::ClientIndices parts;
+  std::unique_ptr<channel::Channel> uplink;
+};
+
+Fixture<fl::FedAvgTrainer> fedavg_fixture(
+    std::shared_ptr<FedAvgFixtureData> data, bool async) {
+  Fixture<fl::FedAvgTrainer> fx;
+  fx.make = [data, async](fl::CheckpointConfig ck, fl::CrashPlan crash) {
+    fl::ModelFactory factory = [](Rng& r) {
+      return nn::make_cnn2(1, 28, 10, r);
+    };
+    fl::FedAvgConfig cfg;
+    cfg.n_clients = 4;
+    cfg.client_fraction = 0.5;
+    cfg.local_epochs = 1;
+    cfg.batch_size = 16;
+    cfg.rounds = 2;
+    cfg.seed = 77;
+    cfg.dropout_prob = 0.2;
+    cfg.faults.crash_prob = 0.1;
+    cfg.faults.straggler_fraction = 0.25;
+    cfg.faults.straggler_slowdown = 2.0;
+    cfg.faults.error_multiplier_max = 3.0;
+    if (async) {
+      cfg.async.enabled = true;
+      cfg.async.over_selection = 0.5;
+      cfg.async.staleness_exponent = 0.5;
+      cfg.async.max_staleness = 2;
+      cfg.async.timeline.update_bits = 1'000'000;
+      cfg.async.timeline.fhdnn = false;
+      cfg.async.timeline.compute_jitter = 0.1;
+    } else {
+      cfg.deadline.enabled = true;
+      cfg.deadline.over_selection = 0.5;
+      cfg.deadline.deadline_factor = 3.0;
+      cfg.deadline.timeline.update_bits = 1'000'000;
+      cfg.deadline.timeline.fhdnn = false;
+      cfg.deadline.timeline.compute_jitter = 0.1;
+    }
+    cfg.checkpoint = std::move(ck);
+    cfg.crash = crash;
+    return std::make_unique<fl::FedAvgTrainer>(factory, data->train,
+                                               data->parts, data->test, cfg,
+                                               data->uplink.get());
+  };
+  return fx;
+}
+
+std::shared_ptr<FedAvgFixtureData> make_fedavg_data() {
+  auto data = std::make_shared<FedAvgFixtureData>();
+  Rng rng(71);
+  auto full = data::synthetic_mnist(120, rng);
+  auto split = data::train_test_split(full, 0.25, rng);
+  data->parts = data::partition_iid(split.train, 4, rng);
+  data->train = std::move(split.train);
+  data->test = std::move(split.test);
+  data->uplink = channel::make_bit_error(1e-4);
+  return data;
+}
+
+/// FedHd on isolet-like data with a corrupting uplink.
+struct FedHdFixtureData {
+  std::vector<fl::HdClientData> clients;
+  fl::HdClientData test;
+};
+
+Fixture<fl::FedHdTrainer> fedhd_fixture(std::shared_ptr<FedHdFixtureData> data,
+                                        bool async) {
+  Fixture<fl::FedHdTrainer> fx;
+  fx.make = [data, async](fl::CheckpointConfig ck, fl::CrashPlan crash) {
+    fl::FedHdConfig cfg;
+    cfg.n_clients = 6;
+    cfg.client_fraction = 0.5;
+    cfg.local_epochs = 1;
+    cfg.rounds = 2;
+    cfg.num_classes = 4;
+    cfg.hd_dim = 256;
+    cfg.seed = 78;
+    cfg.dropout_prob = 0.2;
+    cfg.uplink.mode = channel::HdUplinkMode::BitErrors;
+    cfg.uplink.ber = 1e-4;
+    cfg.faults.crash_prob = 0.1;
+    cfg.faults.error_multiplier_max = 2.0;
+    if (async) {
+      cfg.async.enabled = true;
+      cfg.async.over_selection = 0.5;
+      cfg.async.staleness_exponent = 0.5;
+      cfg.async.max_staleness = 2;
+      cfg.async.timeline.update_bits = 256;
+      cfg.async.timeline.fhdnn = true;
+      cfg.async.timeline.compute_jitter = 0.1;
+    } else {
+      cfg.deadline.enabled = true;
+      cfg.deadline.over_selection = 0.5;
+      cfg.deadline.deadline_factor = 3.0;
+      cfg.deadline.timeline.update_bits = 256;
+      cfg.deadline.timeline.fhdnn = true;
+      cfg.deadline.timeline.compute_jitter = 0.1;
+    }
+    cfg.checkpoint = std::move(ck);
+    cfg.crash = crash;
+    return std::make_unique<fl::FedHdTrainer>(data->clients, data->test, cfg);
+  };
+  return fx;
+}
+
+std::shared_ptr<FedHdFixtureData> make_fedhd_data() {
+  auto data = std::make_shared<FedHdFixtureData>();
+  Rng rng(72);
+  data::IsoletSpec spec;
+  spec.dims = 16;
+  spec.classes = 4;
+  spec.n = 120;
+  spec.separation = 0.5;
+  const auto ds = data::make_isolet_like(spec, rng);
+  Rng enc_rng = rng.fork("enc");
+  hdc::RandomProjectionEncoder enc(16, 256, enc_rng);
+  const auto split = data::train_test_split(ds, 0.25, rng);
+  data->test = {enc.encode(split.test.x), split.test.labels};
+  const auto parts = data::partition_iid(split.train, 6, rng);
+  for (const auto& part : parts) {
+    const auto sub = split.train.subset(part);
+    data->clients.push_back({enc.encode(sub.x), sub.labels});
+  }
+  return data;
+}
+
+// ------------------------------------------------------- the full sweeps
+
+TEST(KillResume, FedAvgDeadlineEveryBoundary) {
+  ThreadGuard guard;
+  auto data = make_fedavg_data();
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    parallel::set_num_threads(threads);
+    kill_resume_sweep(fedavg_fixture(data, false), "fedavg_deadline");
+  }
+}
+
+TEST(KillResume, FedAvgAsyncEveryBoundary) {
+  ThreadGuard guard;
+  auto data = make_fedavg_data();
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    parallel::set_num_threads(threads);
+    kill_resume_sweep(fedavg_fixture(data, true), "fedavg_async");
+  }
+}
+
+TEST(KillResume, FedHdDeadlineEveryBoundary) {
+  ThreadGuard guard;
+  auto data = make_fedhd_data();
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    parallel::set_num_threads(threads);
+    kill_resume_sweep(fedhd_fixture(data, false), "fedhd_deadline");
+  }
+}
+
+TEST(KillResume, FedHdAsyncEveryBoundary) {
+  ThreadGuard guard;
+  auto data = make_fedhd_data();
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    parallel::set_num_threads(threads);
+    kill_resume_sweep(fedhd_fixture(data, true), "fedhd_async");
+  }
+}
+
+// ------------------------------------------------ protocol-level checks
+
+TEST(KillResume, BoundaryCheckpointResumesAcrossRounds) {
+  // Checkpoint only at round boundaries (every_n_events = 0): kill the
+  // aggregator in the middle of round 2, resume from the round-1 boundary
+  // snapshot (which is what survives), and finish identically.
+  auto data = make_fedhd_data();
+  const auto fx = fedhd_fixture(data, false);
+  const std::string path = tmp_path("boundary.snap");
+  remove_generations(path);
+
+  auto golden_trainer = fx.make({}, {});
+  const auto golden = golden_trainer->run();
+
+  std::uint64_t round1_events = 0;
+  {
+    auto probe = fx.make({}, {});
+    (void)probe->round(1);
+    round1_events = probe->engine().total_events();
+  }
+  auto victim = fx.make({path, 0}, {true, round1_events + 1});
+  bool crashed = false;
+  try {
+    victim->run();
+  } catch (const fl::AggregatorCrash&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+
+  auto survivor = fx.make({}, {});
+  survivor->resume(path);  // the round-1 boundary checkpoint
+  const auto resumed = survivor->run();
+  expect_same_history(golden, resumed);
+}
+
+TEST(KillResume, SnapshotRestoreSnapshotIsByteIdentical) {
+  auto data = make_fedhd_data();
+  const auto fx = fedhd_fixture(data, false);
+  const std::string path = tmp_path("property.snap");
+  const std::string again = tmp_path("property_again.snap");
+  remove_generations(path);
+  remove_generations(again);
+
+  auto victim = fx.make({path, 1}, {true, 5});
+  try {
+    victim->run();
+  } catch (const fl::AggregatorCrash&) {
+  }
+
+  auto survivor = fx.make({}, {});
+  survivor->resume(path);
+  survivor->checkpoint(again);
+  EXPECT_EQ(slurp(path), slurp(again));
+}
+
+TEST(KillResume, CorruptPrimaryFallsBackToPreviousGeneration) {
+  auto data = make_fedhd_data();
+  const auto fx = fedhd_fixture(data, false);
+  const std::string path = tmp_path("fallback.snap");
+  remove_generations(path);
+
+  auto golden_trainer = fx.make({}, {});
+  const auto golden = golden_trainer->run();
+
+  // Checkpoint after every event, kill at event 6: primary holds event 6,
+  // .prev holds event 5. Corrupt the primary; resume must fall back and
+  // still reach the identical final history (event 5 replays event 6).
+  auto victim = fx.make({path, 1}, {true, 6});
+  try {
+    victim->run();
+  } catch (const fl::AggregatorCrash&) {
+  }
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(20);
+    f.put('\xFF');
+  }
+  auto survivor = fx.make({}, {});
+  survivor->resume(path);
+  const auto resumed = survivor->run();
+  expect_same_history(golden, resumed);
+
+  // Both generations corrupt: typed SnapshotError, nothing silently wrong.
+  {
+    std::fstream f(path + ".prev",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(20);
+    f.put('\xFF');
+  }
+  auto doomed = fx.make({}, {});
+  EXPECT_THROW(doomed->resume(path), util::SnapshotError);
+}
+
+TEST(KillResume, ResumeRejectsMismatchedConfig) {
+  auto data = make_fedhd_data();
+  const std::string path = tmp_path("fingerprint.snap");
+  remove_generations(path);
+  {
+    const auto fx = fedhd_fixture(data, false);
+    auto t = fx.make({}, {});
+    (void)t->round(1);
+    t->checkpoint(path);
+  }
+  // Async-mode fixture has a different config fingerprint.
+  const auto other = fedhd_fixture(data, true);
+  auto t = other.make({}, {});
+  try {
+    t->resume(path);
+    FAIL() << "mismatched config accepted";
+  } catch (const util::SnapshotError& e) {
+    EXPECT_EQ(e.kind(), util::SnapshotErrorKind::kState);
+  }
+}
+
+}  // namespace
+}  // namespace fhdnn

@@ -1,0 +1,439 @@
+// Tests for the crash-consistent snapshot subsystem (util/snapshot):
+// writer/reader round-trips for every typed field, eager whole-file
+// validation (magic / version / CRC / truncation / trailing bytes), the
+// atomic-commit + previous-generation fallback protocol, and the
+// Snapshotable round-trips of the engine components (EventQueue,
+// TrainingHistory, ExactSumVector, PackedVoteAccumulator, RngState).
+#include "util/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fl/events.hpp"
+#include "fl/hierarchy.hpp"
+#include "fl/history.hpp"
+#include "hdc/ops.hpp"
+#include "hdc/packed.hpp"
+#include "tensor/tensor.hpp"
+#include "util/exactsum.hpp"
+#include "util/rng.hpp"
+
+namespace fhdnn {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + "fhdnn_snap_" + name;
+}
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << path;
+  return {std::istreambuf_iterator<char>(is), {}};
+}
+
+void spit(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+void remove_generations(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+/// One chunk with every typed field, committed to a temp file.
+std::string write_sample(const std::string& name) {
+  const std::string path = tmp_path(name);
+  remove_generations(path);
+  util::SnapshotWriter w;
+  w.begin_chunk("TEST");
+  w.write_u8(7);
+  w.write_u32(0xDEADBEEFU);
+  w.write_u64(1ULL << 60);
+  w.write_i64(-42);
+  w.write_f32(1.5F);
+  w.write_f64(-0.1);
+  w.write_str("hello snapshot");
+  w.write_floats({1.0F, -2.0F, 3.25F});
+  w.write_doubles({0.5, -0.5});
+  w.write_u64s({1, 2, 3});
+  w.write_sizes({9, 8});
+  w.write_flags({1, 0, 1});
+  w.end_chunk();
+  w.commit(path);
+  return path;
+}
+
+// ------------------------------------------------------------ round-trip
+
+TEST(Snapshot, WriterReaderRoundTripsEveryType) {
+  const std::string path = write_sample("roundtrip.snap");
+  auto r = util::SnapshotReader::from_file(path);
+  EXPECT_EQ(r.version(), util::kSnapshotVersion);
+  EXPECT_EQ(r.peek_tag(), "TEST");
+  r.enter_chunk("TEST");
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFU);
+  EXPECT_EQ(r.read_u64(), 1ULL << 60);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_EQ(r.read_f32(), 1.5F);
+  EXPECT_EQ(r.read_f64(), -0.1);
+  EXPECT_EQ(r.read_str(), "hello snapshot");
+  EXPECT_EQ(r.read_floats(), (std::vector<float>{1.0F, -2.0F, 3.25F}));
+  EXPECT_EQ(r.read_doubles(), (std::vector<double>{0.5, -0.5}));
+  EXPECT_EQ(r.read_u64s(), (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(r.read_sizes(), (std::vector<std::size_t>{9, 8}));
+  EXPECT_EQ(r.read_flags(), (std::vector<char>{1, 0, 1}));
+  r.leave_chunk();
+  EXPECT_EQ(r.peek_tag(), "END ");
+}
+
+TEST(Snapshot, CommitIsDeterministic) {
+  const auto a = slurp(write_sample("det_a.snap"));
+  const auto b = slurp(write_sample("det_b.snap"));
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------ eager validation
+
+TEST(Snapshot, RejectsBadMagic) {
+  const std::string path = write_sample("magic.snap");
+  auto bytes = slurp(path);
+  bytes[0] ^= 0xFFU;
+  spit(path, bytes);
+  try {
+    (void)util::SnapshotReader::from_file(path);
+    FAIL() << "bad magic accepted";
+  } catch (const util::SnapshotError& e) {
+    EXPECT_EQ(e.kind(), util::SnapshotErrorKind::kFormat);
+  }
+}
+
+TEST(Snapshot, RejectsUnknownVersion) {
+  const std::string path = write_sample("version.snap");
+  auto bytes = slurp(path);
+  bytes[8] = 0xEE;  // version u32 follows the 8-byte magic
+  spit(path, bytes);
+  try {
+    (void)util::SnapshotReader::from_file(path);
+    FAIL() << "future version accepted";
+  } catch (const util::SnapshotError& e) {
+    EXPECT_EQ(e.kind(), util::SnapshotErrorKind::kVersion);
+  }
+}
+
+TEST(Snapshot, BitFlipAnywhereInPayloadFailsCrc) {
+  const std::string path = write_sample("crc.snap");
+  const auto clean = slurp(path);
+  // Flip one bit in the middle of the TEST chunk payload (past the 12-byte
+  // header and 16-byte chunk frame).
+  for (const std::size_t at : {std::size_t{30}, clean.size() / 2}) {
+    auto bytes = clean;
+    bytes[at] ^= 0x01U;
+    spit(path, bytes);
+    try {
+      (void)util::SnapshotReader::from_file(path);
+      FAIL() << "bit flip at " << at << " accepted";
+    } catch (const util::SnapshotError& e) {
+      EXPECT_EQ(e.kind(), util::SnapshotErrorKind::kCrc) << "at " << at;
+      EXPECT_GT(e.byte_offset(), 0U);
+    }
+  }
+}
+
+TEST(Snapshot, TruncationAtAnyLengthIsRejected) {
+  const std::string path = write_sample("trunc.snap");
+  const auto clean = slurp(path);
+  // Every proper prefix must be rejected (torn write without rename).
+  for (std::size_t len = 0; len < clean.size(); len += 7) {
+    spit(path, {clean.begin(), clean.begin() + static_cast<long>(len)});
+    EXPECT_THROW((void)util::SnapshotReader::from_file(path),
+                 util::SnapshotError)
+        << "prefix of " << len << " bytes accepted";
+  }
+}
+
+TEST(Snapshot, TrailingBytesAreRejected) {
+  const std::string path = write_sample("trailing.snap");
+  auto bytes = slurp(path);
+  bytes.push_back(0);
+  spit(path, bytes);
+  try {
+    (void)util::SnapshotReader::from_file(path);
+    FAIL() << "trailing byte accepted";
+  } catch (const util::SnapshotError& e) {
+    EXPECT_EQ(e.kind(), util::SnapshotErrorKind::kFormat);
+  }
+}
+
+TEST(Snapshot, SchemaMismatchesAreTypedStateErrors) {
+  const std::string path = write_sample("schema.snap");
+  {
+    auto r = util::SnapshotReader::from_file(path);
+    try {
+      r.enter_chunk("NOPE");
+      FAIL() << "wrong tag accepted";
+    } catch (const util::SnapshotError& e) {
+      EXPECT_EQ(e.kind(), util::SnapshotErrorKind::kState);
+    }
+  }
+  {
+    auto r = util::SnapshotReader::from_file(path);
+    r.enter_chunk("TEST");
+    (void)r.read_u8();
+    EXPECT_THROW(r.leave_chunk(), util::SnapshotError);  // unconsumed payload
+  }
+}
+
+// ------------------------------------------- durability + fallback
+
+TEST(Snapshot, CommitRotatesThePreviousGeneration) {
+  const std::string path = tmp_path("rotate.snap");
+  remove_generations(path);
+  {
+    util::SnapshotWriter w;
+    w.begin_chunk("GEN ");
+    w.write_u32(1);
+    w.end_chunk();
+    w.commit(path);
+  }
+  {
+    util::SnapshotWriter w;
+    w.begin_chunk("GEN ");
+    w.write_u32(2);
+    w.end_chunk();
+    w.commit(path);
+  }
+  auto cur = util::SnapshotReader::from_file(path);
+  cur.enter_chunk("GEN ");
+  EXPECT_EQ(cur.read_u32(), 2U);
+  auto prev = util::SnapshotReader::from_file(path + ".prev");
+  prev.enter_chunk("GEN ");
+  EXPECT_EQ(prev.read_u32(), 1U);
+}
+
+TEST(Snapshot, FallbackReadsPreviousGenerationWhenPrimaryIsTorn) {
+  const std::string path = tmp_path("fallback.snap");
+  remove_generations(path);
+  for (const std::uint32_t gen : {1U, 2U}) {
+    util::SnapshotWriter w;
+    w.begin_chunk("GEN ");
+    w.write_u32(gen);
+    w.end_chunk();
+    w.commit(path);
+  }
+  // Tear the primary: truncate it mid-file.
+  const auto bytes = slurp(path);
+  spit(path, {bytes.begin(), bytes.begin() + 9});
+  auto r = util::SnapshotReader::open_with_fallback(path);
+  EXPECT_EQ(r.source_path(), path + ".prev");
+  r.enter_chunk("GEN ");
+  EXPECT_EQ(r.read_u32(), 1U);
+  // Both generations gone: a typed error naming the path.
+  remove_generations(path);
+  EXPECT_THROW((void)util::SnapshotReader::open_with_fallback(path),
+               util::SnapshotError);
+}
+
+TEST(Snapshot, AtomicWriteTextReplacesWholeFile) {
+  const std::string path = tmp_path("artifact.json");
+  remove_generations(path);
+  util::atomic_write_text(path, "{\"a\": 1}\n");
+  util::atomic_write_text(path, "{\"b\": 2}\n");
+  const auto bytes = slurp(path);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "{\"b\": 2}\n");
+}
+
+// ------------------------------------------- component round-trips
+
+template <typename T>
+void roundtrip(const T& src, T& dst) {
+  util::SnapshotWriter w;
+  w.begin_chunk("OBJ ");
+  src.save(w);
+  w.end_chunk();
+  const std::string path = tmp_path("component.snap");
+  remove_generations(path);
+  w.commit(path);
+  auto r = util::SnapshotReader::from_file(path);
+  r.enter_chunk("OBJ ");
+  dst.load(r);
+  r.leave_chunk();
+}
+
+TEST(SnapshotComponents, RngStateResumesTheStreamExactly) {
+  Rng a(1234);
+  (void)a.normal();  // populate the cached-normal slot
+  for (int i = 0; i < 17; ++i) (void)a.next_u64();
+  Rng b(1);
+  b.set_state(a.state());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+    EXPECT_EQ(a.normal(), b.normal());  // exact doubles, cache included
+  }
+}
+
+TEST(SnapshotComponents, EventQueueRestoresPendingEventsAndClock) {
+  fl::EventQueue q;
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    fl::Event e;
+    e.time = rng.uniform(0.0, 100.0);
+    e.client = static_cast<std::size_t>(rng.next_u64() % 16);
+    e.seq = i;
+    e.kind = static_cast<fl::EventKind>(i % 3);
+    e.slot = static_cast<std::size_t>(i % 5);
+    q.push(e);
+  }
+  for (int i = 0; i < 10; ++i) (void)q.pop();
+
+  fl::EventQueue restored;
+  roundtrip(q, restored);
+  EXPECT_EQ(restored.size(), q.size());
+  EXPECT_EQ(restored.now(), q.now());
+  EXPECT_EQ(restored.processed(), q.processed());
+  while (!q.empty()) {
+    const auto a = q.pop();
+    const auto b = restored.pop();
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.client, b.client);
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.slot, b.slot);
+  }
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(SnapshotComponents, EventQueueSnapshotIsCanonical) {
+  // Same pending set pushed in different orders must serialize identically
+  // (save() sorts; the heap layout depends on push order).
+  std::vector<fl::Event> events;
+  Rng rng(9);
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    fl::Event e;
+    e.time = rng.uniform(0.0, 10.0);
+    e.client = static_cast<std::size_t>(i);
+    events.push_back(e);
+  }
+  fl::EventQueue fwd;
+  for (const auto& e : events) fwd.push(e);
+  fl::EventQueue rev;
+  for (auto it = events.rbegin(); it != events.rend(); ++it) rev.push(*it);
+  util::SnapshotWriter wa;
+  wa.begin_chunk("EVTQ");
+  fwd.save(wa);
+  wa.end_chunk();
+  util::SnapshotWriter wb;
+  wb.begin_chunk("EVTQ");
+  rev.save(wb);
+  wb.end_chunk();
+  const std::string pa = tmp_path("canon_a.snap");
+  const std::string pb = tmp_path("canon_b.snap");
+  remove_generations(pa);
+  remove_generations(pb);
+  wa.commit(pa);
+  wb.commit(pb);
+  EXPECT_EQ(slurp(pa), slurp(pb));
+}
+
+TEST(SnapshotComponents, TrainingHistoryRoundTripsEveryField) {
+  fl::TrainingHistory h;
+  Rng rng(3);
+  for (int i = 1; i <= 5; ++i) {
+    fl::RoundMetrics m;
+    m.round = i;
+    m.test_accuracy = rng.uniform();
+    m.train_loss = rng.uniform();
+    m.clients = i;
+    m.sampled = i + 2;
+    m.dropped = 1;
+    m.timed_out = 1;
+    m.stale_accepted = static_cast<std::uint64_t>(i % 2);
+    m.bytes_uplink = 1000ULL * static_cast<std::uint64_t>(i);
+    m.bits_on_air = 8000ULL * static_cast<std::uint64_t>(i);
+    m.bit_flips = 3;
+    m.packets_lost = 2;
+    m.retransmissions = 4;
+    m.residual_errors = 1;
+    m.simulated_round_seconds = rng.uniform(1.0, 5.0);
+    m.events = 20 + static_cast<std::uint64_t>(i);
+    m.wall_seconds = rng.uniform();
+    h.add(m);
+  }
+  fl::TrainingHistory restored;
+  roundtrip(h, restored);
+  ASSERT_EQ(restored.size(), h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const auto& a = h.rounds()[i];
+    const auto& b = restored.rounds()[i];
+    EXPECT_EQ(a.round, b.round);
+    EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+    EXPECT_EQ(a.train_loss, b.train_loss);
+    EXPECT_EQ(a.clients, b.clients);
+    EXPECT_EQ(a.sampled, b.sampled);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.timed_out, b.timed_out);
+    EXPECT_EQ(a.stale_accepted, b.stale_accepted);
+    EXPECT_EQ(a.bytes_uplink, b.bytes_uplink);
+    EXPECT_EQ(a.bits_on_air, b.bits_on_air);
+    EXPECT_EQ(a.bit_flips, b.bit_flips);
+    EXPECT_EQ(a.packets_lost, b.packets_lost);
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.residual_errors, b.residual_errors);
+    EXPECT_EQ(a.simulated_round_seconds, b.simulated_round_seconds);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.wall_seconds, b.wall_seconds);
+  }
+}
+
+TEST(SnapshotComponents, ExactSumVectorResumesMidAggregation) {
+  util::ExactSumVector acc(64);
+  Rng rng(11);
+  std::vector<float> update(64);
+  for (int k = 0; k < 7; ++k) {
+    for (auto& v : update) v = static_cast<float>(rng.normal() * 1e6);
+    acc.add(update);
+  }
+  util::ExactSumVector restored;
+  roundtrip(acc, restored);
+  ASSERT_EQ(restored.size(), acc.size());
+  // One more fold on both, then identical rounding.
+  for (auto& v : update) v = static_cast<float>(rng.normal());
+  acc.add(update);
+  restored.add(update);
+  std::vector<float> a(64);
+  std::vector<float> b(64);
+  acc.round_to(a);
+  restored.round_to(b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(SnapshotComponents, PackedVoteAccumulatorResumesMidBundle) {
+  const std::int64_t rows = 3;
+  const std::int64_t d = 200;
+  fl::PackedVoteAccumulator acc(rows, d);
+  Rng rng(17);
+  std::vector<hdc::PackedModel> models;
+  for (int k = 0; k < 5; ++k) {
+    const Tensor m = hdc::sign(Tensor::randn(Shape{rows, d}, rng));
+    models.push_back(hdc::pack_rows(m));
+    acc.add(models.back());
+  }
+  fl::PackedVoteAccumulator restored;
+  roundtrip(acc, restored);
+  EXPECT_EQ(restored.members(), acc.members());
+  // Vote in one more model on both sides; identical majorities.
+  const Tensor extra = hdc::sign(Tensor::randn(Shape{rows, d}, rng));
+  acc.add(hdc::pack_rows(extra));
+  restored.add(hdc::pack_rows(extra));
+  EXPECT_EQ(acc.finalize().words, restored.finalize().words);
+}
+
+}  // namespace
+}  // namespace fhdnn

@@ -25,6 +25,10 @@
 //                       wall-clock reads (std::chrono system/steady clocks)
 //                       are confined to the documented wall_seconds
 //                       measurement sites (suppressed inline)
+//   io-isolation        src/fl/ persists state only through the
+//                       crash-consistent util/snapshot writer (atomic
+//                       commit + CRC framing); raw file writes there could
+//                       tear and violate the kill-and-resume contract
 #include "lint.hpp"
 
 #include <array>
@@ -508,6 +512,22 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
     r->why("reads a wall clock inside src/fl/; round logic must use the "
            "engine's simulated event clock (fl/events.hpp), except the "
            "documented wall_seconds sites");
+    rules.push_back(std::move(r));
+  }
+  {
+    auto r = std::make_unique<TokenBanRule>(
+        "io-isolation",
+        "src/fl/ writes files only through util/snapshot (SnapshotWriter "
+        "commit / atomic_write_file), whose temp+fsync+rename protocol is "
+        "what makes checkpoints crash-consistent; raw ofstream/fopen writes "
+        "there can be observed torn after a kill",
+        std::vector<std::string>{"std::ofstream", "std::fstream", "fopen",
+                                 "fwrite"},
+        std::vector<std::string>{},
+        std::vector<std::string>{"src/fl/"});
+    r->why("writes a file from src/fl/ outside util/snapshot; route it "
+           "through SnapshotWriter::commit or util::atomic_write_* so a "
+           "mid-write kill cannot leave a torn artifact");
     rules.push_back(std::move(r));
   }
   rules.push_back(std::make_unique<ArenaDisciplineRule>());
