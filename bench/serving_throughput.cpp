@@ -1,0 +1,200 @@
+// Serving-seam throughput: handshake (connections/sec) against a
+// ServerRoundDriver, and full federated round latency vs concurrent
+// loopback workers — the in-process stand-in for fhdnnd's socket path,
+// exercising the same wire encode/validate/decode and collection loop
+// without kernel noise. Emits BENCH_serving.json for CI.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>  // fhdnn-lint: allow(raw-thread) — bench hosts worker threads
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fl/serving.hpp"
+#include "net/connection.hpp"
+#include "net/loopback.hpp"
+#include "util/parallel.hpp"
+#include "wire/messages.hpp"
+#include "workload.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Handshakes/sec: workers only speak the two-frame hello exchange, so this
+/// isolates frame encode + CRC validate + driver bookkeeping per connection.
+double bench_handshakes(int n, std::uint32_t fp, const std::string& proto) {
+  fhdnn::fl::ServerRoundDriver driver(fp, proto);
+  std::vector<std::unique_ptr<fhdnn::net::Connection>> held;
+  std::vector<std::thread> threads;  // fhdnn-lint: allow(raw-thread)
+  held.reserve(static_cast<std::size_t>(n));
+  threads.reserve(static_cast<std::size_t>(n));
+  const auto start = Clock::now();
+  for (int i = 0; i < n; ++i) {
+    auto [worker_end, server_end] = fhdnn::net::make_loopback_pair();
+    held.push_back(std::move(worker_end));
+    fhdnn::net::Connection& conn = *held.back();
+    threads.emplace_back([&conn, fp, proto] {
+      fhdnn::net::MessageChannel chan(conn);
+      fhdnn::wire::HelloMsg hello;
+      hello.config_fingerprint = fp;
+      hello.protocol = proto;
+      chan.send(hello.to_frame());
+      while (!chan.flush()) {
+      }
+      (void)fhdnn::wire::HelloAckMsg::from_frame(chan.recv(30000));
+    });
+    (void)driver.add_worker(std::move(server_end));
+  }
+  const double wall = seconds_since(start);
+  for (auto& t : threads) t.join();
+  return wall;
+}
+
+struct ServedRun {
+  double wall_seconds = 0.0;
+  std::uint64_t wire_sent = 0;
+  std::uint64_t wire_received = 0;
+};
+
+/// One full served run: `n_workers` loopback workers, each a faithful
+/// workload replica on its own thread, driven through rounds by the server.
+ServedRun run_with_workers(int n_workers, const fhdnn::workload::Options& opt) {
+  using namespace fhdnn;
+  auto server = workload::make_workload(opt);
+  fl::ServerRoundDriver driver(server->config_fingerprint(), opt.protocol);
+  std::vector<std::unique_ptr<workload::Workload>> replicas;
+  std::vector<std::unique_ptr<net::Connection>> conns;
+  std::vector<std::thread> threads;  // fhdnn-lint: allow(raw-thread)
+  replicas.reserve(static_cast<std::size_t>(n_workers));
+  conns.reserve(static_cast<std::size_t>(n_workers));
+  threads.reserve(static_cast<std::size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    auto [worker_end, server_end] = net::make_loopback_pair();
+    replicas.push_back(workload::make_workload(opt));
+    conns.push_back(std::move(worker_end));
+    workload::Workload& wl = *replicas.back();
+    net::Connection& conn = *conns.back();
+    threads.emplace_back([&wl, &conn, &opt] {
+      fl::WorkerLoop loop(conn, wl.protocol(), wl.config_fingerprint(),
+                          opt.protocol);
+      loop.handshake();
+      (void)loop.serve();
+    });
+    (void)driver.add_worker(std::move(server_end));
+  }
+  server->set_round_driver(&driver);
+  const auto start = Clock::now();
+  const auto history = server->run();
+  ServedRun r;
+  r.wall_seconds = seconds_since(start);
+  driver.shutdown(static_cast<std::int64_t>(history.rounds().size()));
+  for (auto& t : threads) t.join();
+  r.wire_sent = driver.wire_bytes_sent();
+  r.wire_received = driver.wire_bytes_received();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fhdnn;
+  bench::init();
+
+  CliFlags flags;
+  flags.define_string("protocol", "fedhd", "workload: fedavg | fedhd");
+  flags.define_int("rounds", 3, "federated rounds per served run");
+  flags.define_int("handshakes", 64, "connections for the handshake bench");
+  flags.define_int("max-workers", 4, "sweep 1..this many loopback workers");
+  flags.define_int("threads", 0, "worker threads (0 = library default)");
+  flags.define_string("json", "BENCH_serving.json", "output artifact path");
+  if (!flags.parse(argc, argv)) return 0;
+
+  if (flags.get_int("threads") > 0) {
+    parallel::set_num_threads(static_cast<int>(flags.get_int("threads")));
+  }
+  workload::Options opt;
+  opt.protocol = flags.get_string("protocol");
+  opt.rounds = static_cast<int>(flags.get_int("rounds"));
+  const int handshakes = static_cast<int>(flags.get_int("handshakes"));
+  const int max_workers = static_cast<int>(flags.get_int("max-workers"));
+
+  std::cout << "== serving_throughput ==\n";
+  bench::print_config_line("protocol=" + opt.protocol +
+                           " rounds=" + std::to_string(opt.rounds) +
+                           " handshakes=" + std::to_string(handshakes) +
+                           " max_workers=" + std::to_string(max_workers) +
+                           " threads=" +
+                           std::to_string(parallel::num_threads()));
+
+  const std::uint32_t fp =
+      workload::make_workload(opt)->config_fingerprint();
+  const double hs_wall = bench_handshakes(handshakes, fp, opt.protocol);
+  const double conns_per_sec =
+      hs_wall > 0.0 ? static_cast<double>(handshakes) / hs_wall : 0.0;
+  std::cout << "handshakes=" << handshakes << " wall=" << hs_wall
+            << "s connections_per_sec=" << conns_per_sec << "\n\n";
+
+  struct Row {
+    int workers;
+    ServedRun run;
+  };
+  std::vector<Row> rows;
+  for (int w = 1; w <= max_workers; w *= 2) {
+    rows.push_back({w, run_with_workers(w, opt)});
+  }
+
+  TextTable table({"workers", "wall_s", "s_per_round", "wire_out_mib",
+                   "wire_in_mib"});
+  for (const Row& r : rows) {
+    table.add_row(
+        {TextTable::cell(r.workers), TextTable::cell(r.run.wall_seconds),
+         TextTable::cell(r.run.wall_seconds / opt.rounds),
+         TextTable::cell(static_cast<double>(r.run.wire_sent) / (1 << 20)),
+         TextTable::cell(static_cast<double>(r.run.wire_received) /
+                         (1 << 20))});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  CsvWriter csv(std::cout, {"workers", "wall_seconds", "seconds_per_round",
+                            "wire_bytes_sent", "wire_bytes_received"});
+  for (const Row& r : rows) {
+    csv.add(r.workers)
+        .add(r.run.wall_seconds)
+        .add(r.run.wall_seconds / opt.rounds)
+        .add(static_cast<std::size_t>(r.run.wire_sent))
+        .add(static_cast<std::size_t>(r.run.wire_received))
+        .end_row();
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"serving_throughput\",\n"
+       << "  \"protocol\": \"" << opt.protocol << "\",\n"
+       << "  \"rounds\": " << opt.rounds << ",\n"
+       << "  \"threads\": " << parallel::num_threads() << ",\n"
+       << "  \"handshakes\": " << handshakes << ",\n"
+       << "  \"handshake_wall_seconds\": " << hs_wall << ",\n"
+       << "  \"connections_per_sec\": " << conns_per_sec << ",\n"
+       << "  \"series\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"workers\": " << r.workers
+         << ", \"wall_seconds\": " << r.run.wall_seconds
+         << ", \"seconds_per_round\": " << r.run.wall_seconds / opt.rounds
+         << ", \"wire_bytes_sent\": " << r.run.wire_sent
+         << ", \"wire_bytes_received\": " << r.run.wire_received << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  bench::write_json_atomic(flags.get_string("json"), json.str());
+  return 0;
+}

@@ -49,6 +49,40 @@ Tensor UpdateSnapshotCodec<Tensor>::load(util::SnapshotReader& r) {
   return t;
 }
 
+void LocalRoundDriver::drive(RoundProtocol& protocol, const Rng& round_rng,
+                             int round_index,
+                             const std::vector<std::size_t>& participants,
+                             const std::vector<char>& delivered,
+                             const std::vector<char>& awake,
+                             std::vector<ClientReport>& reports) {
+  (void)round_index;
+  (void)delivered;  // non-delivered slots still train; run_client handles it
+  const std::size_t n = participants.size();
+  const bool pop_on = !awake.empty();
+  parallel::parallel_for(
+      0, static_cast<std::int64_t>(n), 1,
+      [&](std::int64_t i0, std::int64_t i1) {
+        // Coalesce this worker's arena into one block before the batch
+        // of clients; scratch is then bump-allocated with no heap
+        // traffic.
+        util::tls_workspace().reset();
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const auto slot = static_cast<std::size_t>(i);
+          if (pop_on && !awake[slot]) continue;  // asleep: no local work
+          reports[slot] = protocol.run_client(slot, participants[slot],
+                                              round_rng,
+                                              delivered[slot] != 0);
+          // Client boundary: every kernel/layer Scope opened while
+          // running this client must have closed again (DESIGN.md
+          // §9/§10).
+          FHDNN_CHECKED_ASSERT(
+              util::tls_workspace().scope_depth() == 0,
+              "workspace Scope leaked across client " << participants[slot]
+                                                      << " boundary");
+        }
+      });
+}
+
 RoundEngine::RoundEngine(EngineConfig config, RoundProtocol& protocol)
     : config_(std::move(config)),
       protocol_(protocol),
@@ -187,32 +221,15 @@ RoundMetrics RoundEngine::round(int round_index) {
       for (auto& factor : jitter) factor = 1.0 + jitter_rng.uniform(-j, j);
     }
 
-    // Client-parallel local updates + transport. Each task draws only from
-    // named forks of the round stream; global state is read-only until the
-    // serial reduction below.
+    // Client work through the driver seam: in process (LocalRoundDriver,
+    // client-parallel on the util/parallel pool) or fanned out to connected
+    // workers (ServerRoundDriver). Each client draws only from named forks
+    // of the round stream; global state is read-only until the serial
+    // reduction below — so who executes a slot never changes its update.
     pending_.reports.assign(n, ClientReport{});
-    parallel::parallel_for(
-        0, static_cast<std::int64_t>(n), 1,
-        [&](std::int64_t i0, std::int64_t i1) {
-          // Coalesce this worker's arena into one block before the batch
-          // of clients; scratch is then bump-allocated with no heap
-          // traffic.
-          util::tls_workspace().reset();
-          for (std::int64_t i = i0; i < i1; ++i) {
-            const auto slot = static_cast<std::size_t>(i);
-            if (pop_on && !awake[slot]) continue;  // asleep: no local work
-            pending_.reports[slot] =
-                protocol_.run_client(slot, participants[slot], round_rng,
-                                     pending_.delivered[slot] != 0);
-            // Client boundary: every kernel/layer Scope opened while
-            // running this client must have closed again (DESIGN.md
-            // §9/§10).
-            FHDNN_CHECKED_ASSERT(
-                util::tls_workspace().scope_depth() == 0,
-                "workspace Scope leaked across client " << participants[slot]
-                                                        << " boundary");
-          }
-        });
+    RoundDriver& driver = driver_ ? *driver_ : local_driver_;
+    driver.drive(protocol_, round_rng, round_index, participants,
+                 pending_.delivered, awake, pending_.reports);
 
     // Schedule the round's events (timed modes): each delivered
     // participant posts its kTrainDone and kUploadArrival instants, and a
@@ -382,6 +399,10 @@ RoundMetrics RoundEngine::round(int round_index) {
   // fhdnn-lint: allow(sim-clock)
   const auto wall_end = std::chrono::steady_clock::now();
   metrics.wall_seconds = std::chrono::duration<double>(wall_end - start).count();
+  // Ack/metrics hook: server drivers broadcast the committed round to their
+  // workers; the in-process driver ignores it.
+  RoundDriver& driver = driver_ ? *driver_ : local_driver_;
+  driver.round_committed(metrics);
   return metrics;
 }
 

@@ -251,6 +251,24 @@ class RoundProtocol {
   /// state). Default: stateless, so mocks and synthetic protocols opt out.
   virtual void save_state(util::SnapshotWriter& w) { (void)w; }
   virtual void load_state(util::SnapshotReader& r) { (void)r; }
+
+  /// Wire seam (fhdnnd serving, fl/serving.hpp): serialize the update a
+  /// run_client(slot, ...) retained, or install one received over a
+  /// connection into that slot. Only meaningful between begin_round and
+  /// reduce. Defaults throw — mocks and synthetic protocols never cross a
+  /// wire; ProtocolAdapter implements both via UpdateSnapshotCodec.
+  virtual void save_update(std::size_t slot, util::SnapshotWriter& w) {
+    (void)slot;
+    (void)w;
+    throw util::SnapshotError(util::SnapshotErrorKind::kState, 0,
+                              "protocol has no update wire codec");
+  }
+  virtual void load_update(std::size_t slot, util::SnapshotReader& r) {
+    (void)slot;
+    (void)r;
+    throw util::SnapshotError(util::SnapshotErrorKind::kState, 0,
+                              "protocol has no update wire codec");
+  }
 };
 
 /// Glues the three typed seams into a RoundProtocol, holding the per-slot
@@ -356,6 +374,20 @@ class ProtocolAdapter final : public RoundProtocol {
 
   double evaluate() override { return learner_.evaluate(); }
 
+  void save_update(std::size_t slot, util::SnapshotWriter& w) override {
+    FHDNN_CHECK(slot < outcomes_.size(),
+                "save_update slot " << slot << " outside the cohort of "
+                                    << outcomes_.size());
+    UpdateSnapshotCodec<Update>::save(w, outcomes_[slot]);
+  }
+
+  void load_update(std::size_t slot, util::SnapshotReader& r) override {
+    FHDNN_CHECK(slot < outcomes_.size(),
+                "load_update slot " << slot << " outside the cohort of "
+                                    << outcomes_.size());
+    outcomes_[slot] = UpdateSnapshotCodec<Update>::load(r);
+  }
+
   void save_state(util::SnapshotWriter& w) override {
     w.write_u64(outcomes_.size());
     for (const Update& u : outcomes_) {
@@ -404,6 +436,49 @@ class ProtocolAdapter final : public RoundProtocol {
   Aggregator<Update>& aggregator_;
   std::vector<Update> outcomes_;
   std::vector<StaleUpdate> stale_;  ///< cross-round buffered-async backlog
+};
+
+/// The execution seam between the aggregation core and whoever runs the
+/// round's client work. After the engine's serial prologue (participant
+/// sampling, delivery coins, begin_round), drive() must train every
+/// participant slot that needs work and fill `reports` — either in process
+/// (LocalRoundDriver, the default) or by fanning slots out to connected
+/// workers (fl/serving.hpp's ServerRoundDriver). The engine then runs the
+/// acceptance/reduction epilogue unchanged, which is why both drivers
+/// produce bit-identical histories: the reduction consumes per-slot state
+/// in fixed slot order regardless of who computed it, or where.
+class RoundDriver {
+ public:
+  virtual ~RoundDriver() = default;
+
+  /// Run the round's client work. `participants[slot]` is the client id,
+  /// `delivered[slot]` its pre-drawn delivery coin, `awake` the population
+  /// availability flags (empty when population mode is off — treat every
+  /// slot as awake). Must fill `reports[slot]` for every slot it runs and
+  /// leave the protocol's retained updates installed for delivered slots.
+  virtual void drive(RoundProtocol& protocol, const Rng& round_rng,
+                     int round_index,
+                     const std::vector<std::size_t>& participants,
+                     const std::vector<char>& delivered,
+                     const std::vector<char>& awake,
+                     std::vector<ClientReport>& reports) = 0;
+
+  /// Called after the round's metrics commit (post-reduce, post-eval);
+  /// server drivers broadcast the ack/metrics message here. Default: no-op.
+  virtual void round_committed(const RoundMetrics& metrics) { (void)metrics; }
+};
+
+/// Default in-process driver: client-parallel local updates on the
+/// util/parallel pool, workspace arena reset at each client batch — the
+/// engine's historical behavior, bit for bit. Non-delivered slots still
+/// train (they paid the compute in the real world; only their uplink is
+/// lost), asleep slots are skipped entirely.
+class LocalRoundDriver final : public RoundDriver {
+ public:
+  void drive(RoundProtocol& protocol, const Rng& round_rng, int round_index,
+             const std::vector<std::size_t>& participants,
+             const std::vector<char>& delivered, const std::vector<char>& awake,
+             std::vector<ClientReport>& reports) override;
 };
 
 /// Deadline-based round policy (paper §4.4's timing model driving the
@@ -523,6 +598,16 @@ class RoundEngine {
   /// mid-round state when called between events of a timed round.
   void checkpoint(const std::string& path);
 
+  /// Route the round's client work through a custom driver (fl/serving.hpp
+  /// ServerRoundDriver); nullptr restores the in-process LocalRoundDriver.
+  /// The driver must outlive the engine (or be reset first).
+  void set_round_driver(RoundDriver* driver) { driver_ = driver; }
+
+  /// CRC-32 over the determinism-relevant config knobs; stored in snapshot
+  /// META chunks and exchanged in the fhdnnd hello handshake, so neither a
+  /// resume nor a worker ever silently runs a different experiment.
+  std::uint32_t config_fingerprint() const;
+
   /// Restore a snapshot written by checkpoint() / automatic checkpointing.
   /// Tries `path` first, then `<path>.prev` (torn-write fallback). The
   /// engine must be freshly constructed with the SAME config (fingerprint
@@ -555,15 +640,13 @@ class RoundEngine {
     std::size_t cap = 0;
   };
 
-  /// CRC-32 over the determinism-relevant config knobs; stored in META and
-  /// verified on resume so a snapshot never silently resumes under a
-  /// different experiment.
-  std::uint32_t config_fingerprint() const;
   void save_snapshot(util::SnapshotWriter& w);
   void write_checkpoint();
 
   EngineConfig config_;
   RoundProtocol& protocol_;
+  LocalRoundDriver local_driver_;
+  RoundDriver* driver_ = nullptr;  ///< null: use local_driver_
   Rng root_rng_;
   ClientSampler sampler_;
   FaultModel faults_;

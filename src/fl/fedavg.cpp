@@ -329,4 +329,14 @@ std::int64_t FedAvgTrainer::update_scalars() const {
   return protocol_->learner().state_scalars();
 }
 
+RoundProtocol& FedAvgTrainer::protocol() { return protocol_->protocol(); }
+
+void FedAvgTrainer::set_round_driver(RoundDriver* driver) {
+  engine_->set_round_driver(driver);
+}
+
+std::uint32_t FedAvgTrainer::config_fingerprint() const {
+  return engine_->config_fingerprint();
+}
+
 }  // namespace fhdnn::fl

@@ -285,6 +285,16 @@ const hdc::HdClassifier& FedHdTrainer::global() const {
 
 hdc::HdClassifier& FedHdTrainer::global() { return protocol_->learner().global(); }
 
+RoundProtocol& FedHdTrainer::protocol() { return protocol_->protocol(); }
+
+void FedHdTrainer::set_round_driver(RoundDriver* driver) {
+  engine_->set_round_driver(driver);
+}
+
+std::uint32_t FedHdTrainer::config_fingerprint() const {
+  return engine_->config_fingerprint();
+}
+
 std::uint64_t FedHdTrainer::update_bytes() const {
   const auto& cfg = protocol_->config();
   return protocol_->transport().update_bytes(

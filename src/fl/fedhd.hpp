@@ -119,6 +119,17 @@ class FedHdTrainer {
   /// The engine driving the rounds (sampling / dropout / schedule state).
   const RoundEngine& engine() const { return *engine_; }
 
+  /// The type-erased protocol stack — the serving seam: fhdnnd workers
+  /// drive it directly through fl::WorkerLoop (fl/serving.hpp).
+  RoundProtocol& protocol();
+
+  /// Route rounds through a custom driver (fl/serving.hpp's
+  /// ServerRoundDriver); nullptr restores the in-process path.
+  void set_round_driver(RoundDriver* driver);
+
+  /// The engine's config fingerprint, exchanged in the hello handshake.
+  std::uint32_t config_fingerprint() const;
+
  private:
   std::unique_ptr<detail::FedHdProtocol> protocol_;
   std::unique_ptr<RoundEngine> engine_;

@@ -1,0 +1,82 @@
+#include "net/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fhdnn::net {
+namespace {
+
+[[noreturn]] void fail_errno(const char* what) {
+  throw NetError(std::string(what) + ": " + std::strerror(errno));
+}
+
+std::uint32_t interest_mask(bool want_read, bool want_write) {
+  std::uint32_t mask = EPOLLRDHUP;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+
+}  // namespace
+
+Reactor::Reactor() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) fail_errno("epoll_create1");
+}
+
+Reactor::~Reactor() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void Reactor::add(int fd, std::uint64_t tag, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = interest_mask(want_read, want_write);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    fail_errno("epoll_ctl(ADD)");
+  }
+  ++watched_;
+}
+
+void Reactor::update(int fd, std::uint64_t tag, bool want_read,
+                     bool want_write) {
+  epoll_event ev{};
+  ev.events = interest_mask(want_read, want_write);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    fail_errno("epoll_ctl(MOD)");
+  }
+}
+
+void Reactor::remove(int fd) {
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    fail_errno("epoll_ctl(DEL)");
+  }
+  --watched_;
+}
+
+std::vector<Reactor::Event> Reactor::wait(int timeout_ms) {
+  epoll_event raw[64];
+  int n = 0;
+  for (;;) {
+    n = ::epoll_wait(epoll_fd_, raw, 64, timeout_ms);
+    if (n >= 0) break;
+    if (errno != EINTR) fail_errno("epoll_wait");
+  }
+  std::vector<Event> events;
+  events.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Event e;
+    e.tag = raw[i].data.u64;
+    e.readable = (raw[i].events & EPOLLIN) != 0;
+    e.writable = (raw[i].events & EPOLLOUT) != 0;
+    e.hangup = (raw[i].events & (EPOLLHUP | EPOLLRDHUP | EPOLLERR)) != 0;
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace fhdnn::net

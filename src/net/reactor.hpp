@@ -1,0 +1,53 @@
+// Non-blocking event loop (epoll on Linux).
+//
+// The Reactor owns an epoll instance; callers register pollable fds with an
+// opaque tag and ask for readiness events with a timeout.  It reports
+// readiness only — all reading/writing stays in the per-connection state
+// machines (MessageChannel), which keeps the reactor free of protocol
+// knowledge and trivially testable.
+//
+// Loopback connections have no fd (Connection::fd() == -1); drivers that
+// mix transports fall back to Connection::wait_readable polling for those.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/connection.hpp"
+
+namespace fhdnn::net {
+
+class Reactor {
+ public:
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  struct Event {
+    std::uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  ///< peer closed or error; drain then close
+  };
+
+  /// Register `fd` with interest in read and/or write readiness.
+  void add(int fd, std::uint64_t tag, bool want_read, bool want_write);
+
+  /// Change the interest set of a registered fd.
+  void update(int fd, std::uint64_t tag, bool want_read, bool want_write);
+
+  void remove(int fd);
+
+  /// Block up to `timeout_ms` (0 = poll, negative = wait indefinitely) and
+  /// return the ready events; empty on timeout.
+  std::vector<Event> wait(int timeout_ms);
+
+  [[nodiscard]] std::size_t watched() const noexcept { return watched_; }
+
+ private:
+  int epoll_fd_ = -1;
+  std::size_t watched_ = 0;
+};
+
+}  // namespace fhdnn::net

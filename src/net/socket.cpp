@@ -1,0 +1,182 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>  // fhdnn-lint: allow(raw-thread) — sleep_for only, no spawning
+
+namespace fhdnn::net {
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad IPv4 address: " + host);
+  }
+  return addr;
+}
+
+class TcpConnection final : public Connection {
+ public:
+  TcpConnection(int fd, std::string label)
+      : fd_(fd), label_(std::move(label)) {
+    set_nonblocking(fd_);
+    const int one = 1;
+    // Frames are latency-sensitive and already batched; disable Nagle.
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConnection() override { TcpConnection::close(); }
+
+  std::size_t read_some(std::uint8_t* out, std::size_t len) override {
+    if (fd_ < 0) return 0;
+    const ssize_t n = ::recv(fd_, out, len, 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) {  // orderly EOF
+      eof_ = true;
+      return 0;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+    if (errno == ECONNRESET || errno == EPIPE) {
+      eof_ = true;
+      return 0;
+    }
+    fail_errno("recv on " + label_);
+  }
+
+  std::size_t write_some(const std::uint8_t* data, std::size_t len) override {
+    if (fd_ < 0) throw NetError("write on closed " + label_);
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+    if (errno == ECONNRESET || errno == EPIPE) {
+      eof_ = true;
+      throw NetError("peer closed on " + label_);
+    }
+    fail_errno("send on " + label_);
+  }
+
+  [[nodiscard]] bool peer_closed() const override { return eof_; }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  [[nodiscard]] int fd() const override { return fd_; }
+
+  bool wait_readable(int timeout_ms) override {
+    if (fd_ < 0) return true;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0 && errno != EINTR) fail_errno("poll on " + label_);
+    return r > 0;
+  }
+
+  [[nodiscard]] std::string describe() const override { return label_; }
+
+ private:
+  int fd_;
+  std::string label_;
+  bool eof_ = false;
+};
+
+}  // namespace
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    fail_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, 128) != 0) fail_errno("listen");
+  set_nonblocking(fd_);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    fail_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Connection> TcpListener::accept() {
+  const int client = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (client < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return nullptr;
+    }
+    fail_errno("accept");
+  }
+  return std::make_unique<TcpConnection>(
+      client, "tcp:accepted#" + std::to_string(client));
+}
+
+bool TcpListener::wait_pending(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  if (r < 0 && errno != EINTR) fail_errno("poll on listener");
+  return r > 0;
+}
+
+std::unique_ptr<Connection> connect_tcp(const std::string& host,
+                                        std::uint16_t port, int timeout_ms) {
+  const std::string label = "tcp:" + host + ":" + std::to_string(port);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) fail_errno("socket");
+    sockaddr_in addr = make_addr(host, port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return std::make_unique<TcpConnection>(fd, label);
+    }
+    ::close(fd);
+    if (errno != ECONNREFUSED && errno != ENETUNREACH && errno != ETIMEDOUT &&
+        errno != EINTR) {
+      fail_errno("connect " + label);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw NetError("connect " + label + " timed out after " +
+                     std::to_string(timeout_ms) + " ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace fhdnn::net

@@ -1,11 +1,20 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace fhdnn {
 namespace {
 
-LogLevel g_level = LogLevel::Info;
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+// Serializes whole-line emission.  A function-local static (not a namespace
+// global) so logging from static destructors during shutdown stays safe.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -18,15 +27,47 @@ const char* level_tag(LogLevel level) {
   return "?    ";
 }
 
+void emit(const std::string& line) {
+  const std::scoped_lock lock(sink_mutex());
+  // One fwrite per line: even if stderr is unbuffered (the default), the
+  // line reaches the fd in a single call and cannot interleave mid-line
+  // with another thread's write.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::string line;
+  line.reserve(msg.size() + 10);
+  line += '[';
+  line += level_tag(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  emit(line);
+}
+
+void log_message(LogLevel level, const std::string& source,
+                 const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::string line;
+  line.reserve(source.size() + msg.size() + 13);
+  line += '[';
+  line += level_tag(level);
+  line += "] [";
+  line += source;
+  line += "] ";
+  line += msg;
+  line += '\n';
+  emit(line);
 }
 
 }  // namespace fhdnn

@@ -181,14 +181,19 @@ std::size_t SnapshotWriter::byte_size() const noexcept {
   return out_.size() + (in_chunk_ ? chunk_.size() + kFrameSize : 0);
 }
 
-std::size_t SnapshotWriter::commit(const std::string& path) {
-  FHDNN_CHECK(!committed_, "SnapshotWriter reused after commit");
-  FHDNN_CHECK(!in_chunk_, "commit with chunk '" << tag_ << "' still open");
+std::vector<std::uint8_t> SnapshotWriter::finish() {
+  FHDNN_CHECK(!committed_, "SnapshotWriter reused after commit/finish");
+  FHDNN_CHECK(!in_chunk_, "finish with chunk '" << tag_ << "' still open");
   begin_chunk("END ");
   end_chunk();
   committed_ = true;
-  atomic_write_file(path, out_.data(), out_.size(), /*keep_previous=*/true);
-  return out_.size();
+  return std::move(out_);
+}
+
+std::size_t SnapshotWriter::commit(const std::string& path) {
+  const std::vector<std::uint8_t> image = finish();
+  atomic_write_file(path, image.data(), image.size(), /*keep_previous=*/true);
+  return image.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -210,6 +215,15 @@ SnapshotReader SnapshotReader::from_file(const std::string& path) {
   if (!in) {
     throw SnapshotError(SnapshotErrorKind::kIo, 0, "cannot read " + path);
   }
+  reader.validate();
+  return reader;
+}
+
+SnapshotReader SnapshotReader::from_bytes(std::vector<std::uint8_t> image,
+                                          std::string origin) {
+  SnapshotReader reader;
+  reader.path_ = std::move(origin);
+  reader.data_ = std::move(image);
   reader.validate();
   return reader;
 }

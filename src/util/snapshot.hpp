@@ -108,6 +108,11 @@ class SnapshotWriter {
   /// note above).  Returns the committed image size in bytes.
   std::size_t commit(const std::string& path);
 
+  /// Appends the END chunk and returns the completed image in memory —
+  /// the wire-transfer counterpart of commit() (state/update blobs embedded
+  /// in fhdnnd frames, see src/wire/).  Single-use, like commit().
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
  private:
   void chunk_bytes(const void* data, std::size_t len);
 
@@ -129,6 +134,11 @@ class SnapshotReader {
   /// from_file(path), falling back to `<path>.prev` when the primary
   /// snapshot is missing or fails validation (torn/corrupted write).
   static SnapshotReader open_with_fallback(const std::string& path);
+
+  /// Validates an in-memory image (e.g. a state/update blob received over
+  /// the fhdnnd wire).  `origin` labels error messages in place of a path.
+  static SnapshotReader from_bytes(std::vector<std::uint8_t> image,
+                                   std::string origin = "<memory>");
 
   [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
   /// The file actually loaded (primary or `.prev` fallback).

@@ -1,0 +1,132 @@
+// Typed messages of the fhdnnd serving protocol, layered on wire framing.
+//
+// Conversation (one worker, W workers total; the server multiplexes):
+//
+//   worker                         server
+//     | -- Hello {ver, proto, fp} -> |   fingerprint must match the
+//     | <- HelloAck {worker id} ---- |   server's EngineConfig fingerprint
+//     | <- RoundAssign {rng, slots,  |   one per round; slots round-robin
+//     |      state blob} ----------- |   over delivered participants
+//     | -- Update {slot, loss,       |   one per assigned slot; update blob
+//     |      stats, update blob} --> |   is a snapshot image (UPDT chunk)
+//     | <- RoundDone {metrics} ----- |   committed-round ack + accounting
+//     |            ...               |
+//     | <- Shutdown {rounds} ------- |   training complete
+//
+// Every message is `X::to_frame()` / `X::from_frame(f)`; from_frame
+// validates the frame type, decodes strictly in field order, and rejects
+// trailing payload bytes.  State/update blobs are util/snapshot images
+// (their own chunk CRCs) validated on receipt by SnapshotReader::from_bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/channel.hpp"  // TransportStats
+#include "util/rng.hpp"         // RngState
+#include "wire/wire.hpp"
+
+namespace fhdnn::wire {
+
+/// RngState <-> payload (exact stream position: 4 state words + the cached
+/// Box-Muller normal, so a worker-side fork sequence replays bit-identically).
+void put_rng_state(PayloadWriter& w, const RngState& s);
+[[nodiscard]] RngState get_rng_state(PayloadReader& r);
+
+/// TransportStats <-> payload.  All ten fields travel (doubles as raw IEEE
+/// bits) so server-side accounting equals the in-process rule exactly.
+void put_transport_stats(PayloadWriter& w, const channel::TransportStats& s);
+[[nodiscard]] channel::TransportStats get_transport_stats(PayloadReader& r);
+
+/// Worker -> server greeting.  The server rejects version skew (the frame
+/// layer already did, for the frame header) and fingerprint mismatches —
+/// a worker built from a different EngineConfig would silently diverge.
+struct HelloMsg {
+  std::uint32_t config_fingerprint = 0;
+  std::string protocol;             ///< "fedavg" | "fedhd" | ...
+  std::uint64_t capabilities = 0;   ///< reserved bitmask (must echo 0 today)
+
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static HelloMsg from_frame(const Frame& f);
+};
+
+/// Server -> worker: handshake accepted.
+struct HelloAckMsg {
+  std::uint32_t config_fingerprint = 0;
+  std::uint64_t worker_id = 0;
+
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static HelloAckMsg from_frame(const Frame& f);
+};
+
+struct SlotAssignment {
+  std::uint64_t slot = 0;    ///< cohort slot index (reduction order key)
+  std::uint64_t client = 0;  ///< global client id for that slot
+};
+
+/// Server -> worker: drive these slots for one round.  `state_blob` is the
+/// full protocol state (global model / prototypes, PROT chunk) and `rng` the
+/// round stream, so the worker replays exactly what the in-process driver
+/// would have computed for the same slots.
+struct RoundAssignMsg {
+  std::int64_t round_index = 0;
+  std::uint64_t n_participants = 0;  ///< cohort size (begin_round arg)
+  RngState rng;                      ///< round stream at prologue state
+  std::vector<SlotAssignment> slots;
+  std::vector<std::uint8_t> state_blob;  ///< snapshot image, PROT chunk
+
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static RoundAssignMsg from_frame(const Frame& f);
+};
+
+/// Worker -> server: one trained slot.  `update_blob` is a snapshot image
+/// (UPDT chunk) holding the protocol-specific update (subsampled float
+/// state for FedAvg, HD prototype tensor for FedHd) exactly as the
+/// client-side transport emitted it — corruption and accounting already
+/// applied on the worker, so the server installs it verbatim.
+struct UpdateMsg {
+  std::int64_t round_index = 0;
+  std::uint64_t slot = 0;
+  std::uint64_t client = 0;
+  double loss = 0.0;
+  channel::TransportStats stats;
+  std::vector<std::uint8_t> update_blob;  ///< snapshot image, UPDT chunk
+
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static UpdateMsg from_frame(const Frame& f);
+};
+
+/// Server -> worker: the round committed (ack + metrics echo).
+struct RoundDoneMsg {
+  std::int64_t round_index = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t bytes_uplink = 0;  ///< channel::hd_update_bytes accounting
+  double test_accuracy = 0.0;      ///< NaN when the round skipped eval
+
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static RoundDoneMsg from_frame(const Frame& f);
+};
+
+/// Server -> worker: training finished; the worker should disconnect.
+struct ShutdownMsg {
+  std::int64_t rounds_completed = 0;
+
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static ShutdownMsg from_frame(const Frame& f);
+};
+
+/// A single reliable-delivery frame (channel/arq payload chunk) framed for
+/// the wire: sequence number + float payload whose CRC-32 the receiver
+/// checks exactly like ReliableChannel does in process.
+struct ArqFrameMsg {
+  std::uint64_t seq = 0;
+  std::uint8_t is_last = 0;
+  std::uint32_t payload_crc = 0;  ///< channel::crc32 over the float bits
+  std::vector<float> payload;
+
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static ArqFrameMsg from_frame(const Frame& f);
+};
+
+}  // namespace fhdnn::wire

@@ -365,6 +365,46 @@ TEST(LintRules, IoIsolationSuppressedAndOutOfScope) {
   EXPECT_EQ(count_rule(read, "io-isolation"), 0);
 }
 
+TEST(LintRules, NetIsolationPositive) {
+  // OS networking headers and epoll syscalls outside src/net/.
+  const auto d = run("src/fl/serving.cpp",
+                     "#include <sys/socket.h>\n"
+                     "#include <netinet/tcp.h>\n"
+                     "int e = epoll_create1(0);\n");
+  EXPECT_EQ(count_rule(d, "net-isolation"), 3);
+  const auto tool = run("tools/fhdnnd/fhdnnd.cpp",
+                        "#include <sys/epoll.h>\n");
+  EXPECT_EQ(count_rule(tool, "net-isolation"), 1);
+  const auto hdr = run("src/channel/arq.cpp", "#include <poll.h>\n");
+  EXPECT_EQ(count_rule(hdr, "net-isolation"), 1);
+}
+
+TEST(LintRules, NetIsolationSuppressedAndExempt) {
+  // src/net/ is the one place OS networking lives.
+  const auto net = run("src/net/socket.cpp",
+                       "#include <sys/socket.h>\n"
+                       "#include <arpa/inet.h>\n"
+                       "int c = accept4(fd, nullptr, nullptr, 0);\n");
+  EXPECT_EQ(count_rule(net, "net-isolation"), 0);
+  const auto sup = run("src/fl/x.cpp",
+                       "// fhdnn-lint: allow(net-isolation)\n"
+                       "#include <sys/socket.h>\n");
+  EXPECT_EQ(count_rule(sup, "net-isolation"), 0);
+  // Token boundaries: <netinet/in.h> must not double-report for the
+  // "netdb.h" or "poll.h" tokens; "epoll.h" inside sys/epoll.h must not
+  // also match "poll.h".
+  const auto one = run("src/fl/x.cpp", "#include <sys/epoll.h>\n");
+  EXPECT_EQ(count_rule(one, "net-isolation"), 1);
+}
+
+TEST(LintRules, IncludeStyleCoversWireAndNet) {
+  const auto d = run("src/fl/serving.cpp",
+                     "#include <wire/messages.hpp>\n"
+                     "#include <net/connection.hpp>\n"
+                     "#include <netinet/in.h>  // fhdnn-lint: allow(net-isolation)\n");
+  EXPECT_EQ(count_rule(d, "include-style"), 2);
+}
+
 // ---- framework behaviour -------------------------------------------------
 
 TEST(LintFramework, SuppressionIsPerRule) {

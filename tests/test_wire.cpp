@@ -1,0 +1,443 @@
+// Adversarial tests for the fhdnnd wire format (src/wire), mirroring
+// test_snapshot.cpp's discipline: every message type round-trips
+// bit-exactly, every single-bit flip of an encoded frame is caught with a
+// typed WireError, truncation fails at EVERY prefix length, version skew
+// is rejected before anything else is trusted, and trailing bytes are
+// never silently ignored.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "channel/arq.hpp"
+#include "channel/channel.hpp"
+#include "util/rng.hpp"
+#include "wire/messages.hpp"
+#include "wire/wire.hpp"
+
+namespace fhdnn {
+namespace {
+
+using wire::Frame;
+using wire::MsgType;
+using wire::WireError;
+using wire::WireErrorKind;
+
+std::vector<std::uint8_t> encode(const Frame& f) {
+  return wire::encode_frame(f.type, f.payload);
+}
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, 8);
+  std::memcpy(&bb, &b, 8);
+  return ba == bb;
+}
+
+/// A RoundAssign with every field exercised: mid-stream RNG (cached
+/// normal), several slots, and a nontrivial blob.
+wire::RoundAssignMsg sample_assign() {
+  Rng rng(1234);
+  (void)rng.normal();  // populate the cached Box-Muller half
+  wire::RoundAssignMsg m;
+  m.round_index = 7;
+  m.n_participants = 5;
+  m.rng = rng.state();
+  m.slots = {{0, 3}, {2, 1}, {4, 4}};
+  m.state_blob = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01};
+  return m;
+}
+
+channel::TransportStats sample_stats() {
+  channel::TransportStats s;
+  s.payload_scalars = 11;
+  s.payload_bytes = 22;
+  s.bits_on_air = 33;
+  s.bit_flips = 44;
+  s.packets_total = 55;
+  s.packets_lost = 66;
+  s.retransmissions = 77;
+  s.residual_errors = 88;
+  s.backoff_seconds = 0.125;
+  s.noise_power = -3.5e-7;
+  return s;
+}
+
+// ------------------------------------------------------------ frame layer
+
+TEST(WireFrame, HeaderLayoutConstants) {
+  EXPECT_EQ(wire::kFrameHeaderSize, 20U);
+  const auto bytes = wire::encode_frame(MsgType::kHello, {1, 2, 3});
+  ASSERT_EQ(bytes.size(), wire::kFrameHeaderSize + 3);
+  EXPECT_EQ(bytes[0], 'F');
+  EXPECT_EQ(bytes[1], 'H');
+  EXPECT_EQ(bytes[2], 'D');
+  EXPECT_EQ(bytes[3], 'W');
+}
+
+TEST(WireFrame, EmptyAndNonEmptyPayloadRoundTrip) {
+  for (const std::vector<std::uint8_t>& payload :
+       {std::vector<std::uint8_t>{}, std::vector<std::uint8_t>{9, 8, 7}}) {
+    const auto bytes = wire::encode_frame(MsgType::kUpdate, payload);
+    const Frame f = wire::decode_frame(bytes.data(), bytes.size());
+    EXPECT_EQ(f.type, MsgType::kUpdate);
+    EXPECT_EQ(f.payload, payload);
+  }
+}
+
+TEST(WireFrame, TruncationAtEveryPrefixFails) {
+  const auto bytes = wire::encode_frame(MsgType::kRoundDone, {1, 2, 3, 4, 5});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW((void)wire::decode_frame(bytes.data(), len), WireError)
+        << "prefix " << len << " decoded";
+  }
+}
+
+TEST(WireFrame, TrailingBytesRejected) {
+  auto bytes = wire::encode_frame(MsgType::kShutdown, {1});
+  bytes.push_back(0);
+  try {
+    (void)wire::decode_frame(bytes.data(), bytes.size());
+    FAIL() << "trailing byte accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireErrorKind::kSchema);
+    EXPECT_EQ(e.byte_offset(), bytes.size() - 1);
+  }
+}
+
+TEST(WireFrame, EveryBitFlipDetected) {
+  // Flip every bit of an encoded Hello; either the frame layer or the
+  // message decoder must reject it (a flip inside the type field can
+  // produce another *valid* frame type — the typed from_frame catches
+  // that as a schema error).
+  wire::HelloMsg hello;
+  hello.config_fingerprint = 0xC0FFEE42;
+  hello.protocol = "fedhd";
+  hello.capabilities = 0;
+  const auto bytes = encode(hello.to_frame());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      auto copy = bytes;
+      copy[i] = static_cast<std::uint8_t>(copy[i] ^ (1U << b));
+      EXPECT_THROW(
+          {
+            const Frame f = wire::decode_frame(copy.data(), copy.size());
+            (void)wire::HelloMsg::from_frame(f);
+          },
+          WireError)
+          << "flip at byte " << i << " bit " << b << " went undetected";
+    }
+  }
+}
+
+TEST(WireFrame, BadMagicReportsFormatAtOffsetZero) {
+  auto bytes = wire::encode_frame(MsgType::kHello, {});
+  bytes[0] = 'X';
+  try {
+    (void)wire::decode_frame(bytes.data(), bytes.size());
+    FAIL();
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireErrorKind::kFormat);
+    EXPECT_EQ(e.byte_offset(), 0U);
+  }
+}
+
+TEST(WireFrame, VersionSkewReportsTypedError) {
+  auto bytes = wire::encode_frame(MsgType::kHello, {1, 2});
+  // Patch the u16 version field (bytes 4..5) to kWireVersion + 1.
+  const std::uint16_t skew = wire::kWireVersion + 1;
+  std::memcpy(bytes.data() + 4, &skew, 2);
+  try {
+    (void)wire::decode_frame(bytes.data(), bytes.size());
+    FAIL() << "version skew accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireErrorKind::kVersion);
+    EXPECT_EQ(e.byte_offset(), 4U);
+  }
+}
+
+TEST(WireFrame, UnknownTypeRejected) {
+  auto bytes = wire::encode_frame(MsgType::kHello, {});
+  const std::uint16_t bogus = 999;
+  std::memcpy(bytes.data() + 6, &bogus, 2);
+  try {
+    (void)wire::decode_frame(bytes.data(), bytes.size());
+    FAIL();
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireErrorKind::kType);
+    EXPECT_EQ(e.byte_offset(), 6U);
+  }
+  EXPECT_TRUE(wire::msg_type_known(1));
+  EXPECT_TRUE(wire::msg_type_known(7));
+  EXPECT_FALSE(wire::msg_type_known(0));
+  EXPECT_FALSE(wire::msg_type_known(8));
+}
+
+TEST(WireFrame, PayloadCorruptionReportsCrc) {
+  auto bytes = wire::encode_frame(MsgType::kUpdate, {10, 20, 30});
+  bytes[wire::kFrameHeaderSize + 1] ^= 0x40;
+  try {
+    (void)wire::decode_frame(bytes.data(), bytes.size());
+    FAIL();
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireErrorKind::kCrc);
+  }
+}
+
+TEST(WireFrame, HostileLengthDoesNotAllocate) {
+  auto bytes = wire::encode_frame(MsgType::kHello, {});
+  const std::uint64_t huge = wire::kMaxFrameBytes + 1;
+  std::memcpy(bytes.data() + 8, &huge, 8);
+  EXPECT_THROW((void)wire::decode_frame(bytes.data(), bytes.size()),
+               WireError);
+}
+
+// ------------------------------------------------------- frame assembler
+
+TEST(WireAssembler, ReassemblesByteByByte) {
+  wire::HelloAckMsg a;
+  a.config_fingerprint = 77;
+  a.worker_id = 3;
+  wire::ShutdownMsg s;
+  s.rounds_completed = 12;
+  auto stream = encode(a.to_frame());
+  const auto second = encode(s.to_frame());
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  wire::FrameAssembler asm_;
+  std::vector<Frame> out;
+  for (const std::uint8_t byte : stream) {
+    asm_.feed(&byte, 1);
+    while (auto f = asm_.next()) out.push_back(std::move(*f));
+  }
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_EQ(wire::HelloAckMsg::from_frame(out[0]).worker_id, 3U);
+  EXPECT_EQ(wire::ShutdownMsg::from_frame(out[1]).rounds_completed, 12);
+  EXPECT_EQ(asm_.buffered(), 0U);
+}
+
+TEST(WireAssembler, RejectsCorruptStreamEagerly) {
+  auto bytes = wire::encode_frame(MsgType::kHello, {1, 2, 3});
+  bytes[1] = '!';  // magic broken: must throw as soon as the header arrives
+  wire::FrameAssembler asm_;
+  asm_.feed(bytes.data(), wire::kFrameHeaderSize);
+  EXPECT_THROW((void)asm_.next(), WireError);
+}
+
+TEST(WireAssembler, PartialFrameYieldsNothing) {
+  const auto bytes = wire::encode_frame(MsgType::kUpdate, {1, 2, 3, 4});
+  wire::FrameAssembler asm_;
+  asm_.feed(bytes.data(), bytes.size() - 1);
+  EXPECT_FALSE(asm_.next().has_value());
+  EXPECT_EQ(asm_.buffered(), bytes.size() - 1);
+  asm_.feed(bytes.data() + bytes.size() - 1, 1);
+  EXPECT_TRUE(asm_.next().has_value());
+}
+
+// ------------------------------------------------------- payload strictness
+
+TEST(WirePayload, TrailingPayloadBytesRejected) {
+  wire::PayloadWriter w;
+  w.u32(5);
+  w.u8(1);  // one extra byte the reader will not consume
+  const auto payload = w.take();
+  wire::PayloadReader r(payload);
+  EXPECT_EQ(r.u32(), 5U);
+  try {
+    r.finish();
+    FAIL() << "trailing payload byte accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireErrorKind::kSchema);
+    EXPECT_EQ(e.byte_offset(), 4U);
+  }
+}
+
+TEST(WirePayload, HostileFloatCountFailsCleanly) {
+  // A length prefix of 2^62 floats must fail as truncation, not overflow
+  // into a tiny allocation.
+  wire::PayloadWriter w;
+  w.u64(std::uint64_t{1} << 62);
+  const auto payload = w.take();
+  wire::PayloadReader r(payload);
+  try {
+    (void)r.floats();
+    FAIL();
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireErrorKind::kTruncated);
+  }
+}
+
+TEST(WirePayload, StringAndBlobRoundTrip) {
+  wire::PayloadWriter w;
+  w.str("fedavg");
+  w.blob({0, 255, 128});
+  w.floats({1.5F, -0.0F, std::numeric_limits<float>::infinity()});
+  const auto payload = w.take();
+  wire::PayloadReader r(payload);
+  EXPECT_EQ(r.str(), "fedavg");
+  EXPECT_EQ(r.blob(), (std::vector<std::uint8_t>{0, 255, 128}));
+  const auto f = r.floats();
+  ASSERT_EQ(f.size(), 3U);
+  EXPECT_EQ(f[0], 1.5F);
+  EXPECT_TRUE(std::signbit(f[1]));
+  EXPECT_TRUE(std::isinf(f[2]));
+  r.finish();
+}
+
+// ------------------------------------------------------ message round-trips
+
+TEST(WireMessages, HelloRoundTrip) {
+  wire::HelloMsg m;
+  m.config_fingerprint = 0xABCD1234;
+  m.protocol = "fedavg";
+  m.capabilities = 0;
+  const auto back = wire::HelloMsg::from_frame(m.to_frame());
+  EXPECT_EQ(back.config_fingerprint, m.config_fingerprint);
+  EXPECT_EQ(back.protocol, m.protocol);
+  EXPECT_EQ(back.capabilities, m.capabilities);
+}
+
+TEST(WireMessages, HelloAckRoundTrip) {
+  wire::HelloAckMsg m;
+  m.config_fingerprint = 42;
+  m.worker_id = 17;
+  const auto back = wire::HelloAckMsg::from_frame(m.to_frame());
+  EXPECT_EQ(back.config_fingerprint, 42U);
+  EXPECT_EQ(back.worker_id, 17U);
+}
+
+TEST(WireMessages, RoundAssignRoundTripIsRngExact) {
+  const auto m = sample_assign();
+  const auto back = wire::RoundAssignMsg::from_frame(m.to_frame());
+  EXPECT_EQ(back.round_index, m.round_index);
+  EXPECT_EQ(back.n_participants, m.n_participants);
+  ASSERT_EQ(back.slots.size(), m.slots.size());
+  for (std::size_t i = 0; i < m.slots.size(); ++i) {
+    EXPECT_EQ(back.slots[i].slot, m.slots[i].slot);
+    EXPECT_EQ(back.slots[i].client, m.slots[i].client);
+  }
+  EXPECT_EQ(back.state_blob, m.state_blob);
+
+  // The decoded RNG state must continue the exact stream, including the
+  // cached Box-Muller normal.
+  Rng original(0);
+  original.set_state(m.rng);
+  Rng decoded(0);
+  decoded.set_state(back.rng);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(bits_equal(original.normal(), decoded.normal()));
+    EXPECT_EQ(original.next_u64(), decoded.next_u64());
+  }
+}
+
+TEST(WireMessages, RoundAssignRejectsInconsistentSlots) {
+  // slot index >= n_participants: structurally valid, semantically broken.
+  auto m = sample_assign();
+  m.slots[1].slot = m.n_participants;
+  try {
+    (void)wire::RoundAssignMsg::from_frame(m.to_frame());
+    FAIL() << "out-of-range slot accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireErrorKind::kSchema);
+  }
+  auto too_many = sample_assign();
+  too_many.n_participants = 2;  // fewer than the 3 assigned slots
+  too_many.slots[0].slot = 0;
+  too_many.slots[1].slot = 1;
+  too_many.slots[2].slot = 1;
+  EXPECT_THROW((void)wire::RoundAssignMsg::from_frame(too_many.to_frame()),
+               WireError);
+}
+
+TEST(WireMessages, UpdateRoundTripCarriesAllTenStatFields) {
+  wire::UpdateMsg m;
+  m.round_index = 3;
+  m.slot = 1;
+  m.client = 9;
+  m.loss = 0.0625;
+  m.stats = sample_stats();
+  m.update_blob = {1, 2, 3};
+  const auto back = wire::UpdateMsg::from_frame(m.to_frame());
+  EXPECT_EQ(back.round_index, 3);
+  EXPECT_EQ(back.slot, 1U);
+  EXPECT_EQ(back.client, 9U);
+  EXPECT_TRUE(bits_equal(back.loss, m.loss));
+  EXPECT_EQ(back.stats.payload_scalars, 11U);
+  EXPECT_EQ(back.stats.payload_bytes, 22U);
+  EXPECT_EQ(back.stats.bits_on_air, 33U);
+  EXPECT_EQ(back.stats.bit_flips, 44U);
+  EXPECT_EQ(back.stats.packets_total, 55U);
+  EXPECT_EQ(back.stats.packets_lost, 66U);
+  EXPECT_EQ(back.stats.retransmissions, 77U);
+  EXPECT_EQ(back.stats.residual_errors, 88U);
+  EXPECT_TRUE(bits_equal(back.stats.backoff_seconds, 0.125));
+  EXPECT_TRUE(bits_equal(back.stats.noise_power, -3.5e-7));
+  EXPECT_EQ(back.update_blob, m.update_blob);
+}
+
+TEST(WireMessages, RoundDoneRoundTripPreservesNaN) {
+  wire::RoundDoneMsg m;
+  m.round_index = 2;
+  m.accepted = 4;
+  m.bytes_uplink = 12288;
+  m.test_accuracy = std::numeric_limits<double>::quiet_NaN();
+  const auto back = wire::RoundDoneMsg::from_frame(m.to_frame());
+  EXPECT_EQ(back.round_index, 2);
+  EXPECT_EQ(back.accepted, 4U);
+  EXPECT_EQ(back.bytes_uplink, 12288U);
+  EXPECT_TRUE(std::isnan(back.test_accuracy));
+}
+
+TEST(WireMessages, ShutdownRoundTrip) {
+  wire::ShutdownMsg m;
+  m.rounds_completed = 20;
+  EXPECT_EQ(wire::ShutdownMsg::from_frame(m.to_frame()).rounds_completed, 20);
+}
+
+TEST(WireMessages, ArqFrameRoundTrip) {
+  wire::ArqFrameMsg m;
+  m.seq = 5;
+  m.is_last = 1;
+  m.payload = {0.25F, -1.0F, 3.5F};
+  m.payload_crc = channel::crc32(m.payload.data(), m.payload.size());
+  const auto back = wire::ArqFrameMsg::from_frame(m.to_frame());
+  EXPECT_EQ(back.seq, 5U);
+  EXPECT_EQ(back.is_last, 1);
+  EXPECT_EQ(back.payload, m.payload);
+  EXPECT_EQ(back.payload_crc,
+            channel::crc32(back.payload.data(), back.payload.size()));
+}
+
+TEST(WireMessages, FromFrameRejectsWrongType) {
+  wire::HelloMsg hello;
+  hello.protocol = "fedhd";
+  const Frame f = hello.to_frame();
+  try {
+    (void)wire::ShutdownMsg::from_frame(f);
+    FAIL() << "type confusion accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.kind(), WireErrorKind::kSchema);
+  }
+}
+
+TEST(WireMessages, RngStateFlagValidated) {
+  // has_cached_normal travels as a u8 that must be 0 or 1.
+  wire::PayloadWriter w;
+  w.u64(1);
+  w.u64(2);
+  w.u64(3);
+  w.u64(4);
+  w.u8(2);  // invalid flag
+  w.f64(0.0);
+  const auto payload = w.take();
+  wire::PayloadReader r(payload);
+  EXPECT_THROW((void)wire::get_rng_state(r), WireError);
+}
+
+}  // namespace
+}  // namespace fhdnn

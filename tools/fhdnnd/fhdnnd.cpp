@@ -1,0 +1,141 @@
+// fhdnnd — the FHDnn aggregation server.
+//
+// Listens for fhdnn-client workers, handshakes each against the engine's
+// config fingerprint, then drives the configured federated workload with
+// every round's client training farmed out over the connections
+// (fl/serving.hpp). The model math is identical to the in-process path by
+// construction, so the --history-out artifact is byte-comparable to an
+// in-process run of the same workload.
+//
+// Crash consistency: --checkpoint enables the PR 8 snapshot protocol;
+// --kill-at-event arms an injected aggregator crash (exits 137, like a
+// kill -9). Restarting with --resume picks up from the last durable
+// snapshot; workers reconnect and the run finishes with the same history
+// an uninterrupted run produces.
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "fl/faults.hpp"
+#include "fl/serving.hpp"
+#include "net/socket.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/snapshot.hpp"
+#include "workload.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace fhdnn;
+
+  CliFlags flags;
+  flags.define_string("protocol", "fedhd", "workload: fedavg | fedhd");
+  flags.define_int("rounds", 3, "federated rounds to run");
+  flags.define_int("workers", 1, "worker connections to wait for");
+  flags.define_string("host", "127.0.0.1", "listen address");
+  flags.define_int("port", 0, "listen port (0 = ephemeral)");
+  flags.define_string("port-file", "",
+                      "publish the bound port to this file (atomic write)");
+  flags.define_string("checkpoint", "", "snapshot path (empty = disabled)");
+  flags.define_int("checkpoint-every", 0,
+                   "snapshot every N events (0 = round boundaries)");
+  flags.define_bool("resume", false, "restore the checkpoint before running");
+  flags.define_int("kill-at-event", 0,
+                   "inject an aggregator crash at this 1-based event");
+  flags.define_string("history-out", "",
+                      "write the hexfloat history to this file");
+  flags.define_int("threads", 0, "worker threads (0 = library default)");
+  flags.define_int("accept-timeout-ms", 60000,
+                   "max wait for all workers to connect");
+  if (!flags.parse(argc, argv)) return 0;
+
+  if (flags.get_int("threads") > 0) {
+    parallel::set_num_threads(static_cast<int>(flags.get_int("threads")));
+  }
+
+  workload::Options opt;
+  opt.protocol = flags.get_string("protocol");
+  opt.rounds = static_cast<int>(flags.get_int("rounds"));
+  opt.checkpoint_path = flags.get_string("checkpoint");
+  opt.checkpoint_every_n_events =
+      static_cast<std::uint64_t>(flags.get_int("checkpoint-every"));
+  opt.crash_enabled = flags.get_int("kill-at-event") > 0;
+  opt.crash_at_event = static_cast<std::uint64_t>(flags.get_int("kill-at-event"));
+  auto wl = workload::make_workload(opt);
+  if (flags.get_bool("resume")) {
+    wl->resume(opt.checkpoint_path);
+    log_info("fhdnnd") << "resumed from " << opt.checkpoint_path;
+  }
+
+  net::TcpListener listener(flags.get_string("host"),
+                            static_cast<std::uint16_t>(flags.get_int("port")));
+  log_info("fhdnnd") << "listening on " << flags.get_string("host") << ":"
+                     << listener.port();
+  if (!flags.get_string("port-file").empty()) {
+    util::atomic_write_text(flags.get_string("port-file"),
+                            std::to_string(listener.port()) + "\n");
+  }
+
+  fl::ServerRoundDriver driver(wl->config_fingerprint(), opt.protocol);
+  const auto want = static_cast<std::size_t>(flags.get_int("workers"));
+  int waited_ms = 0;
+  const int accept_timeout = static_cast<int>(flags.get_int("accept-timeout-ms"));
+  while (driver.n_workers() < want) {
+    auto conn = listener.accept();
+    if (!conn) {
+      FHDNN_CHECK(waited_ms < accept_timeout,
+                  "fhdnnd: only " << driver.n_workers() << "/" << want
+                                  << " workers connected within "
+                                  << accept_timeout << "ms");
+      listener.wait_pending(50);
+      waited_ms += 50;
+      continue;
+    }
+    try {
+      driver.add_worker(std::move(conn));
+    } catch (const std::exception& e) {
+      // A worker that fails its handshake (stale binary, port scanner,
+      // dial race) must not take the server down; drop it and keep
+      // accepting.
+      log_warn("fhdnnd") << "rejected connection: " << e.what();
+    }
+  }
+  wl->set_round_driver(&driver);
+
+  fl::TrainingHistory history;
+  try {
+    history = wl->run();
+  } catch (const fl::AggregatorCrash& crash) {
+    // Planned kill: die like a kill -9 would — no shutdown frames, no
+    // flushes; workers see the connection drop and reconnect to the
+    // restarted server.
+    log_warn("fhdnnd") << "injected crash at event " << crash.at_event();
+    std::_Exit(137);
+  }
+
+  if (!flags.get_string("history-out").empty()) {
+    util::atomic_write_text(flags.get_string("history-out"),
+                            workload::format_history(history));
+  }
+  driver.shutdown(static_cast<std::int64_t>(history.rounds().size()));
+  log_info("fhdnnd") << "done: " << history.rounds().size() << " rounds, "
+                     << driver.wire_bytes_sent() << "B out / "
+                     << driver.wire_bytes_received() << "B in";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "fhdnnd: " << e.what() << "\n";
+    return 1;
+  }
+}

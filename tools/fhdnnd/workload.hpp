@@ -1,0 +1,55 @@
+// Shared golden workloads for the fhdnnd serving binaries and tests.
+//
+// The server (tools/fhdnnd/fhdnnd.cpp) and every worker
+// (tools/fhdnnd/fhdnn_client.cpp) must construct trainers from the EXACT
+// same configuration: the hello handshake pins that with the engine's
+// config fingerprint, and bit-identical round replay depends on it. This
+// library is the single place those configurations live — the same
+// fixtures test_engine.cpp pins golden histories for, so a federated run
+// served over sockets can be diffed byte-for-byte against the in-process
+// goldens.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fl/engine.hpp"
+#include "fl/history.hpp"
+
+namespace fhdnn::workload {
+
+struct Options {
+  std::string protocol = "fedhd";  ///< "fedavg" | "fedhd"
+  int rounds = 3;
+  std::string checkpoint_path;  ///< empty disables checkpointing
+  std::uint64_t checkpoint_every_n_events = 0;
+  bool crash_enabled = false;  ///< injected aggregator kill (server only)
+  std::uint64_t crash_at_event = 0;
+};
+
+/// Owns one golden trainer plus everything it references (datasets,
+/// channel) behind a protocol-agnostic face. Both serving halves use it:
+/// the server drives run()/resume(), workers only touch protocol().
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual fl::RoundProtocol& protocol() = 0;
+  virtual void set_round_driver(fl::RoundDriver* driver) = 0;
+  [[nodiscard]] virtual std::uint32_t config_fingerprint() const = 0;
+  virtual fl::TrainingHistory run() = 0;
+  virtual fl::RoundMetrics round(int round_index) = 0;
+  virtual void resume(const std::string& path) = 0;
+  [[nodiscard]] virtual const fl::TrainingHistory& history() const = 0;
+};
+
+/// Builds the golden FedAvg or FedHd workload. Throws fhdnn::Error on an
+/// unknown protocol name.
+std::unique_ptr<Workload> make_workload(const Options& options);
+
+/// Deterministic text rendering of a history: one line per round, doubles
+/// in hexfloat — byte-comparable across processes and machines. Excludes
+/// wall_seconds (the one field outside the determinism contract).
+std::string format_history(const fl::TrainingHistory& history);
+
+}  // namespace fhdnn::workload

@@ -29,6 +29,10 @@
 //                       crash-consistent util/snapshot writer (atomic
 //                       commit + CRC framing); raw file writes there could
 //                       tear and violate the kill-and-resume contract
+//   net-isolation       OS networking (socket/epoll/poll headers, epoll
+//                       syscalls) is confined to src/net/ behind the
+//                       Connection/Reactor seam; everything else speaks
+//                       fhdnn::net
 #include "lint.hpp"
 
 #include <array>
@@ -359,9 +363,10 @@ class PragmaOnceRule : public Rule {
   }
 };
 
-constexpr std::array<std::string_view, 11> kProjectPrefixes = {
+constexpr std::array<std::string_view, 13> kProjectPrefixes = {
     "tensor/", "util/", "nn/",       "hdc/",  "fl/",  "channel/",
-    "core/",   "data/", "features/", "perf/", "lint"};
+    "core/",   "data/", "features/", "perf/", "lint", "wire/",
+    "net/"};
 
 class IncludeStyleRule : public Rule {
  public:
@@ -528,6 +533,24 @@ std::vector<std::unique_ptr<Rule>> default_rules() {
     r->why("writes a file from src/fl/ outside util/snapshot; route it "
            "through SnapshotWriter::commit or util::atomic_write_* so a "
            "mid-write kill cannot leave a torn artifact");
+    rules.push_back(std::move(r));
+  }
+  {
+    auto r = std::make_unique<TokenBanRule>(
+        "net-isolation",
+        "OS networking primitives (socket/epoll/poll headers and epoll "
+        "syscalls) live only in src/net/, behind the Connection/Reactor "
+        "seam; everywhere else — including src/fl/ serving and the fhdnnd "
+        "tools — speaks fhdnn::net so the loopback transport, tests, and "
+        "portability shims have exactly one integration point",
+        std::vector<std::string>{"sys/socket.h", "sys/epoll.h",
+                                 "netinet/in.h", "netinet/tcp.h",
+                                 "arpa/inet.h", "sys/un.h", "netdb.h",
+                                 "poll.h", "epoll_create1", "epoll_ctl",
+                                 "epoll_wait", "accept4"},
+        std::vector<std::string>{"src/net/"});
+    r->why("touches OS networking outside src/net/; go through the "
+           "net::Connection / net::Reactor seam instead");
     rules.push_back(std::move(r));
   }
   rules.push_back(std::make_unique<ArenaDisciplineRule>());
