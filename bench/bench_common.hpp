@@ -9,10 +9,15 @@
 #include <string>
 
 #include "fl/history.hpp"
+// Umbrella re-exports: every bench parses flags and prints tables, so
+// bench_common deliberately forwards cli/table even though it does not
+// use them itself.
+// fhdnn-lint: allow(include-graph-hygiene)
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/snapshot.hpp"
+// fhdnn-lint: allow(include-graph-hygiene)
 #include "util/table.hpp"
 
 namespace fhdnn::bench {

@@ -10,7 +10,6 @@
 
 #include "bench_common.hpp"
 #include "perf/device_model.hpp"
-#include "perf/model_macs.hpp"
 
 int main(int argc, char** argv) {
   using namespace fhdnn;

@@ -7,6 +7,7 @@
 #include "channel/bits.hpp"
 #include "channel/fading.hpp"
 #include "hdc/binary_model.hpp"
+#include "hdc/quantizer.hpp"
 #include "util/error.hpp"
 
 namespace fhdnn::channel {

@@ -12,7 +12,6 @@
 #include <string>
 
 #include "channel/channel.hpp"
-#include "hdc/quantizer.hpp"
 #include "tensor/tensor.hpp"
 
 namespace fhdnn::channel {

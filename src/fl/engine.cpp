@@ -134,7 +134,7 @@ RoundMetrics RoundEngine::round(int round_index) {
   // Wall-clock measurement for RoundMetrics::wall_seconds — the one field
   // outside the simulated-time contract, and the one sanctioned wall-clock
   // read in src/fl/ (everything else runs on the event clock).
-  // fhdnn-lint: allow(sim-clock)
+  // fhdnn-lint: allow(sim-clock, det-effects)
   const auto start = std::chrono::steady_clock::now();
 
   // Timed rounds over-select so late/faulty participants can be replaced
@@ -396,7 +396,7 @@ RoundMetrics RoundEngine::round(int round_index) {
     metrics.test_accuracy =
         history_.empty() ? 0.0 : history_.rounds().back().test_accuracy;
   }
-  // fhdnn-lint: allow(sim-clock)
+  // fhdnn-lint: allow(sim-clock, det-effects)
   const auto wall_end = std::chrono::steady_clock::now();
   metrics.wall_seconds = std::chrono::duration<double>(wall_end - start).count();
   // Ack/metrics hook: server drivers broadcast the committed round to their

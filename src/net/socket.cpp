@@ -156,6 +156,10 @@ bool TcpListener::wait_pending(int timeout_ms) {
 std::unique_ptr<Connection> connect_tcp(const std::string& host,
                                         std::uint16_t port, int timeout_ms) {
   const std::string label = "tcp:" + host + ":" + std::to_string(port);
+  // Connect timeouts are real-time by nature; net/ sits outside the
+  // simulated-clock contract (the round path only reaches here through the
+  // linker's name-level over-approximation).
+  // fhdnn-lint: allow(det-effects)
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   for (;;) {
@@ -171,6 +175,7 @@ std::unique_ptr<Connection> connect_tcp(const std::string& host,
         errno != EINTR) {
       fail_errno("connect " + label);
     }
+    // fhdnn-lint: allow(det-effects) -- same timeout deadline as above
     if (std::chrono::steady_clock::now() >= deadline) {
       throw NetError("connect " + label + " timed out after " +
                      std::to_string(timeout_ms) + " ms");

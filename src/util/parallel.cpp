@@ -76,7 +76,10 @@ struct Job {
 class Pool {
  public:
   static Pool& instance() {
-    static Pool* pool = new Pool();  // leaked: workers may outlive statics
+    // One-time lazy init, not per-round allocation; leaked so workers may
+    // outlive static destruction order.
+    // fhdnn-lint: allow(det-effects)
+    static Pool* pool = new Pool();
     return *pool;
   }
 

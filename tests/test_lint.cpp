@@ -87,6 +87,25 @@ TEST(LintRules, RawThreadSuppressedAndExempt) {
   EXPECT_EQ(count_rule(exempt, "raw-thread"), 0);
 }
 
+TEST(LintRules, AllowAboveMultiLineDeclarationCoversEveryLine) {
+  // The diagnostic lands on the std::thread line, two lines below the
+  // allow() comment; the suppression must walk up to the declaration's
+  // first line instead of stranding at line - 1.
+  const auto d = run("src/fl/worker.cpp",
+                     "// fhdnn-lint: allow(raw-thread)\n"
+                     "auto worker =\n"
+                     "    std::make_unique<\n"
+                     "        std::thread>([] {});\n");
+  EXPECT_EQ(count_rule(d, "raw-thread"), 0);
+  // A terminated statement above fences the walk: the same comment must
+  // NOT leak past a ';' onto an unrelated later declaration.
+  const auto fenced = run("src/fl/worker.cpp",
+                          "// fhdnn-lint: allow(raw-thread)\n"
+                          "int unrelated = 0;\n"
+                          "std::thread t([] {});\n");
+  EXPECT_EQ(count_rule(fenced, "raw-thread"), 1);
+}
+
 // ---- nondet-rng ----------------------------------------------------------
 
 TEST(LintRules, NondetRngPositive) {

@@ -1,0 +1,39 @@
+// Standalone driver for the fuzz harnesses when the toolchain has no
+// libFuzzer (the in-container default is g++): replays corpus files, one
+// LLVMFuzzerTestOneInput call per file, so the harness properties and the
+// sanitizers still run over every seed and every saved crash input.
+//
+//   fuzz_wire <corpus-file>...
+//
+// Exit code 0 when every input was processed (a property violation aborts),
+// 2 on usage or I/O error. With no arguments the harness runs once over the
+// empty input.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    LLVMFuzzerTestOneInput(nullptr, 0);
+    std::printf("1 input processed (empty)\n");
+    return 0;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::printf("%d inputs processed\n", argc - 1);
+  return 0;
+}

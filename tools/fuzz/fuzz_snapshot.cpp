@@ -1,0 +1,43 @@
+// libFuzzer harness for the snapshot loader (src/util/snapshot).
+//
+// from_bytes() validates the whole image eagerly (magic, version, chunk
+// framing, per-chunk CRC-32, END terminator), so most of the parser runs
+// before the harness ever touches a chunk. The walk afterwards drains each
+// chunk through the typed readers to exercise the bounds checks.
+//
+// The only acceptable failure mode is a thrown SnapshotError; any crash,
+// sanitizer report, or other exception type is a finding.
+//
+// Build with -DFHDNN_FUZZ=ON; under Clang this links libFuzzer, elsewhere
+// tools/fuzz/driver_main.cpp replays corpus files (see README "Fuzzing").
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/snapshot.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace util = fhdnn::util;
+  try {
+    auto reader = util::SnapshotReader::from_bytes(
+        std::vector<std::uint8_t>(data, data + size), "<fuzz>");
+    (void)reader.version();
+    // Walk every chunk; alternate the read pattern so both the scalar and
+    // the length-prefixed vector paths see hostile payloads.
+    for (int chunk = 0; chunk < 64; ++chunk) {
+      const std::string tag = reader.peek_tag();
+      if (tag == "END ") break;
+      reader.enter_chunk(tag);
+      if (chunk % 2 == 0) {
+        for (;;) reader.read_u8();  // terminates via SnapshotError
+      } else {
+        (void)reader.read_floats();
+        reader.leave_chunk();
+      }
+    }
+  } catch (const util::SnapshotError&) {
+    // Rejection is the expected outcome for most mutated inputs.
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Seed-corpus generator for the fuzz harnesses.
+//
+//   fhdnn-make-seeds <out-dir>
+//
+// Writes <out-dir>/wire/* and <out-dir>/snapshot/* — one well-formed
+// artifact per message type / chunk layout, plus the adversarial mutations
+// the unit tests probe by hand (tests/test_wire.cpp, tests/test_snapshot.cpp):
+// truncation, bad magic, version skew, CRC flips, hostile length fields.
+// Seeding the mutations directly lets a 60-second CI smoke start at the
+// interesting boundaries instead of rediscovering the header format.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/snapshot.hpp"
+#include "wire/wire.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool write_seed(const fs::path& dir, const std::string& name,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(dir / name, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << (dir / name).string() << "\n";
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+/// The mutation set shared by both corpora: each variant violates one
+/// framing invariant of an otherwise valid image.
+bool write_mutations(const fs::path& dir, const std::string& stem,
+                     const std::vector<std::uint8_t>& good) {
+  bool ok = write_seed(dir, stem + "_good", good);
+  if (good.size() < 12) return ok;
+
+  std::vector<std::uint8_t> m = good;
+  m.resize(good.size() / 2);  // torn write / short read
+  ok = write_seed(dir, stem + "_truncated", m) && ok;
+
+  m = good;
+  m[0] ^= 0xff;  // bad magic
+  ok = write_seed(dir, stem + "_bad_magic", m) && ok;
+
+  m = good;
+  m[4] ^= 0xff;  // version field skew (both formats: version follows magic)
+  ok = write_seed(dir, stem + "_version_skew", m) && ok;
+
+  m = good;
+  m.back() ^= 0x01;  // CRC / terminator corruption
+  ok = write_seed(dir, stem + "_crc_flip", m) && ok;
+
+  m = good;
+  for (std::size_t i = 8; i < 16 && i < m.size(); ++i) m[i] = 0xff;
+  ok = write_seed(dir, stem + "_hostile_length", m) && ok;
+  return ok;
+}
+
+bool make_wire_seeds(const fs::path& dir) {
+  namespace wire = fhdnn::wire;
+  bool ok = true;
+  for (const auto type :
+       {wire::MsgType::kHello, wire::MsgType::kHelloAck,
+        wire::MsgType::kRoundAssign, wire::MsgType::kUpdate,
+        wire::MsgType::kRoundDone, wire::MsgType::kShutdown,
+        wire::MsgType::kArqFrame}) {
+    wire::PayloadWriter pw;
+    pw.u32(0xC0FFEEu);
+    pw.str("seed");
+    pw.floats({1.0f, -2.5f, 0.0f});
+    const auto frame =
+        wire::encode_frame(type, pw.take());
+    ok = write_mutations(dir,
+                         "frame_t" + std::to_string(static_cast<int>(type)),
+                         frame) &&
+         ok;
+  }
+  ok = write_seed(dir, "empty_payload",
+                  wire::encode_frame(wire::MsgType::kShutdown, {})) &&
+       ok;
+  return ok;
+}
+
+bool make_snapshot_seeds(const fs::path& dir) {
+  namespace util = fhdnn::util;
+  bool ok = true;
+  {
+    util::SnapshotWriter w;
+    w.begin_chunk("META");
+    w.write_u32(7);
+    w.write_str("fuzz seed");
+    w.end_chunk();
+    w.begin_chunk("VECS");
+    w.write_floats({0.5f, -0.5f, 3.25f});
+    w.write_u64s({1, 2, 3});
+    w.end_chunk();
+    ok = write_mutations(dir, "snap_two_chunks", w.finish()) && ok;
+  }
+  {
+    util::SnapshotWriter w;  // header + END only
+    ok = write_mutations(dir, "snap_empty", w.finish()) && ok;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: fhdnn-make-seeds <out-dir>\n";
+    return 2;
+  }
+  const fs::path base = argv[1];
+  const fs::path wire_dir = base / "wire";
+  const fs::path snap_dir = base / "snapshot";
+  std::error_code ec;
+  fs::create_directories(wire_dir, ec);
+  fs::create_directories(snap_dir, ec);
+  if (ec) {
+    std::cerr << "cannot create " << base.string() << "\n";
+    return 2;
+  }
+  if (!make_wire_seeds(wire_dir) || !make_snapshot_seeds(snap_dir)) return 2;
+  std::cout << "seed corpora written under " << base.string() << "\n";
+  return 0;
+}

@@ -110,14 +110,53 @@ bool parse_allow(std::string_view comment, std::vector<std::string>& rules) {
 
 }  // namespace
 
-bool SourceFile::suppressed(std::string_view rule, int line) const {
-  for (int l = line - 1; l >= line - 2 && l >= 0; --l) {
-    std::vector<std::string> rules;
-    if (parse_allow(comment[static_cast<std::size_t>(l)], rules) &&
-        std::find(rules.begin(), rules.end(), rule) != rules.end()) {
-      return true;
-    }
+namespace {
+
+bool allow_matches(const SourceFile& f, std::string_view rule, std::size_t l) {
+  std::vector<std::string> rules;
+  return parse_allow(f.comment[l], rules) &&
+         std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+std::string_view trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string_view(s).substr(b, e - b);
+}
+
+/// 0-based first line of the declaration/statement containing 0-based
+/// `line`: walk upward while the line above is a code continuation (non
+/// blank, not a preprocessor line, and not ending in ';', '{', or '}').
+/// Bounded so a pathological unterminated construct stays cheap.
+std::size_t statement_start(const SourceFile& f, std::size_t line) {
+  std::size_t s = std::min(line, f.code.size() - 1);
+  for (int steps = 0; s > 0 && steps < 16; ++steps) {
+    const std::string_view above = trimmed(f.code[s - 1]);
+    if (above.empty() || above.front() == '#') break;
+    const char last = above.back();
+    if (last == ';' || last == '{' || last == '}') break;
+    --s;
   }
+  return s;
+}
+
+}  // namespace
+
+bool SourceFile::suppressed(std::string_view rule, int line) const {
+  if (line < 1 || comment.empty()) return false;
+  const std::size_t l0 = static_cast<std::size_t>(line - 1);
+  if (l0 >= comment.size()) return false;
+  // Inline on the reported line, or on the line directly above it.
+  if (allow_matches(*this, rule, l0)) return true;
+  if (l0 >= 1 && allow_matches(*this, rule, l0 - 1)) return true;
+  // A declaration spanning multiple lines is covered by an allow() comment
+  // above its FIRST line, wherever within the declaration the diagnostic
+  // lands (a wrapped parameter list must not strand the suppression).
+  const std::size_t s = statement_start(*this, l0);
+  if (s < l0 && allow_matches(*this, rule, s)) return true;  // inline, 1st line
+  if (s < l0 && s >= 1 && allow_matches(*this, rule, s - 1)) return true;
   return false;
 }
 
@@ -201,6 +240,56 @@ std::size_t find_token(std::string_view code_line, std::string_view token,
 
 bool has_token(std::string_view code_line, std::string_view token) {
   return find_token(code_line, token) != std::string_view::npos;
+}
+
+bool skip_space(const SourceFile& f, Pos& p) {
+  while (p.line < f.code.size()) {
+    const std::string& s = f.code[p.line];
+    while (p.col < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[p.col]))) {
+      ++p.col;
+    }
+    if (p.col < s.size()) return true;
+    ++p.line;
+    p.col = 0;
+  }
+  return false;
+}
+
+char char_at(const SourceFile& f, Pos p) {
+  return f.code[p.line][p.col];
+}
+
+bool advance(const SourceFile& f, Pos& p) {
+  ++p.col;
+  while (p.line < f.code.size() && p.col >= f.code[p.line].size()) {
+    ++p.line;
+    p.col = 0;
+  }
+  return p.line < f.code.size();
+}
+
+bool skip_balanced(const SourceFile& f, Pos& p, char open, char close) {
+  int depth = 0;
+  do {
+    if (!skip_space(f, p)) return false;
+    const char c = char_at(f, p);
+    if (c == open) ++depth;
+    if (c == close) --depth;
+    if (!advance(f, p) && depth > 0) return false;
+  } while (depth > 0);
+  return true;
+}
+
+std::string_view ident_at(const std::string& code, std::size_t c) {
+  if (c >= code.size() || !ident_char(code[c]) ||
+      std::isdigit(static_cast<unsigned char>(code[c])) != 0) {
+    return {};
+  }
+  if (c > 0 && (ident_char(code[c - 1]))) return {};
+  std::size_t e = c;
+  while (e < code.size() && ident_char(code[e])) ++e;
+  return std::string_view(code).substr(c, e - c);
 }
 
 }  // namespace fhdnn::lint

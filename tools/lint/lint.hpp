@@ -111,4 +111,30 @@ bool has_token(std::string_view code_line, std::string_view token);
 std::size_t find_token(std::string_view code_line, std::string_view token,
                        std::size_t from = 0);
 
+// ---- cursor helpers over SourceFile::code ----
+//
+// Shared by the per-file body-scanning rules (rules.cpp) and the
+// whole-program declaration/call extractor (graph.cpp). A Pos is a 0-based
+// (line, column) cursor into the stripped `code` line array.
+
+struct Pos {
+  std::size_t line = 0;
+  std::size_t col = 0;
+};
+
+/// Advance past whitespace (and line breaks); false at end of file.
+bool skip_space(const SourceFile& f, Pos& p);
+
+char char_at(const SourceFile& f, Pos p);
+
+/// Step one column, spilling to the next non-empty line; false at EOF.
+bool advance(const SourceFile& f, Pos& p);
+
+/// From an opening delimiter at `p`, move `p` one past its matching closer.
+bool skip_balanced(const SourceFile& f, Pos& p, char open, char close);
+
+/// The identifier token starting exactly at column `c` of `code` (empty
+/// when `c` is mid-token, a digit start, or not an identifier character).
+std::string_view ident_at(const std::string& code, std::size_t c);
+
 }  // namespace fhdnn::lint

@@ -43,10 +43,6 @@ namespace fhdnn::lint {
 
 namespace {
 
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
 bool path_starts_with(const SourceFile& f, std::string_view prefix) {
   return f.repo_path().starts_with(prefix);
 }
@@ -117,66 +113,8 @@ class TokenBanRule : public Rule {
 };
 
 // ---- arena-discipline: function-body scanning ----------------------------
-
-/// Position in the stripped-code line array.
-struct Pos {
-  std::size_t line = 0;
-  std::size_t col = 0;
-};
-
-/// Advance past whitespace (and line breaks); false at end of file.
-bool skip_space(const SourceFile& f, Pos& p) {
-  while (p.line < f.code.size()) {
-    const std::string& s = f.code[p.line];
-    while (p.col < s.size() &&
-           std::isspace(static_cast<unsigned char>(s[p.col]))) {
-      ++p.col;
-    }
-    if (p.col < s.size()) return true;
-    ++p.line;
-    p.col = 0;
-  }
-  return false;
-}
-
-char char_at(const SourceFile& f, Pos p) {
-  return f.code[p.line][p.col];
-}
-
-bool advance(const SourceFile& f, Pos& p) {
-  ++p.col;
-  while (p.line < f.code.size() && p.col >= f.code[p.line].size()) {
-    ++p.line;
-    p.col = 0;
-  }
-  return p.line < f.code.size();
-}
-
-/// From an opening delimiter at `p`, move `p` one past its matching closer.
-bool skip_balanced(const SourceFile& f, Pos& p, char open, char close) {
-  int depth = 0;
-  do {
-    if (!skip_space(f, p)) return false;
-    const char c = char_at(f, p);
-    if (c == open) ++depth;
-    if (c == close) --depth;
-    if (!advance(f, p) && depth > 0) return false;
-  } while (depth > 0);
-  return true;
-}
-
-/// Scan an identifier token starting at column `c` of line `l`; returns its
-/// text (empty when `c` does not start an identifier).
-std::string_view ident_at(const std::string& code, std::size_t c) {
-  if (c >= code.size() || !ident_char(code[c]) ||
-      std::isdigit(static_cast<unsigned char>(code[c])) != 0) {
-    return {};
-  }
-  if (c > 0 && (ident_char(code[c - 1]))) return {};
-  std::size_t e = c;
-  while (e < code.size() && ident_char(code[e])) ++e;
-  return std::string_view(code).substr(c, e - c);
-}
+// (cursor helpers Pos/skip_space/skip_balanced/ident_at live in lint.cpp,
+// shared with the whole-program extractor in graph.cpp)
 
 /// Tokens that may never appear inside an arena-disciplined body.
 constexpr std::array<std::string_view, 6> kArenaBanned = {
